@@ -1,0 +1,81 @@
+//! Criterion benches over scaled-down versions of every paper figure.
+//!
+//! Each bench runs the figure's full scenario at a small sample count and
+//! reports simulator wall time; the measured latency/jitter numbers go to
+//! stderr once per bench so `cargo bench` output doubles as a quick shape
+//! check. Full-scale reproduction lives in the `fig*` and `reproduce_all`
+//! binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sp_experiments::{
+    run_determinism, run_rcim, run_realfeel, DeterminismConfig, RcimConfig, RealfeelConfig,
+};
+use std::hint::black_box;
+
+fn bench_determinism_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("determinism_figures");
+    group.sample_size(10);
+    let configs = [
+        ("fig1_vanilla_ht", DeterminismConfig::fig1_vanilla_ht()),
+        ("fig2_redhawk_shielded", DeterminismConfig::fig2_redhawk_shielded()),
+        ("fig3_redhawk_unshielded", DeterminismConfig::fig3_redhawk_unshielded()),
+        ("fig4_vanilla_noht", DeterminismConfig::fig4_vanilla_noht()),
+    ];
+    for (name, cfg) in configs {
+        let mut cfg = cfg.with_iterations(6);
+        cfg.loop_work = simcore::Nanos::from_ms(250);
+        let shape = run_determinism(&cfg);
+        eprintln!("[{name}] jitter {:.2}%", shape.summary.jitter_pct());
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_determinism(&cfg.clone().with_seed(seed)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_latency_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latency_figures");
+    group.sample_size(10);
+
+    let f5 = RealfeelConfig::fig5_vanilla().with_samples(8_000);
+    let shape = run_realfeel(&f5);
+    eprintln!("[fig5_realfeel_vanilla] max {}", shape.summary.max);
+    group.bench_function("fig5_realfeel_vanilla", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_realfeel(&f5.clone().with_seed(seed)))
+        });
+    });
+
+    let f6 = RealfeelConfig::fig6_redhawk_shielded().with_samples(8_000);
+    let shape = run_realfeel(&f6);
+    eprintln!("[fig6_realfeel_shielded] max {}", shape.summary.max);
+    group.bench_function("fig6_realfeel_shielded", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_realfeel(&f6.clone().with_seed(seed)))
+        });
+    });
+
+    let f7 = RcimConfig::fig7_redhawk_shielded().with_samples(8_000);
+    let shape = run_rcim(&f7);
+    eprintln!("[fig7_rcim_shielded] min {} max {}", shape.summary.min, shape.summary.max);
+    group.bench_function("fig7_rcim_shielded", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_rcim(&f7.clone().with_seed(seed)))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_determinism_figures, bench_latency_figures);
+criterion_main!(benches);

@@ -1,0 +1,181 @@
+//! Criterion microbenchmarks for the simulator's hot paths: the event
+//! queue, both schedulers (the O(1)-vs-O(n) pick being a design point the
+//! paper leans on), cpumask algebra, and histogram recording.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use simcore::{EventQueue, Instant, Nanos, SimRng};
+use sp_hw::{CpuId, CpuMask};
+use sp_kernel::params::KernelCosts;
+use sp_kernel::sched::{CpuView, Linux24Scheduler, O1Scheduler, Scheduler};
+use sp_kernel::task::{SchedPolicy, Task, TaskSpec};
+use sp_kernel::{Op, Pid, Program};
+use sp_metrics::LatencyHistogram;
+use std::hint::black_box;
+
+fn make_tasks(n: usize) -> Vec<Task> {
+    (0..n)
+        .map(|i| {
+            let prog = Program::forever(vec![Op::Compute(simcore::DurationDist::Constant(1_000))]);
+            Task::from_spec(
+                Pid(i as u32),
+                TaskSpec::new(format!("t{i}"), SchedPolicy::nice((i % 40) as i8 - 20), prog),
+                CpuMask::first_n(2),
+            )
+        })
+        .collect()
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("push_pop_1k", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter_batched(
+            || {
+                (0..1_000u64)
+                    .map(|_| Instant(rng.next_u64() % 1_000_000))
+                    .collect::<Vec<_>>()
+            },
+            |times| {
+                let mut q = EventQueue::new();
+                for &t in &times {
+                    q.push(t, ());
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("cancel_half_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::new();
+                let keys: Vec<_> = (0..1_000u64).map(|i| q.push(Instant(i), ())).collect();
+                (q, keys)
+            },
+            |(mut q, keys)| {
+                for k in keys.iter().step_by(2) {
+                    q.cancel(*k);
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// The paper's scheduler argument: O(1) pick cost is flat, the 2.4 goodness
+/// scan grows with the runnable count. Measure both at several queue depths.
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_pick");
+    for &n in &[4usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("o1", n), &n, |b, &n| {
+            let tasks = make_tasks(n);
+            b.iter_batched(
+                || {
+                    let mut tasks = tasks.clone();
+                    let mut s = O1Scheduler::new(2);
+                    let running = [None, None];
+                    let idle = [0u64, 0];
+                    let view = CpuView {
+                        online: CpuMask::first_n(2),
+                        running: &running,
+                        idle_since: &idle,
+                    };
+                    for i in 0..n {
+                        s.on_wake(Pid(i as u32), &mut tasks, &view);
+                    }
+                    (s, tasks)
+                },
+                |(mut s, mut tasks)| {
+                    while let Some(p) = s.pick(CpuId(0), &mut tasks) {
+                        black_box(p);
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("linux24", n), &n, |b, &n| {
+            let tasks = make_tasks(n);
+            b.iter_batched(
+                || {
+                    let mut tasks = tasks.clone();
+                    let mut s = Linux24Scheduler::new();
+                    let running = [None, None];
+                    let idle = [0u64, 0];
+                    let view = CpuView {
+                        online: CpuMask::first_n(2),
+                        running: &running,
+                        idle_since: &idle,
+                    };
+                    for i in 0..n {
+                        s.on_wake(Pid(i as u32), &mut tasks, &view);
+                    }
+                    (s, tasks)
+                },
+                |(mut s, mut tasks)| {
+                    while let Some(p) = s.pick(CpuId(0), &mut tasks) {
+                        black_box(p);
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_modelled_pick_cost(c: &mut Criterion) {
+    // Not wall time: sampling the *modelled* pick-cost distributions.
+    let costs = KernelCosts::default();
+    let mut rng = SimRng::new(7);
+    c.bench_function("modelled_pick_cost_sampling", |b| {
+        let s = O1Scheduler::new(2);
+        b.iter(|| black_box(s.pick_cost(&costs, &mut rng)));
+    });
+}
+
+fn bench_cpumask(c: &mut Criterion) {
+    let mut rng = SimRng::new(3);
+    let masks: Vec<CpuMask> = (0..256).map(|_| CpuMask(rng.next_u64())).collect();
+    c.bench_function("cpumask_algebra", |b| {
+        b.iter(|| {
+            let mut acc = CpuMask::EMPTY;
+            for w in masks.windows(2) {
+                acc = acc | (w[0] & !w[1]);
+                black_box(acc.first());
+                black_box(acc.is_subset_of(w[1]));
+            }
+            acc
+        });
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut rng = SimRng::new(4);
+    let samples: Vec<Nanos> =
+        (0..10_000).map(|_| Nanos(rng.range_inclusive(100, 100_000_000))).collect();
+    c.bench_function("histogram_record_10k", |b| {
+        b.iter(|| {
+            let mut h = LatencyHistogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            black_box(h.quantile(0.999))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_schedulers,
+    bench_modelled_pick_cost,
+    bench_cpumask,
+    bench_histogram
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation A4: hyperthreading under RedHawk (§7).
+//!
+//! The paper measures the HT effect only on the stock kernel (Figures 1 and
+//! 4) and notes RedHawk disables HT by default. This ablation answers the
+//! implied question: does shielding alone rescue determinism if HT stays on?
+//! (It cannot rescue the execution unit: a shielded logical CPU still shares
+//! its core with its sibling, so the sibling must be shielded too.)
+
+use sp_bench::scale_from_args;
+use sp_experiments::{run_determinism, DeterminismConfig};
+use sp_metrics::Table;
+
+fn main() {
+    let scale = scale_from_args();
+    let iters = ((60f64 * scale).ceil() as u32).max(4);
+
+    // RedHawk, HT off, shielded (Figure 2 baseline).
+    let noht = DeterminismConfig::fig2_redhawk_shielded().with_iterations(iters);
+    // RedHawk, HT on, shield logical CPU 2 only (its sibling 3 stays open).
+    let mut ht_half = DeterminismConfig::fig2_redhawk_shielded().with_iterations(iters);
+    ht_half.hyperthreading = true;
+    ht_half.shield = Some(2);
+    // RedHawk, HT on, unshielded.
+    let mut ht_none = DeterminismConfig::fig3_redhawk_unshielded().with_iterations(iters);
+    ht_none.hyperthreading = true;
+
+    let mut t = Table::new(["configuration", "jitter %", "irq-steal %"]);
+    for (name, cfg) in [
+        ("HT off, shielded cpu1", &noht),
+        ("HT on, shielded cpu2 (sibling open)", &ht_half),
+        ("HT on, unshielded", &ht_none),
+    ] {
+        let r = run_determinism(cfg);
+        t.row([
+            name.to_string(),
+            format!("{:.2}", r.summary.jitter_pct()),
+            format!("{:.2}", r.steal_fraction * 100.0),
+        ]);
+    }
+    println!("A4 — hyperthreading vs shielding under RedHawk ({iters} iterations)\n");
+    print!("{}", t.render());
+}

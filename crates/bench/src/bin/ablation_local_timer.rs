@@ -1,0 +1,134 @@
+//! Ablation A2: shielding the local timer interrupt (§3).
+//!
+//! The paper: "The local timer interrupt interrupts every CPU in the system
+//! ... generally the most active interrupt in the system and therefore the
+//! most likely interrupt to cause jitter to a real-time application."
+//! Two measurements on an otherwise fully shielded CPU, with the 100 Hz tick
+//! on vs off:
+//!
+//! 1. worst-case RCIM wake latency — a tick landing in the wake window adds
+//!    its processing cost to the response;
+//! 2. determinism-loop jitter — the tick steals ~0.05 % of CPU and adds
+//!    microsecond-scale lap noise.
+
+use simcore::{DurationDist, Nanos};
+use sp_bench::scale_from_args;
+use sp_core::ShieldPlan;
+use sp_devices::{DiskDevice, NicDevice, RcimDevice};
+use sp_hw::{CpuId, CpuMask, MachineConfig};
+use sp_kernel::{KernelConfig, Op, Program, SchedPolicy, Simulator, TaskSpec, WaitApi};
+use sp_metrics::{JitterSeries, LatencyHistogram, LatencySummary, Table};
+use sp_workloads::{disknoise, scp_nic_profile, scp_receiver};
+
+fn base_sim(seed: u64) -> Simulator {
+    let mut sim =
+        Simulator::new(MachineConfig::dual_xeon_p4(false), KernelConfig::redhawk(), seed);
+    let _nic = sim.add_device(Box::new(NicDevice::new(Some(scp_nic_profile()))));
+    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    scp_receiver(&mut sim, disk);
+    disknoise(&mut sim, disk);
+    sim
+}
+
+fn latency_run(keep_ltmr: bool, seconds: u64) -> (LatencySummary, u64) {
+    let mut sim =
+        Simulator::new(MachineConfig::dual_xeon_p4(false), KernelConfig::redhawk(), 0xA2_2);
+    let rcim = sim.add_device(Box::new(RcimDevice::new(Nanos::from_us(500))));
+    let _nic = sim.add_device(Box::new(NicDevice::new(Some(scp_nic_profile()))));
+    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    scp_receiver(&mut sim, disk);
+    disknoise(&mut sim, disk);
+    let pid = sim.spawn(
+        TaskSpec::new(
+            "rt",
+            SchedPolicy::fifo(90),
+            Program::forever(vec![Op::WaitIrq {
+                device: rcim,
+                api: WaitApi::IoctlWait { driver_bkl_free: true },
+            }]),
+        )
+        .pinned(CpuMask::single(CpuId(1)))
+        .mlockall(),
+    );
+    sim.watch_latency(pid);
+    sim.start();
+    let mut plan = ShieldPlan::cpu(CpuId(1)).bind_task(pid).bind_irq(rcim);
+    if keep_ltmr {
+        plan = plan.keep_local_timer();
+    }
+    plan.apply(&mut sim).expect("shield");
+    sim.run_for(Nanos::from_secs(seconds));
+    let mut h = LatencyHistogram::new();
+    for &l in sim.obs.latencies(pid) {
+        h.record(l);
+    }
+    (LatencySummary::from_histogram(&h), sim.obs.cpu[1].ticks)
+}
+
+fn jitter_run(keep_ltmr: bool, iterations: u32) -> sp_metrics::JitterSummary {
+    let mut sim = base_sim(0xA2_3);
+    let loop_work = Nanos::from_ms(1_148);
+    let pid = sim.spawn(
+        TaskSpec::new(
+            "loop",
+            SchedPolicy::fifo(90),
+            Program::forever(vec![Op::MarkLap, Op::Compute(DurationDist::constant(loop_work))]),
+        )
+        .pinned(CpuMask::single(CpuId(1)))
+        .mlockall(),
+    );
+    sim.watch_laps(pid);
+    sim.start();
+    let mut plan = ShieldPlan::cpu(CpuId(1)).bind_task(pid);
+    if keep_ltmr {
+        plan = plan.keep_local_timer();
+    }
+    plan.apply(&mut sim).expect("shield");
+    while (sim.obs.laps(pid).len() as u32) < iterations + 1 {
+        sim.run_for(loop_work.scale(2.0));
+    }
+    let mut series = JitterSeries::new();
+    for d in sim.obs.lap_durations(pid) {
+        series.record(d);
+    }
+    series.summary()
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let seconds = ((60.0 * scale).ceil() as u64).max(5);
+    let iters = ((40.0 * scale).ceil() as u32).max(4);
+
+    let (lat_off, ticks_off) = latency_run(false, seconds);
+    let (lat_on, ticks_on) = latency_run(true, seconds);
+    let mut t = Table::new(["local timer", "ticks on cpu1", "p99.99", "max wake latency"]);
+    for (name, s, ticks) in
+        [("shielded (off)", &lat_off, ticks_off), ("left running", &lat_on, ticks_on)]
+    {
+        t.row([
+            name.to_string(),
+            ticks.to_string(),
+            s.p9999.to_string(),
+            s.max.to_string(),
+        ]);
+    }
+    println!("A2a — RCIM wake latency vs the local timer ({seconds}s per row)\n");
+    print!("{}", t.render());
+
+    let j_off = jitter_run(false, iters);
+    let j_on = jitter_run(true, iters);
+    let mut t = Table::new(["local timer", "ideal", "max", "jitter %"]);
+    for (name, s) in [("shielded (off)", &j_off), ("left running", &j_on)] {
+        t.row([
+            name.to_string(),
+            format!("{:.6}s", s.ideal.as_secs_f64()),
+            format!("{:.6}s", s.max.as_secs_f64()),
+            format!("{:.3}", s.jitter_pct()),
+        ]);
+    }
+    println!("\nA2b — determinism-loop jitter vs the local timer ({iters} iterations)\n");
+    print!("{}", t.render());
+    println!("\n(100 ticks/s × ~2-8 µs each ≈ 0.05 % steal: visible in the wake");
+    println!(" latency ceiling, marginal on a 1.15 s loop — matching §3's framing");
+    println!(" of the tick as a *latency* hazard the shield optionally removes.)");
+}

@@ -1,0 +1,43 @@
+//! Ablation A3: the real-time patch stack (§6).
+//!
+//! realfeel worst-case latency across the four kernel builds: stock 2.4.18 →
+//! +preempt → +low-latency → RedHawk 1.4 (unshielded, then shielded). The
+//! preempt+lowlat row corresponds to reference [5]'s 1.2 ms result; RedHawk's
+//! unshielded row shows what the RedHawk-specific fixes buy on top; the
+//! shielded row is Figure 6.
+
+use sp_bench::scale_from_args;
+use sp_experiments::{run_realfeel, RealfeelConfig};
+use sp_kernel::KernelVariant;
+use sp_metrics::Table;
+
+fn main() {
+    let scale = scale_from_args();
+    let samples = ((150_000f64 * scale).ceil() as u64).max(1_000);
+
+    let mut t = Table::new(["kernel", "shield", "p99", "p99.99", "max"]);
+    let mut configs: Vec<(String, RealfeelConfig)> = KernelVariant::ALL
+        .iter()
+        .map(|&v| {
+            let mut c = RealfeelConfig::fig5_vanilla().with_samples(samples);
+            c.variant = v;
+            (format!("{v}"), c)
+        })
+        .collect();
+    let mut shielded = RealfeelConfig::fig6_redhawk_shielded().with_samples(samples);
+    shielded.samples = samples;
+    configs.push(("RedHawk-1.4".into(), shielded));
+
+    for (name, cfg) in configs {
+        let r = run_realfeel(&cfg);
+        t.row([
+            name,
+            cfg.shield.map(|c| format!("cpu{c}")).unwrap_or_else(|| "-".into()),
+            r.summary.p99.to_string(),
+            r.summary.p9999.to_string(),
+            r.summary.max.to_string(),
+        ]);
+    }
+    println!("A3 — realfeel worst case down the patch stack (n={samples} per row)\n");
+    print!("{}", t.render());
+}

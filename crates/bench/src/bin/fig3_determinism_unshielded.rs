@@ -1,0 +1,16 @@
+//! Optional `--csv <path>` dumps the histogram buckets.
+//! Regenerates Figure 3 of the paper. Optional arg: scale factor.
+
+use sp_bench::scale_from_args;
+use sp_experiments::{run_determinism, DeterminismConfig};
+use sp_experiments::report::render_determinism;
+
+fn main() {
+    let scale = scale_from_args();
+    let base = DeterminismConfig::fig3_redhawk_unshielded();
+    let iters = ((base.iterations as f64 * scale).ceil() as u32).max(4);
+    let cfg = base.with_iterations(iters);
+    let result = run_determinism(&cfg);
+    sp_experiments::report::maybe_write_csv(&result.variance_histogram);
+    print!("{}", render_determinism("fig3", &result));
+}

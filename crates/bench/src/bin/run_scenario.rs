@@ -1,0 +1,68 @@
+//! Run a declarative scenario from a JSON spec file.
+//!
+//! ```bash
+//! cargo run --release -p sp-bench --bin run_scenario -- examples/scenarios/fig7.json
+//! cargo run --release -p sp-bench --bin run_scenario -- --emit-fig7   # print the reference spec
+//! ```
+
+use sp_experiments::scenario::{fig7_scenario, run_scenario, MeasuredResult, ScenarioSpec};
+use sp_metrics::Table;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg == "--emit-fig7" {
+        println!("{}", serde_json::to_string_pretty(&fig7_scenario()).expect("serialize"));
+        return;
+    }
+    if arg.is_empty() {
+        eprintln!("usage: run_scenario <spec.json> | --emit-fig7");
+        std::process::exit(2);
+    }
+    let text = std::fs::read_to_string(&arg).unwrap_or_else(|e| {
+        eprintln!("cannot read {arg}: {e}");
+        std::process::exit(2);
+    });
+    let spec: ScenarioSpec = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {arg}: {e}");
+        std::process::exit(2);
+    });
+    let report = run_scenario(&spec).unwrap_or_else(|e| {
+        eprintln!("scenario failed: {e}");
+        std::process::exit(1);
+    });
+
+    println!("scenario '{}' complete\n", report.name);
+    let mut names: Vec<&String> = report.results.keys().collect();
+    names.sort();
+    let mut t = Table::new(["measured task", "kind", "n", "result"]);
+    for name in names {
+        match &report.results[name] {
+            MeasuredResult::Latency { summary, .. } => {
+                t.row([
+                    name.clone(),
+                    "latency".into(),
+                    summary.count.to_string(),
+                    format!("p50 {}  p99.9 {}  max {}", summary.p50, summary.p999, summary.max),
+                ]);
+            }
+            MeasuredResult::Jitter { summary } => {
+                t.row([
+                    name.clone(),
+                    "jitter".into(),
+                    summary.iterations.to_string(),
+                    format!(
+                        "ideal {:.4}s  max {:.4}s  jitter {:.2}%",
+                        summary.ideal.as_secs_f64(),
+                        summary.max.as_secs_f64(),
+                        summary.jitter_pct()
+                    ),
+                ]);
+            }
+        }
+    }
+    print!("{}", t.render());
+    println!(
+        "\ninterrupts per cpu: {:?}",
+        report.irqs_per_cpu
+    );
+}

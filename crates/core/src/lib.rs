@@ -1,0 +1,31 @@
+//! # sp-core — CPU shielding (the paper's contribution)
+//!
+//! The user-facing half of RedHawk's shielded-processor feature, layered on
+//! the mechanism in `sp-kernel`:
+//!
+//! * [`ProcShield`] — the `/proc/shield/{procs,irqs,ltmrs}` file interface
+//!   with its dynamic-reshield semantics and write validation;
+//! * [`ProcIrq`] — the standard `/proc/irq/<n>/smp_affinity` interface the
+//!   shield composes with;
+//! * [`ProcInterrupts`] — `/proc/interrupts`, the verification view whose
+//!   shielded-CPU columns freeze;
+//! * [`ShieldPlan`] — a declarative builder for the standard recipe
+//!   ("fully shield CPU 1, bind this task and this interrupt into it").
+//!
+//! The shielding *rule* itself (shielded CPUs are removed from every
+//! affinity mask unless the mask lies entirely inside the shield) lives in
+//! [`sp_kernel::shieldctl`], because the real patch enforced it inside the
+//! scheduler and irq layer; this crate is the interface and the policy
+//! orchestration around it.
+
+pub mod plan;
+pub mod procfs;
+pub mod procfs_interrupts;
+pub mod procfs_irq;
+pub mod ps;
+
+pub use plan::{PlanError, ShieldPlan};
+pub use procfs::{ProcShield, ProcWriteError, ShieldFile};
+pub use procfs_interrupts::ProcInterrupts;
+pub use procfs_irq::ProcIrq;
+pub use ps::{ps, render_ps, PsRow};

@@ -1,0 +1,127 @@
+//! The standard `/proc/irq/<n>/smp_affinity` interface.
+//!
+//! §3 of the paper builds on this pre-existing mechanism: "Standard Linux
+//! does support a CPU affinity for interrupts. In this case, the user
+//! interface is already present via the /proc/irq/*/smp_affinity files."
+//! Shielding composes with it: the mask written here is the *request*; the
+//! kernel applies the shield semantics on top, and this module shows both —
+//! like RedHawk's procfs did.
+
+use sp_hw::{CpuMask, IrqLine};
+use sp_kernel::Simulator;
+
+use crate::procfs::ProcWriteError;
+
+/// Emulated `/proc/irq` directory bound to a simulator.
+pub struct ProcIrq;
+
+impl ProcIrq {
+    /// Read `/proc/irq/<line>/smp_affinity`: the requested mask as hex.
+    pub fn read(sim: &Simulator, line: IrqLine) -> Option<String> {
+        sim.irq_lines()
+            .into_iter()
+            .find(|i| i.line == line)
+            .map(|i| format!("{}\n", i.requested))
+    }
+
+    /// Write `/proc/irq/<line>/smp_affinity`. Validation mirrors the real
+    /// handler: hex parse, online-CPU check, non-empty mask.
+    pub fn write(sim: &mut Simulator, line: IrqLine, contents: &str) -> Result<(), ProcWriteError> {
+        let mask: CpuMask = contents
+            .parse()
+            .map_err(|_| ProcWriteError::BadMask(contents.trim().to_string()))?;
+        let online = sim.machine().online_mask();
+        let offline = mask - online;
+        if !offline.is_empty() {
+            return Err(ProcWriteError::OfflineCpus(offline));
+        }
+        let dev = sim
+            .device_by_line(line)
+            .ok_or_else(|| ProcWriteError::Rejected(format!("no such irq: {line}")))?;
+        sim.set_irq_affinity(dev, mask).map_err(ProcWriteError::Rejected)
+    }
+
+    /// Render the directory like `grep . /proc/irq/*/smp_affinity`, with the
+    /// effective mask alongside (RedHawk exposed both so administrators
+    /// could see the shield's subtraction at work).
+    pub fn status(sim: &Simulator) -> String {
+        let mut out = String::new();
+        for info in sim.irq_lines() {
+            out.push_str(&format!(
+                "/proc/irq/{}/smp_affinity:{}  (effective {}, {})\n",
+                info.line.0, info.requested, info.effective, info.name
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Nanos;
+    use sp_devices::RtcDevice;
+    use sp_hw::{CpuId, MachineConfig};
+    use sp_kernel::{KernelConfig, ShieldCtl};
+
+    fn sim_with_rtc() -> Simulator {
+        let mut s =
+            Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::redhawk(), 5);
+        s.add_device(Box::new(RtcDevice::new(64)));
+        s
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut s = sim_with_rtc();
+        assert_eq!(ProcIrq::read(&s, IrqLine::RTC), Some("3\n".into()));
+        ProcIrq::write(&mut s, IrqLine::RTC, "0x2").unwrap();
+        assert_eq!(ProcIrq::read(&s, IrqLine::RTC), Some("2\n".into()));
+        assert_eq!(ProcIrq::read(&s, IrqLine::NIC), None, "unregistered line");
+    }
+
+    #[test]
+    fn write_validation() {
+        let mut s = sim_with_rtc();
+        assert!(matches!(
+            ProcIrq::write(&mut s, IrqLine::RTC, "xyz"),
+            Err(ProcWriteError::BadMask(_))
+        ));
+        assert!(matches!(
+            ProcIrq::write(&mut s, IrqLine::RTC, "0x8"),
+            Err(ProcWriteError::OfflineCpus(_))
+        ));
+        assert!(matches!(
+            ProcIrq::write(&mut s, IrqLine::NIC, "1"),
+            Err(ProcWriteError::Rejected(_))
+        ));
+        assert!(matches!(
+            ProcIrq::write(&mut s, IrqLine::RTC, "0"),
+            Err(ProcWriteError::Rejected(_))
+        ));
+    }
+
+    #[test]
+    fn shield_subtracts_from_effective_not_requested() {
+        let mut s = sim_with_rtc();
+        s.set_shield(ShieldCtl { procs: CpuMask::EMPTY, irqs: CpuMask::single(CpuId(1)), ltmrs: CpuMask::EMPTY })
+            .unwrap();
+        // Requested stays 3; effective loses the shielded CPU.
+        assert_eq!(ProcIrq::read(&s, IrqLine::RTC), Some("3\n".into()));
+        let info = &s.irq_lines()[0];
+        assert_eq!(info.effective, CpuMask::single(CpuId(0)));
+        let status = ProcIrq::status(&s);
+        assert!(status.contains("smp_affinity:3"), "{status}");
+        assert!(status.contains("effective 1"), "{status}");
+        let _ = Nanos::ZERO;
+    }
+
+    #[test]
+    fn binding_into_the_shield_is_allowed() {
+        let mut s = sim_with_rtc();
+        s.set_shield(ShieldCtl::full(CpuMask::single(CpuId(1)))).unwrap();
+        ProcIrq::write(&mut s, IrqLine::RTC, "2").unwrap();
+        let info = &s.irq_lines()[0];
+        assert_eq!(info.effective, CpuMask::single(CpuId(1)), "mask inside shield is kept");
+    }
+}

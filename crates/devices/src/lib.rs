@@ -1,0 +1,28 @@
+//! # sp-devices — interrupt-driven device models
+//!
+//! Concrete implementations of `sp-kernel`'s [`Device`](sp_kernel::Device)
+//! trait for the hardware in the paper's testbeds:
+//!
+//! * [`RtcDevice`] — the CMOS RTC behind `/dev/rtc` and the realfeel test,
+//! * [`RcimDevice`] / [`RcimExternalInput`] — Concurrent's RCIM PCI card:
+//!   high-resolution timers and external edge-triggered inputs,
+//! * [`NicDevice`] — the Ethernet controller (scp/ttcp traffic, `net_rx`
+//!   bottom halves),
+//! * [`DiskDevice`] — the SCSI disk (blocking I/O, completion interrupts),
+//! * [`GpuDevice`] — the graphics controller under X11perf.
+//!
+//! Plus [`OnOffPoisson`], the bursty arrival process they share.
+
+pub mod disk;
+pub mod gpu;
+pub mod nic;
+pub mod profile;
+pub mod rcim;
+pub mod rtc;
+
+pub use disk::DiskDevice;
+pub use gpu::GpuDevice;
+pub use nic::NicDevice;
+pub use profile::{OnOffPoisson, OnOffState};
+pub use rcim::{RcimDevice, RcimExternalInput};
+pub use rtc::RtcDevice;

@@ -1,0 +1,33 @@
+//! # sp-experiments — the paper's evaluation, as runnable scenarios
+//!
+//! One builder per figure of *Shielded Processors* (IPPS 2003):
+//!
+//! | figure | module | paper result |
+//! |---|---|---|
+//! | Fig. 1 | [`determinism`] (`fig1_vanilla_ht`) | jitter 26.17 % |
+//! | Fig. 2 | [`determinism`] (`fig2_redhawk_shielded`) | jitter 1.87 % |
+//! | Fig. 3 | [`determinism`] (`fig3_redhawk_unshielded`) | jitter 14.82 % |
+//! | Fig. 4 | [`determinism`] (`fig4_vanilla_noht`) | jitter 13.15 % |
+//! | Fig. 5 | [`realfeel`] (`fig5_vanilla`) | max 92.3 ms |
+//! | Fig. 6 | [`realfeel`] (`fig6_redhawk_shielded`) | max 0.565 ms |
+//! | Fig. 7 | [`rcim`] (`fig7_redhawk_shielded`) | min 11 µs, max 27 µs |
+//!
+//! [`runner::run_all_figures`] executes the whole suite (in parallel);
+//! [`report`] renders paper-style text figures.
+
+pub mod determinism;
+pub mod rcim;
+pub mod realfeel;
+pub mod replication;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use determinism::{run_determinism, DeterminismConfig, DeterminismResult};
+pub use rcim::{run_rcim, RcimConfig, RcimResult};
+pub use realfeel::{run_realfeel, RealfeelConfig, RealfeelResult};
+pub use replication::{
+    replicate_determinism, replicate_rcim_max, replicate_realfeel_max, Replicated,
+};
+pub use runner::{run_all_figures, FigureSuite};
+pub use scenario::{run_scenario, MeasuredResult, ScenarioError, ScenarioReport, ScenarioSpec};

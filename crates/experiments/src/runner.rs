@@ -1,0 +1,74 @@
+//! Run the full figure suite, optionally in parallel (each experiment is an
+//! independent single-threaded simulation, so they parallelise perfectly).
+
+use crate::determinism::{run_determinism, DeterminismConfig, DeterminismResult};
+use crate::realfeel::{run_realfeel, RealfeelConfig, RealfeelResult};
+use crate::rcim::{run_rcim, RcimConfig, RcimResult};
+use parking_lot::Mutex;
+
+/// Results of the complete figure suite.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct FigureSuite {
+    pub fig1: DeterminismResult,
+    pub fig2: DeterminismResult,
+    pub fig3: DeterminismResult,
+    pub fig4: DeterminismResult,
+    pub fig5: RealfeelResult,
+    pub fig6: RealfeelResult,
+    pub fig7: RcimResult,
+}
+
+/// Scale factor for sample counts/iterations: 1.0 reproduces the defaults,
+/// smaller is faster (smoke runs), larger digs deeper into the tails.
+pub fn run_all_figures(scale: f64) -> FigureSuite {
+    assert!(scale > 0.0);
+    let iters = |base: u32| ((base as f64 * scale).ceil() as u32).max(4);
+    let samples = |base: u64| ((base as f64 * scale).ceil() as u64).max(1_000);
+
+    let d_cfgs = [
+        DeterminismConfig::fig1_vanilla_ht(),
+        DeterminismConfig::fig2_redhawk_shielded(),
+        DeterminismConfig::fig3_redhawk_unshielded(),
+        DeterminismConfig::fig4_vanilla_noht(),
+    ]
+    .map(|c| {
+        let n = iters(c.iterations);
+        c.with_iterations(n)
+    });
+    let f5 = RealfeelConfig::fig5_vanilla();
+    let f5 = f5.clone().with_samples(samples(f5.samples));
+    let f6 = RealfeelConfig::fig6_redhawk_shielded();
+    let f6 = f6.clone().with_samples(samples(f6.samples));
+    let f7 = RcimConfig::fig7_redhawk_shielded();
+    let f7 = f7.clone().with_samples(samples(f7.samples));
+
+    let det: Mutex<Vec<Option<DeterminismResult>>> = Mutex::new(vec![None, None, None, None]);
+    let mut lat5: Option<RealfeelResult> = None;
+    let mut lat6: Option<RealfeelResult> = None;
+    let mut lat7: Option<RcimResult> = None;
+
+    crossbeam::scope(|scope| {
+        for (i, cfg) in d_cfgs.iter().enumerate() {
+            let det = &det;
+            scope.spawn(move |_| {
+                let r = run_determinism(cfg);
+                det.lock()[i] = Some(r);
+            });
+        }
+        scope.spawn(|_| lat5 = Some(run_realfeel(&f5)));
+        scope.spawn(|_| lat6 = Some(run_realfeel(&f6)));
+        scope.spawn(|_| lat7 = Some(run_rcim(&f7)));
+    })
+    .expect("experiment thread panicked");
+
+    let mut det = det.into_inner();
+    FigureSuite {
+        fig1: det[0].take().expect("fig1"),
+        fig2: det[1].take().expect("fig2"),
+        fig3: det[2].take().expect("fig3"),
+        fig4: det[3].take().expect("fig4"),
+        fig5: lat5.expect("fig5"),
+        fig6: lat6.expect("fig6"),
+        fig7: lat7.expect("fig7"),
+    }
+}

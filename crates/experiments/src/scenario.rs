@@ -1,0 +1,428 @@
+//! Declarative scenarios: describe a machine, kernel, devices, workloads,
+//! measured tasks and a shield in data (JSON via serde), then run it.
+//!
+//! This is the configuration surface a downstream user scripts experiments
+//! with — the `run_scenario` binary in `sp-bench` takes a path to a spec.
+
+use serde::{Deserialize, Serialize};
+use simcore::{DurationDist, Nanos};
+use sp_core::ShieldPlan;
+use sp_devices::{DiskDevice, GpuDevice, NicDevice, OnOffPoisson, RcimDevice, RtcDevice};
+use sp_hw::{CpuMask, MachineConfig};
+use sp_kernel::{
+    DeviceId, KernelConfig, KernelVariant, Op, Pid, Program, SchedPolicy, Simulator, TaskSpec,
+    WaitApi,
+};
+use sp_metrics::{JitterSeries, JitterSummary, LatencyHistogram, LatencySummary};
+use std::collections::HashMap;
+
+/// A complete experiment description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    pub name: String,
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    pub machine: MachineConfig,
+    /// Kernel build; `kernel_overrides` may replace the full config.
+    pub kernel: KernelVariant,
+    #[serde(default)]
+    pub kernel_overrides: Option<KernelConfig>,
+    #[serde(default)]
+    pub devices: Vec<DeviceSpec>,
+    #[serde(default)]
+    pub workloads: Vec<WorkloadSpec>,
+    pub measured: Vec<MeasuredSpec>,
+    #[serde(default)]
+    pub shield: Option<ShieldSpec>,
+    /// Simulated run length in seconds.
+    pub run_secs: f64,
+}
+
+fn default_seed() -> u64 {
+    0x5CEA_A210
+}
+
+/// A named device instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    pub name: String,
+    pub kind: DeviceKind,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type")]
+pub enum DeviceKind {
+    Rtc { hz: u32 },
+    Rcim { period_us: u64 },
+    Nic { external: Option<OnOffPoisson> },
+    Disk,
+    GpuX11perf,
+}
+
+/// Background workload component, referencing devices by name.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type")]
+pub enum WorkloadSpec {
+    StressKernel { nic: String, disk: String },
+    ScpReceiver { disk: String },
+    Disknoise { disk: String },
+    X11perfDriver,
+}
+
+/// A measured real-time task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasuredSpec {
+    pub name: String,
+    /// 1..=99 SCHED_FIFO priority.
+    pub rt_prio: u8,
+    pub kind: MeasuredKind,
+    /// Pin to these CPUs (hex mask string, e.g. "2"); default: float.
+    #[serde(default)]
+    pub pin: Option<String>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type")]
+pub enum MeasuredKind {
+    /// Block on a device interrupt through an API; record latencies.
+    IrqWait { device: String, api: WaitApiSpec },
+    /// Determinism loop; record per-iteration wall times.
+    Loop { work_ms: u64 },
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type")]
+pub enum WaitApiSpec {
+    Read,
+    Ioctl { driver_bkl_free: bool },
+}
+
+/// Shield configuration applied after start.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShieldSpec {
+    /// Hex mask of CPUs to shield, e.g. "2".
+    pub cpus: String,
+    #[serde(default)]
+    pub keep_local_timer: bool,
+    /// Measured-task names to bind into the shield.
+    #[serde(default)]
+    pub bind_tasks: Vec<String>,
+    /// Device names whose IRQs to bind into the shield.
+    #[serde(default)]
+    pub bind_irqs: Vec<String>,
+}
+
+/// Per-measured-task outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum MeasuredResult {
+    Latency { summary: LatencySummary, histogram: LatencyHistogram },
+    Jitter { summary: JitterSummary },
+}
+
+/// The scenario's output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    pub name: String,
+    pub results: HashMap<String, MeasuredResult>,
+    /// Interrupts handled per CPU.
+    pub irqs_per_cpu: Vec<u64>,
+}
+
+/// Errors building or running a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    UnknownDevice(String),
+    UnknownTask(String),
+    BadMask(String),
+    DuplicateName(String),
+    Kernel(String),
+    Empty(&'static str),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::UnknownDevice(n) => write!(f, "unknown device '{n}'"),
+            ScenarioError::UnknownTask(n) => write!(f, "unknown measured task '{n}'"),
+            ScenarioError::BadMask(m) => write!(f, "bad cpu mask '{m}'"),
+            ScenarioError::DuplicateName(n) => write!(f, "duplicate name '{n}'"),
+            ScenarioError::Kernel(e) => write!(f, "{e}"),
+            ScenarioError::Empty(what) => write!(f, "scenario has no {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn parse_mask(s: &str) -> Result<CpuMask, ScenarioError> {
+    s.parse().map_err(|_| ScenarioError::BadMask(s.to_string()))
+}
+
+/// Build and run the scenario to completion.
+pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError> {
+    if spec.measured.is_empty() {
+        return Err(ScenarioError::Empty("measured tasks"));
+    }
+    let kcfg = spec.kernel_overrides.clone().unwrap_or_else(|| KernelConfig::new(spec.kernel));
+    let mut sim = Simulator::new(spec.machine.clone(), kcfg, spec.seed);
+
+    // Devices.
+    let mut devices: HashMap<String, DeviceId> = HashMap::new();
+    for d in &spec.devices {
+        let id = match &d.kind {
+            DeviceKind::Rtc { hz } => sim.add_device(Box::new(RtcDevice::new(*hz))),
+            DeviceKind::Rcim { period_us } => {
+                sim.add_device(Box::new(RcimDevice::new(Nanos::from_us(*period_us))))
+            }
+            DeviceKind::Nic { external } => {
+                sim.add_device(Box::new(NicDevice::new(external.clone())))
+            }
+            DeviceKind::Disk => sim.add_device(Box::new(DiskDevice::new())),
+            DeviceKind::GpuX11perf => sim.add_device(Box::new(GpuDevice::x11perf())),
+        };
+        if devices.insert(d.name.clone(), id).is_some() {
+            return Err(ScenarioError::DuplicateName(d.name.clone()));
+        }
+    }
+    let lookup = |devices: &HashMap<String, DeviceId>, name: &str| {
+        devices.get(name).copied().ok_or_else(|| ScenarioError::UnknownDevice(name.to_string()))
+    };
+
+    // Workloads.
+    for w in &spec.workloads {
+        match w {
+            WorkloadSpec::StressKernel { nic, disk } => {
+                let nic = lookup(&devices, nic)?;
+                let disk = lookup(&devices, disk)?;
+                sp_workloads::stress_kernel(&mut sim, sp_workloads::StressDevices { nic, disk });
+            }
+            WorkloadSpec::ScpReceiver { disk } => {
+                let disk = lookup(&devices, disk)?;
+                sp_workloads::scp_receiver(&mut sim, disk);
+            }
+            WorkloadSpec::Disknoise { disk } => {
+                let disk = lookup(&devices, disk)?;
+                sp_workloads::disknoise(&mut sim, disk);
+            }
+            WorkloadSpec::X11perfDriver => {
+                sp_workloads::x11perf_driver(&mut sim);
+            }
+        }
+    }
+
+    // Measured tasks.
+    let mut measured: HashMap<String, (Pid, MeasuredKind)> = HashMap::new();
+    let mut measured_irqs: HashMap<String, DeviceId> = HashMap::new();
+    for m in &spec.measured {
+        let program = match &m.kind {
+            MeasuredKind::IrqWait { device, api } => {
+                let dev = lookup(&devices, device)?;
+                measured_irqs.insert(m.name.clone(), dev);
+                let api = match api {
+                    WaitApiSpec::Read => WaitApi::ReadDevice,
+                    WaitApiSpec::Ioctl { driver_bkl_free } => {
+                        WaitApi::IoctlWait { driver_bkl_free: *driver_bkl_free }
+                    }
+                };
+                Program::forever(vec![Op::WaitIrq { device: dev, api }])
+            }
+            MeasuredKind::Loop { work_ms } => Program::forever(vec![
+                Op::MarkLap,
+                Op::Compute(DurationDist::constant(Nanos::from_ms(*work_ms))),
+            ]),
+        };
+        let mut task =
+            TaskSpec::new(m.name.clone(), SchedPolicy::fifo(m.rt_prio), program).mlockall();
+        if let Some(pin) = &m.pin {
+            task = task.pinned(parse_mask(pin)?);
+        }
+        let pid = sim.spawn(task);
+        match m.kind {
+            MeasuredKind::IrqWait { .. } => sim.watch_latency(pid),
+            MeasuredKind::Loop { .. } => sim.watch_laps(pid),
+        }
+        if measured.insert(m.name.clone(), (pid, m.kind.clone())).is_some() {
+            return Err(ScenarioError::DuplicateName(m.name.clone()));
+        }
+    }
+
+    sim.start();
+
+    // Shield.
+    if let Some(sh) = &spec.shield {
+        let mask = parse_mask(&sh.cpus)?;
+        let mut plan = ShieldPlan::full(mask);
+        if sh.keep_local_timer {
+            plan = plan.keep_local_timer();
+        }
+        for name in &sh.bind_tasks {
+            let (pid, _) =
+                measured.get(name).ok_or_else(|| ScenarioError::UnknownTask(name.clone()))?;
+            plan = plan.bind_task(*pid);
+        }
+        for name in &sh.bind_irqs {
+            plan = plan.bind_irq(lookup(&devices, name)?);
+        }
+        plan.apply(&mut sim).map_err(|e| ScenarioError::Kernel(e.to_string()))?;
+    }
+
+    sim.run_for(Nanos::from_secs_f64(spec.run_secs));
+
+    // Collect.
+    let mut results = HashMap::new();
+    for (name, (pid, kind)) in &measured {
+        let result = match kind {
+            MeasuredKind::IrqWait { .. } => {
+                let mut h = LatencyHistogram::new();
+                for &l in sim.obs.latencies(*pid) {
+                    h.record(l);
+                }
+                MeasuredResult::Latency { summary: LatencySummary::from_histogram(&h), histogram: h }
+            }
+            MeasuredKind::Loop { .. } => {
+                let mut series = JitterSeries::new();
+                for d in sim.obs.lap_durations(*pid) {
+                    series.record(d);
+                }
+                MeasuredResult::Jitter { summary: series.summary() }
+            }
+        };
+        results.insert(name.clone(), result);
+    }
+    Ok(ScenarioReport {
+        name: spec.name.clone(),
+        results,
+        irqs_per_cpu: sim.obs.cpu.iter().map(|c| c.irqs).collect(),
+    })
+}
+
+/// A ready-made spec reproducing the Figure 7 setup — also the reference
+/// example for the JSON schema (`examples/scenarios/fig7.json`).
+pub fn fig7_scenario() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "fig7-rcim-shielded".into(),
+        seed: 7,
+        machine: MachineConfig::dual_xeon_p4_2ghz(),
+        kernel: KernelVariant::RedHawk,
+        kernel_overrides: None,
+        devices: vec![
+            DeviceSpec { name: "rcim".into(), kind: DeviceKind::Rcim { period_us: 1_000 } },
+            DeviceSpec {
+                name: "eth0".into(),
+                kind: DeviceKind::Nic {
+                    external: Some(sp_workloads::ttcp_ethernet_profile()),
+                },
+            },
+            DeviceSpec { name: "sda".into(), kind: DeviceKind::Disk },
+            DeviceSpec { name: "gpu".into(), kind: DeviceKind::GpuX11perf },
+        ],
+        workloads: vec![
+            WorkloadSpec::StressKernel { nic: "eth0".into(), disk: "sda".into() },
+            WorkloadSpec::X11perfDriver,
+        ],
+        measured: vec![MeasuredSpec {
+            name: "rcim-response".into(),
+            rt_prio: 90,
+            kind: MeasuredKind::IrqWait {
+                device: "rcim".into(),
+                api: WaitApiSpec::Ioctl { driver_bkl_free: true },
+            },
+            pin: Some("2".into()),
+        }],
+        shield: Some(ShieldSpec {
+            cpus: "2".into(),
+            keep_local_timer: false,
+            bind_tasks: vec!["rcim-response".into()],
+            bind_irqs: vec!["rcim".into()],
+        }),
+        run_secs: 10.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_scenario_runs_and_matches_the_figure() {
+        let report = run_scenario(&fig7_scenario()).unwrap();
+        let MeasuredResult::Latency { summary, .. } = &report.results["rcim-response"] else {
+            panic!("wrong result kind");
+        };
+        assert!(summary.count > 9_000, "samples {}", summary.count);
+        assert!(summary.max < Nanos::from_us(30), "max {}", summary.max);
+        // Only the bound RCIM interrupt reaches the shielded CPU.
+        assert!(report.irqs_per_cpu[1] >= 9_000);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let mut spec = fig7_scenario();
+        spec.workloads = vec![WorkloadSpec::Disknoise { disk: "nope".into() }];
+        assert_eq!(
+            run_scenario(&spec).err(),
+            Some(ScenarioError::UnknownDevice("nope".into()))
+        );
+
+        let mut spec = fig7_scenario();
+        spec.shield.as_mut().unwrap().bind_tasks = vec!["ghost".into()];
+        assert_eq!(run_scenario(&spec).err(), Some(ScenarioError::UnknownTask("ghost".into())));
+
+        let mut spec = fig7_scenario();
+        spec.shield.as_mut().unwrap().cpus = "zz".into();
+        assert_eq!(run_scenario(&spec).err(), Some(ScenarioError::BadMask("zz".into())));
+    }
+
+    #[test]
+    fn empty_measured_rejected() {
+        let mut spec = fig7_scenario();
+        spec.measured.clear();
+        assert_eq!(run_scenario(&spec).err(), Some(ScenarioError::Empty("measured tasks")));
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = fig7_scenario();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, spec.name);
+        assert_eq!(back.devices.len(), spec.devices.len());
+        assert_eq!(back.run_secs, spec.run_secs);
+        // And the parsed spec still runs.
+        let mut short = back;
+        short.run_secs = 0.5;
+        assert!(run_scenario(&short).is_ok());
+    }
+
+    #[test]
+    fn loop_scenarios_produce_jitter_summaries() {
+        let spec = ScenarioSpec {
+            name: "mini-determinism".into(),
+            seed: 3,
+            machine: MachineConfig::dual_xeon_p3(),
+            kernel: KernelVariant::RedHawk,
+            kernel_overrides: None,
+            devices: vec![DeviceSpec { name: "sda".into(), kind: DeviceKind::Disk }],
+            workloads: vec![WorkloadSpec::Disknoise { disk: "sda".into() }],
+            measured: vec![MeasuredSpec {
+                name: "loop".into(),
+                rt_prio: 80,
+                kind: MeasuredKind::Loop { work_ms: 50 },
+                pin: Some("2".into()),
+            }],
+            shield: Some(ShieldSpec {
+                cpus: "2".into(),
+                keep_local_timer: false,
+                bind_tasks: vec!["loop".into()],
+                bind_irqs: vec![],
+            }),
+            run_secs: 2.0,
+        };
+        let report = run_scenario(&spec).unwrap();
+        let MeasuredResult::Jitter { summary } = &report.results["loop"] else {
+            panic!("wrong result kind");
+        };
+        assert!(summary.iterations > 20, "iterations {}", summary.iterations);
+        assert!(summary.jitter_pct() < 3.0, "shielded loop: {}", summary.jitter_pct());
+    }
+}

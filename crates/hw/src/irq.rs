@@ -1,0 +1,123 @@
+//! Interrupt lines and routing.
+//!
+//! Devices assert numbered IRQ lines; the (IO-APIC-like) router picks which
+//! logical CPU services each assertion, constrained by the line's affinity
+//! mask — the `/proc/irq/<n>/smp_affinity` mechanism the paper builds on.
+
+use crate::cpumask::{CpuId, CpuMask};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Hardware interrupt line number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IrqLine(pub u32);
+
+impl fmt::Display for IrqLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "irq{}", self.0)
+    }
+}
+
+/// Well-known lines for the simulated machine, mirroring classic PC layouts.
+impl IrqLine {
+    /// CMOS real-time clock (the realfeel interrupt source).
+    pub const RTC: IrqLine = IrqLine(8);
+    /// The Concurrent RCIM PCI card.
+    pub const RCIM: IrqLine = IrqLine(16);
+    /// Ethernet controller.
+    pub const NIC: IrqLine = IrqLine(17);
+    /// SCSI host adapter.
+    pub const DISK: IrqLine = IrqLine(18);
+    /// Graphics controller.
+    pub const GPU: IrqLine = IrqLine(19);
+}
+
+/// How the interrupt controller distributes assertions among allowed CPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Always the lowest-numbered allowed CPU (2.4-era default without
+    /// `irqbalance`; what the paper's configurations effectively ran).
+    LowestAllowed,
+    /// Rotate among allowed CPUs (approximates balanced delivery).
+    RoundRobin,
+}
+
+/// Per-line routing state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IrqRouting {
+    pub line: IrqLine,
+    /// `/proc/irq/<n>/smp_affinity`.
+    pub affinity: CpuMask,
+    pub policy: RoutingPolicy,
+    rr_cursor: u32,
+}
+
+impl IrqRouting {
+    pub fn new(line: IrqLine, affinity: CpuMask, policy: RoutingPolicy) -> Self {
+        assert!(!affinity.is_empty(), "irq affinity must be non-empty");
+        IrqRouting { line, affinity, policy, rr_cursor: 0 }
+    }
+
+    /// Pick the CPU to service the next assertion. `online` restricts to
+    /// online CPUs; if the intersection is empty (a misconfiguration the
+    /// real kernel also has to cope with), delivery falls back to the lowest
+    /// online CPU.
+    pub fn route(&mut self, online: CpuMask) -> CpuId {
+        let allowed = self.affinity & online;
+        let allowed = if allowed.is_empty() { online } else { allowed };
+        match self.policy {
+            RoutingPolicy::LowestAllowed => allowed.first().expect("no online CPUs"),
+            RoutingPolicy::RoundRobin => {
+                let n = allowed.count();
+                let k = self.rr_cursor % n;
+                self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                allowed.iter().nth(k as usize).expect("index within count")
+            }
+        }
+    }
+
+    /// Update the affinity mask (a write to `smp_affinity`). Rejects empty
+    /// masks like the real /proc interface does.
+    pub fn set_affinity(&mut self, mask: CpuMask) -> Result<(), String> {
+        if mask.is_empty() {
+            return Err(format!("{}: empty affinity rejected", self.line));
+        }
+        self.affinity = mask;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowest_allowed_routing() {
+        let mut r = IrqRouting::new(IrqLine::NIC, CpuMask(0b110), RoutingPolicy::LowestAllowed);
+        assert_eq!(r.route(CpuMask(0b111)), CpuId(1));
+        // Affinity restricted offline -> falls back to lowest online.
+        assert_eq!(r.route(CpuMask(0b001)), CpuId(0));
+    }
+
+    #[test]
+    fn round_robin_cycles_allowed_cpus() {
+        let mut r = IrqRouting::new(IrqLine::DISK, CpuMask(0b1011), RoutingPolicy::RoundRobin);
+        let online = CpuMask(0b1111);
+        let seq: Vec<u32> = (0..6).map(|_| r.route(online).0).collect();
+        assert_eq!(seq, vec![0, 1, 3, 0, 1, 3]);
+    }
+
+    #[test]
+    fn set_affinity_validates() {
+        let mut r = IrqRouting::new(IrqLine::RTC, CpuMask(0b1), RoutingPolicy::LowestAllowed);
+        assert!(r.set_affinity(CpuMask::EMPTY).is_err());
+        assert!(r.set_affinity(CpuMask(0b10)).is_ok());
+        assert_eq!(r.route(CpuMask(0b11)), CpuId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_initial_affinity_panics() {
+        IrqRouting::new(IrqLine::RTC, CpuMask::EMPTY, RoutingPolicy::LowestAllowed);
+    }
+}

@@ -1,0 +1,19 @@
+//! # sp-hw — the simulated machine
+//!
+//! Hardware model underneath the kernel simulator: logical CPUs and affinity
+//! masks ([`CpuId`], [`CpuMask`]), hyperthread topology ([`MachineConfig`]),
+//! interrupt lines with `/proc/irq`-style routing ([`IrqLine`],
+//! [`IrqRouting`]), the execution contention model ([`ContentionModel`]), and
+//! a TSC ([`Tsc`]) for benchmark timestamping.
+
+pub mod cpumask;
+pub mod irq;
+pub mod memory;
+pub mod topology;
+pub mod tsc;
+
+pub use cpumask::{CpuId, CpuMask};
+pub use irq::{IrqLine, IrqRouting, RoutingPolicy};
+pub use memory::{exec_context, ContentionModel, ExecContext};
+pub use topology::MachineConfig;
+pub use tsc::Tsc;

@@ -1,0 +1,168 @@
+//! Execution-speed contention model.
+//!
+//! Two hardware effects in the paper make a CPU-bound loop run slower than
+//! its unloaded ideal:
+//!
+//! 1. **SMP memory contention** — other busy cores compete for the shared
+//!    bus/memory. The paper attributes the residual 1.87 % jitter on a fully
+//!    shielded CPU entirely to this (§5.2, Figure 2).
+//! 2. **Hyperthread execution-unit contention** — with HT enabled, a busy
+//!    sibling steals issue slots. The paper measures the difference as
+//!    roughly a doubling of jitter (26 % with HT vs 13 % without, Figures
+//!    1 and 4).
+//!
+//! Compute segments ask this model for a multiplicative slowdown factor when
+//! they (re)start; the factor is sampled so that repeated identical loops
+//! exhibit *jitter*, not just a constant offset.
+
+use crate::cpumask::CpuId;
+use crate::topology::MachineConfig;
+use serde::{Deserialize, Serialize};
+use simcore::SimRng;
+
+/// Instantaneous execution environment of a compute segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecContext {
+    /// Is the hyperthread sibling currently executing?
+    pub sibling_busy: bool,
+    /// How many *other physical cores* currently execute something.
+    pub busy_other_cores: u32,
+}
+
+/// Parameters of the contention model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentionModel {
+    /// Max fractional slowdown contributed by one other busy core
+    /// (sampled U\[0, max\] per segment). Calibrated so the worst iteration
+    /// of a dual-processor determinism loop stretches ≈ 2 %: Figure 2.
+    pub smp_max_per_core: f64,
+    /// Slowdown factor range while the HT sibling is busy. Intel reported
+    /// ~1.2–1.4× single-thread slowdowns on early P4 HT under contention;
+    /// sampled uniformly per segment.
+    pub ht_busy_lo: f64,
+    pub ht_busy_hi: f64,
+}
+
+impl Default for ContentionModel {
+    fn default() -> Self {
+        ContentionModel { smp_max_per_core: 0.045, ht_busy_lo: 1.18, ht_busy_hi: 1.72 }
+    }
+}
+
+impl ContentionModel {
+    /// Sample the slowdown factor (≥ 1.0) for a compute segment.
+    pub fn sample_slowdown(&self, ctx: ExecContext, rng: &mut SimRng) -> f64 {
+        let mut factor = 1.0 + self.smp_max_per_core * ctx.busy_other_cores as f64 * rng.f64();
+        if ctx.sibling_busy {
+            factor *= self.ht_busy_lo + (self.ht_busy_hi - self.ht_busy_lo) * rng.f64();
+        }
+        factor
+    }
+
+    /// The worst factor the model can produce in a given context; used by
+    /// scenario builders to budget simulated time.
+    pub fn worst_slowdown(&self, ctx: ExecContext) -> f64 {
+        let mut factor = 1.0 + self.smp_max_per_core * ctx.busy_other_cores as f64;
+        if ctx.sibling_busy {
+            factor *= self.ht_busy_hi;
+        }
+        factor
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.smp_max_per_core < 0.0 {
+            return Err("negative smp contention".into());
+        }
+        if self.ht_busy_lo < 1.0 || self.ht_busy_hi < self.ht_busy_lo {
+            return Err(format!(
+                "ht range must satisfy 1.0 <= lo <= hi, got [{}, {}]",
+                self.ht_busy_lo, self.ht_busy_hi
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Helper: derive an [`ExecContext`] from which logical CPUs are busy.
+pub fn exec_context(
+    machine: &MachineConfig,
+    cpu: CpuId,
+    busy: impl Fn(CpuId) -> bool,
+) -> ExecContext {
+    let sibling_busy = machine.sibling_of(cpu).map(&busy).unwrap_or(false);
+    let my_core = machine.core_of(cpu);
+    let mut busy_cores = 0u64;
+    for other in machine.cpus() {
+        let core = machine.core_of(other);
+        if core != my_core && busy(other) {
+            busy_cores |= 1 << core;
+        }
+    }
+    ExecContext { sibling_busy, busy_other_cores: busy_cores.count_ones() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_system_no_slowdown() {
+        let m = ContentionModel::default();
+        let mut rng = SimRng::new(1);
+        let f = m.sample_slowdown(ExecContext::default(), &mut rng);
+        assert_eq!(f, 1.0);
+    }
+
+    #[test]
+    fn smp_contention_is_bounded() {
+        let m = ContentionModel::default();
+        let mut rng = SimRng::new(2);
+        let ctx = ExecContext { sibling_busy: false, busy_other_cores: 1 };
+        for _ in 0..10_000 {
+            let f = m.sample_slowdown(ctx, &mut rng);
+            assert!((1.0..=1.0 + m.smp_max_per_core).contains(&f));
+        }
+        assert!(m.worst_slowdown(ctx) <= 1.0 + m.smp_max_per_core + 1e-12);
+    }
+
+    #[test]
+    fn ht_contention_dominates() {
+        let m = ContentionModel::default();
+        let mut rng = SimRng::new(3);
+        let ctx = ExecContext { sibling_busy: true, busy_other_cores: 1 };
+        let mut max_f: f64 = 1.0;
+        for _ in 0..10_000 {
+            max_f = max_f.max(m.sample_slowdown(ctx, &mut rng));
+        }
+        assert!(max_f > 1.4, "HT contention should reach >40% slowdown, got {max_f}");
+        assert!(max_f <= m.worst_slowdown(ctx));
+    }
+
+    #[test]
+    fn exec_context_derivation() {
+        let m = MachineConfig::dual_xeon_p4(true); // cpus 0,1 on core0; 2,3 on core1
+        let busy = |c: CpuId| c.0 == 1 || c.0 == 2;
+        let ctx = exec_context(&m, CpuId(0), busy);
+        assert!(ctx.sibling_busy);
+        assert_eq!(ctx.busy_other_cores, 1);
+
+        let ctx3 = exec_context(&m, CpuId(3), busy);
+        assert!(ctx3.sibling_busy);
+        assert_eq!(ctx3.busy_other_cores, 1);
+
+        let no_ht = MachineConfig::dual_xeon_p3();
+        let ctx_p3 = exec_context(&no_ht, CpuId(0), |c| c.0 == 1);
+        assert!(!ctx_p3.sibling_busy);
+        assert_eq!(ctx_p3.busy_other_cores, 1);
+    }
+
+    #[test]
+    fn validation() {
+        let mut m = ContentionModel::default();
+        assert!(m.validate().is_ok());
+        m.ht_busy_lo = 0.9;
+        assert!(m.validate().is_err());
+        m = ContentionModel { smp_max_per_core: -0.1, ..Default::default() };
+        assert!(m.validate().is_err());
+    }
+}

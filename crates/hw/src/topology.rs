@@ -1,0 +1,129 @@
+//! Machine topology: physical cores, hyperthread siblings, clock rate.
+//!
+//! The paper's test systems are dual-socket Pentium 3/4 Xeons, some with
+//! hyperthreading. With HT enabled, each physical core exposes two logical
+//! CPUs that share one execution unit; the sharing is the §5 culprit for the
+//! extra determinism loss on the stock kernel.
+
+use crate::cpumask::{CpuId, CpuMask};
+use serde::{Deserialize, Serialize};
+
+/// Static description of the simulated machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of physical cores (sockets × cores; the paper's boxes are 2).
+    pub physical_cores: u32,
+    /// Whether hyperthreading is enabled (doubles the logical CPU count).
+    pub hyperthreading: bool,
+    /// Core clock in GHz; only used to convert simulated time to TSC ticks.
+    pub clock_ghz: f64,
+}
+
+impl MachineConfig {
+    /// The paper's §5 box: dual 1.4 GHz Pentium 4 Xeon.
+    pub fn dual_xeon_p4(hyperthreading: bool) -> Self {
+        MachineConfig { physical_cores: 2, hyperthreading, clock_ghz: 1.4 }
+    }
+
+    /// The paper's §6.1 box: dual 933 MHz Pentium 3 Xeon (no HT).
+    pub fn dual_xeon_p3() -> Self {
+        MachineConfig { physical_cores: 2, hyperthreading: false, clock_ghz: 0.933 }
+    }
+
+    /// The paper's §6.3 box: dual 2.0 GHz Pentium 4 Xeon.
+    pub fn dual_xeon_p4_2ghz() -> Self {
+        MachineConfig { physical_cores: 2, hyperthreading: false, clock_ghz: 2.0 }
+    }
+
+    pub fn logical_cpus(&self) -> u32 {
+        if self.hyperthreading { self.physical_cores * 2 } else { self.physical_cores }
+    }
+
+    /// Mask of all online logical CPUs.
+    pub fn online_mask(&self) -> CpuMask {
+        CpuMask::first_n(self.logical_cpus())
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.physical_cores == 0 {
+            return Err("machine needs at least one core".into());
+        }
+        if self.logical_cpus() > 64 {
+            return Err(format!("at most 64 logical CPUs supported, got {}", self.logical_cpus()));
+        }
+        if !(self.clock_ghz > 0.0) {
+            return Err(format!("clock must be positive, got {}", self.clock_ghz));
+        }
+        Ok(())
+    }
+
+    /// Physical core hosting a logical CPU. With HT, logical CPUs `2p` and
+    /// `2p+1` live on core `p` (the common Linux enumeration of the era).
+    pub fn core_of(&self, cpu: CpuId) -> u32 {
+        if self.hyperthreading { cpu.0 / 2 } else { cpu.0 }
+    }
+
+    /// The hyperthread sibling of `cpu`, if HT is on.
+    pub fn sibling_of(&self, cpu: CpuId) -> Option<CpuId> {
+        if self.hyperthreading { Some(CpuId(cpu.0 ^ 1)) } else { None }
+    }
+
+    /// True if the two logical CPUs share an execution unit.
+    pub fn are_siblings(&self, a: CpuId, b: CpuId) -> bool {
+        a != b && self.core_of(a) == self.core_of(b)
+    }
+
+    pub fn cpus(&self) -> impl Iterator<Item = CpuId> {
+        (0..self.logical_cpus()).map(CpuId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_count_doubles_with_ht() {
+        assert_eq!(MachineConfig::dual_xeon_p4(false).logical_cpus(), 2);
+        assert_eq!(MachineConfig::dual_xeon_p4(true).logical_cpus(), 4);
+    }
+
+    #[test]
+    fn sibling_pairing() {
+        let m = MachineConfig::dual_xeon_p4(true);
+        assert_eq!(m.sibling_of(CpuId(0)), Some(CpuId(1)));
+        assert_eq!(m.sibling_of(CpuId(1)), Some(CpuId(0)));
+        assert_eq!(m.sibling_of(CpuId(2)), Some(CpuId(3)));
+        assert!(m.are_siblings(CpuId(2), CpuId(3)));
+        assert!(!m.are_siblings(CpuId(1), CpuId(2)));
+        assert!(!m.are_siblings(CpuId(1), CpuId(1)));
+    }
+
+    #[test]
+    fn no_siblings_without_ht() {
+        let m = MachineConfig::dual_xeon_p3();
+        assert_eq!(m.sibling_of(CpuId(0)), None);
+        assert!(!m.are_siblings(CpuId(0), CpuId(1)));
+        assert_eq!(m.core_of(CpuId(1)), 1);
+    }
+
+    #[test]
+    fn online_mask_matches_count() {
+        let m = MachineConfig::dual_xeon_p4(true);
+        assert_eq!(m.online_mask(), CpuMask(0b1111));
+        assert_eq!(m.cpus().count(), 4);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut m = MachineConfig::dual_xeon_p3();
+        assert!(m.validate().is_ok());
+        m.physical_cores = 0;
+        assert!(m.validate().is_err());
+        m.physical_cores = 64;
+        m.hyperthreading = true;
+        assert!(m.validate().is_err());
+        m = MachineConfig { physical_cores: 2, hyperthreading: false, clock_ghz: 0.0 };
+        assert!(m.validate().is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the hardware model.
+
+use proptest::prelude::*;
+use simcore::SimRng;
+use sp_hw::{exec_context, ContentionModel, CpuId, CpuMask, IrqLine, IrqRouting, MachineConfig, RoutingPolicy};
+
+proptest! {
+    /// CpuMask set algebra obeys the usual laws.
+    #[test]
+    fn cpumask_set_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (CpuMask(a), CpuMask(b), CpuMask(c));
+        // Commutativity / associativity.
+        prop_assert_eq!(a & b, b & a);
+        prop_assert_eq!(a | b, b | a);
+        prop_assert_eq!((a & b) & c, a & (b & c));
+        prop_assert_eq!((a | b) | c, a | (b | c));
+        // Distribution.
+        prop_assert_eq!(a & (b | c), (a & b) | (a & c));
+        // Difference definition.
+        prop_assert_eq!(a - b, a & !b);
+        // Subset relations.
+        prop_assert!((a & b).is_subset_of(a));
+        prop_assert!(a.is_subset_of(a | b));
+        // Count additivity over a partition.
+        prop_assert_eq!((a - b).count() + (a & b).count(), a.count());
+    }
+
+    /// Iteration visits exactly the member CPUs, in ascending order.
+    #[test]
+    fn cpumask_iteration_is_exact(bits in any::<u64>()) {
+        let m = CpuMask(bits);
+        let cpus: Vec<CpuId> = m.iter().collect();
+        prop_assert_eq!(cpus.len(), m.count() as usize);
+        for w in cpus.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for c in &cpus {
+            prop_assert!(m.contains(*c));
+        }
+        prop_assert_eq!(CpuMask::from_cpus(cpus), m);
+    }
+
+    /// Display/FromStr round-trips every mask.
+    #[test]
+    fn cpumask_display_roundtrip(bits in any::<u64>()) {
+        let m = CpuMask(bits);
+        let parsed: CpuMask = m.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, m);
+    }
+
+    /// Routing always lands inside affinity ∩ online (or online as fallback).
+    #[test]
+    fn routing_respects_masks(
+        affinity in 1u64..=0xFF,
+        online_n in 1u32..=8,
+        policy in any::<bool>(),
+        fires in 1usize..50,
+    ) {
+        let online = CpuMask::first_n(online_n);
+        let policy =
+            if policy { RoutingPolicy::RoundRobin } else { RoutingPolicy::LowestAllowed };
+        let mut r = IrqRouting::new(IrqLine(9), CpuMask(affinity), policy);
+        let allowed = CpuMask(affinity) & online;
+        for _ in 0..fires {
+            let cpu = r.route(online);
+            if allowed.is_empty() {
+                prop_assert!(online.contains(cpu), "fallback stays online");
+            } else {
+                prop_assert!(allowed.contains(cpu), "{cpu} outside {allowed}");
+            }
+        }
+    }
+
+    /// Round-robin covers every allowed CPU within one full cycle.
+    #[test]
+    fn round_robin_covers_allowed(affinity in 1u64..=0xFF) {
+        let online = CpuMask::first_n(8);
+        let allowed = CpuMask(affinity) & online;
+        prop_assume!(!allowed.is_empty());
+        let mut r = IrqRouting::new(IrqLine(9), allowed, RoutingPolicy::RoundRobin);
+        let mut seen = CpuMask::EMPTY;
+        for _ in 0..allowed.count() {
+            seen.insert(r.route(online));
+        }
+        prop_assert_eq!(seen, allowed);
+    }
+
+    /// Slowdown factors stay within the model's declared worst case.
+    #[test]
+    fn slowdown_within_worst_case(seed in any::<u64>(), busy in 0u32..4, sib in any::<bool>()) {
+        let m = ContentionModel::default();
+        let ctx = sp_hw::ExecContext { sibling_busy: sib, busy_other_cores: busy };
+        let worst = m.worst_slowdown(ctx);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            let f = m.sample_slowdown(ctx, &mut rng);
+            prop_assert!((1.0..=worst + 1e-9).contains(&f), "factor {f} vs worst {worst}");
+        }
+    }
+
+    /// Sibling relations are symmetric and HT topology is a perfect pairing.
+    #[test]
+    fn sibling_pairing_is_involution(cores in 1u32..=16) {
+        let m = MachineConfig { physical_cores: cores, hyperthreading: true, clock_ghz: 1.0 };
+        for cpu in m.cpus() {
+            let sib = m.sibling_of(cpu).unwrap();
+            prop_assert_ne!(sib, cpu);
+            prop_assert_eq!(m.sibling_of(sib), Some(cpu));
+            prop_assert!(m.are_siblings(cpu, sib));
+            prop_assert_eq!(m.core_of(cpu), m.core_of(sib));
+        }
+    }
+
+    /// exec_context never counts the subject's own core.
+    #[test]
+    fn exec_context_excludes_own_core(busy_bits in any::<u64>(), cpu in 0u32..4) {
+        let m = MachineConfig::dual_xeon_p4(true); // 4 logical cpus
+        let busy = CpuMask(busy_bits & 0xF);
+        let ctx = exec_context(&m, CpuId(cpu), |c| busy.contains(c));
+        prop_assert!(ctx.busy_other_cores <= 1, "only one other core exists");
+        let my_core = m.core_of(CpuId(cpu));
+        let other_core_busy = m
+            .cpus()
+            .any(|c| m.core_of(c) != my_core && busy.contains(c));
+        prop_assert_eq!(ctx.busy_other_cores == 1, other_core_busy);
+    }
+}

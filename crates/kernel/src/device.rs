@@ -1,0 +1,122 @@
+//! The device model interface.
+//!
+//! Devices are state machines that (a) schedule their own future events
+//! (timer expiries, packet arrivals, I/O completions), (b) assert their IRQ
+//! line, and (c) tell the kernel what their ISR found: which sleeping tasks
+//! to wake and how much bottom-half work to raise. Concrete devices (RTC,
+//! RCIM, NIC, disk, GPU) live in the `sp-devices` crate.
+
+use crate::ids::{Pid, SoftirqClass};
+use simcore::{DurationDist, Instant, Nanos, SimRng};
+use sp_hw::IrqLine;
+
+/// Deferred commands a device issues during a callback; the simulator
+/// executes them when the callback returns (the device is temporarily
+/// detached from the simulator while being called).
+#[derive(Debug, Default)]
+pub struct DeviceCtx {
+    pub(crate) now: Instant,
+    pub(crate) commands: Vec<DeviceCmd>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeviceCmd {
+    /// Re-enter `on_timer(tag)` after `delay`.
+    Schedule { delay: Nanos, tag: u64 },
+    /// Assert the device's interrupt line.
+    AssertIrq,
+}
+
+impl DeviceCtx {
+    pub(crate) fn new(now: Instant) -> Self {
+        DeviceCtx { now, commands: Vec::new() }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Arrange for `on_timer(tag)` to be called after `delay`.
+    pub fn schedule(&mut self, delay: Nanos, tag: u64) {
+        self.commands.push(DeviceCmd::Schedule { delay, tag });
+    }
+
+    /// Assert this device's interrupt line now.
+    pub fn assert_irq(&mut self) {
+        self.commands.push(DeviceCmd::AssertIrq);
+    }
+
+    /// Number of commands issued so far (inspection hook for device tests).
+    pub fn issued(&self) -> usize {
+        self.commands.len()
+    }
+}
+
+/// What the ISR discovered.
+#[derive(Debug, Default)]
+pub struct IsrOutcome {
+    /// Sleeping tasks to wake (I/O completions, interrupt subscribers).
+    pub wake: Vec<Pid>,
+    /// Bottom-half work raised by this interrupt.
+    pub softirq: Option<(SoftirqClass, Nanos)>,
+}
+
+impl IsrOutcome {
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    pub fn wake_one(pid: Pid) -> Self {
+        IsrOutcome { wake: vec![pid], softirq: None }
+    }
+
+    pub fn with_softirq(mut self, class: SoftirqClass, work: Nanos) -> Self {
+        self.softirq = Some((class, work));
+        self
+    }
+}
+
+/// A simulated interrupt-driven device.
+pub trait Device: std::fmt::Debug + Send {
+    fn name(&self) -> &str;
+
+    /// The IRQ line this device asserts.
+    fn line(&self) -> IrqLine;
+
+    /// Called once when the simulation starts; arm initial events here.
+    fn start(&mut self, ctx: &mut DeviceCtx, rng: &mut SimRng);
+
+    /// A previously scheduled device event fired.
+    fn on_timer(&mut self, tag: u64, ctx: &mut DeviceCtx, rng: &mut SimRng);
+
+    /// A task submitted blocking I/O; the device must eventually assert its
+    /// IRQ and report the pid in a subsequent [`Device::on_isr`] wake list.
+    fn submit_io(&mut self, pid: Pid, ctx: &mut DeviceCtx, rng: &mut SimRng);
+
+    /// A task went to sleep waiting for this device's interrupt
+    /// (the `WaitIrq` op). The device wakes all subscribers on each fire.
+    fn subscribe(&mut self, pid: Pid);
+
+    /// CPU time the ISR will consume (includes the wakeup work it performs).
+    fn isr_cost(&mut self, rng: &mut SimRng) -> Nanos;
+
+    /// ISR body: decide what this interrupt means.
+    fn on_isr(&mut self, ctx: &mut DeviceCtx, rng: &mut SimRng) -> IsrOutcome;
+
+    /// Extra kernel work executed in a woken subscriber's syscall-exit path,
+    /// beyond the generic file-layer/ioctl costs (e.g. the RCIM's mapped
+    /// count-register read is ~nothing; a PIO device might add more).
+    fn reader_exit_work(&self) -> Option<DurationDist> {
+        None
+    }
+}
+
+/// Handle the simulator keeps per registered device.
+#[derive(Debug)]
+pub(crate) struct DeviceSlot {
+    /// `None` only while a callback is in flight (re-entrancy guard).
+    pub dev: Option<Box<dyn Device>>,
+    /// Private random stream so one device's draws don't perturb another's.
+    pub rng: SimRng,
+}

@@ -1,0 +1,141 @@
+//! Identifier newtypes for kernel objects.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pid(pub u32);
+
+impl Pid {
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// Index of a registered device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// Index of a registered syscall service profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SyscallId(pub u32);
+
+impl SyscallId {
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A simulated global kernel spinlock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LockId(pub u32);
+
+impl LockId {
+    /// The Big Kernel Lock.
+    pub const BKL: LockId = LockId(0);
+    /// The RTC driver's internal lock.
+    pub const RTC: LockId = LockId(1);
+    /// Global file-layer lock occasionally taken on the read() exit path
+    /// (the §6.2 culprit: dnotify/fasync-style shared state).
+    pub const FILE: LockId = LockId(2);
+    /// Global timer-list lock.
+    pub const TIMER: LockId = LockId(3);
+    /// Networking core lock.
+    pub const NET: LockId = LockId(4);
+    /// Memory-management lock (page cache, LRU).
+    pub const MM: LockId = LockId(5);
+    /// dcache lock (path lookup).
+    pub const DCACHE: LockId = LockId(6);
+
+    pub const COUNT: usize = 7;
+
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub const fn name(self) -> &'static str {
+        match self.0 {
+            0 => "bkl",
+            1 => "rtc_lock",
+            2 => "file_lock",
+            3 => "timerlist_lock",
+            4 => "net_lock",
+            5 => "mm_lock",
+            6 => "dcache_lock",
+            _ => "lock?",
+        }
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Softirq / bottom-half class (2.4 era: a handful of fixed classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SoftirqClass {
+    NetRx,
+    NetTx,
+    Timer,
+    Tasklet,
+    Block,
+}
+
+impl fmt::Display for SoftirqClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SoftirqClass::NetRx => "net_rx",
+            SoftirqClass::NetTx => "net_tx",
+            SoftirqClass::Timer => "timer_bh",
+            SoftirqClass::Tasklet => "tasklet",
+            SoftirqClass::Block => "block_bh",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_names_are_distinct() {
+        let names: Vec<&str> = (0..LockId::COUNT as u32).map(|i| LockId(i).name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Pid(3).to_string(), "pid3");
+        assert_eq!(LockId::BKL.to_string(), "bkl");
+        assert_eq!(SoftirqClass::NetRx.to_string(), "net_rx");
+    }
+}

@@ -1,0 +1,211 @@
+//! Measurement collectors.
+//!
+//! The two paper benchmarks watch tasks from outside the model: the
+//! interrupt-response tests record wake-to-user latencies, the determinism
+//! test records lap timestamps. Per-CPU time accounting backs the ablation
+//! reports and the test suite's steal-fraction assertions.
+
+use crate::ids::Pid;
+use simcore::{Instant, Nanos};
+use std::collections::HashMap;
+
+/// Where one wake-to-user latency sample was spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WakeBreakdown {
+    /// Interrupt assert → wakeup performed (delivery delay + ISR).
+    pub to_wake: Nanos,
+    /// Wakeup → the task first executes (softirq-ahead, non-preemptible
+    /// sections, scheduler pick, context switch).
+    pub to_run: Nanos,
+    /// First execution → back in user mode (driver + file-layer exit path,
+    /// including any lock spins).
+    pub exit_path: Nanos,
+}
+
+impl WakeBreakdown {
+    pub fn total(&self) -> Nanos {
+        self.to_wake + self.to_run + self.exit_path
+    }
+}
+
+/// Where a CPU's time went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuAccounting {
+    /// User-mode task execution.
+    pub user: Nanos,
+    /// Kernel-mode task execution (syscalls, wake-exit paths).
+    pub kernel: Nanos,
+    /// Busy-waiting on contended spinlocks.
+    pub spin: Nanos,
+    /// Hardware interrupt service.
+    pub isr: Nanos,
+    /// Softirq / bottom-half execution.
+    pub softirq: Nanos,
+    /// Local timer tick processing.
+    pub tick: Nanos,
+    /// Scheduler picks + context switches.
+    pub switching: Nanos,
+    /// Interrupts handled.
+    pub irqs: u64,
+    /// Context switches performed.
+    pub switches: u64,
+    /// Local timer ticks processed.
+    pub ticks: u64,
+}
+
+impl CpuAccounting {
+    /// Total accounted busy time.
+    pub fn busy(&self) -> Nanos {
+        self.user + self.kernel + self.spin + self.isr + self.softirq + self.tick + self.switching
+    }
+
+    /// Time stolen from tasks by interrupt-context work.
+    pub fn stolen(&self) -> Nanos {
+        self.isr + self.softirq + self.tick
+    }
+}
+
+/// All collectors for one simulation run.
+#[derive(Debug, Default)]
+pub struct Observations {
+    watched_latency: HashMap<Pid, Vec<Nanos>>,
+    watched_breakdown: HashMap<Pid, Vec<WakeBreakdown>>,
+    watched_laps: HashMap<Pid, Vec<Instant>>,
+    pub cpu: Vec<CpuAccounting>,
+    /// Softirq work dropped because the pending queue overflowed (a starving
+    /// configuration; nonzero values mean the load exceeds the model's cap).
+    pub softirq_dropped: u64,
+}
+
+impl Observations {
+    pub fn new(cpus: usize) -> Self {
+        Observations {
+            watched_latency: HashMap::new(),
+            watched_breakdown: HashMap::new(),
+            watched_laps: HashMap::new(),
+            cpu: vec![CpuAccounting::default(); cpus],
+            softirq_dropped: 0,
+        }
+    }
+
+    /// Start recording wake-to-user latencies for `pid`'s `WaitIrq` ops.
+    pub fn watch_latency(&mut self, pid: Pid) {
+        self.watched_latency.entry(pid).or_default();
+    }
+
+    /// Start recording `MarkLap` timestamps for `pid`.
+    pub fn watch_laps(&mut self, pid: Pid) {
+        self.watched_laps.entry(pid).or_default();
+    }
+
+    /// Start recording per-sample latency breakdowns for `pid`.
+    pub fn watch_breakdown(&mut self, pid: Pid) {
+        self.watched_breakdown.entry(pid).or_default();
+    }
+
+    pub(crate) fn wants_breakdown(&self, pid: Pid) -> bool {
+        self.watched_breakdown.contains_key(&pid)
+    }
+
+    pub(crate) fn record_breakdown(&mut self, pid: Pid, b: WakeBreakdown) {
+        if let Some(v) = self.watched_breakdown.get_mut(&pid) {
+            v.push(b);
+        }
+    }
+
+    /// Recorded breakdowns for a watched task.
+    pub fn breakdowns(&self, pid: Pid) -> &[WakeBreakdown] {
+        self.watched_breakdown.get(&pid).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub(crate) fn record_latency(&mut self, pid: Pid, lat: Nanos) {
+        if let Some(v) = self.watched_latency.get_mut(&pid) {
+            v.push(lat);
+        }
+    }
+
+    pub(crate) fn record_lap(&mut self, pid: Pid, at: Instant) {
+        if let Some(v) = self.watched_laps.get_mut(&pid) {
+            v.push(at);
+        }
+    }
+
+    /// Recorded latencies for a watched task.
+    pub fn latencies(&self, pid: Pid) -> &[Nanos] {
+        self.watched_latency.get(&pid).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Recorded lap instants for a watched task.
+    pub fn laps(&self, pid: Pid) -> &[Instant] {
+        self.watched_laps.get(&pid).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Lap-to-lap wall times (the determinism test's iteration durations).
+    pub fn lap_durations(&self, pid: Pid) -> Vec<Nanos> {
+        let laps = self.laps(pid);
+        laps.windows(2).map(|w| w[1].since(w[0])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwatched_pids_record_nothing() {
+        let mut o = Observations::new(2);
+        o.record_latency(Pid(1), Nanos(5));
+        o.record_lap(Pid(1), Instant(5));
+        assert!(o.latencies(Pid(1)).is_empty());
+        assert!(o.laps(Pid(1)).is_empty());
+    }
+
+    #[test]
+    fn breakdown_totals_add_up() {
+        let mut o = Observations::new(1);
+        o.watch_breakdown(Pid(2));
+        assert!(o.wants_breakdown(Pid(2)));
+        assert!(!o.wants_breakdown(Pid(3)));
+        let b = WakeBreakdown { to_wake: Nanos(5), to_run: Nanos(7), exit_path: Nanos(8) };
+        o.record_breakdown(Pid(2), b);
+        assert_eq!(o.breakdowns(Pid(2)), &[b]);
+        assert_eq!(b.total(), Nanos(20));
+    }
+
+    #[test]
+    fn watched_pids_accumulate() {
+        let mut o = Observations::new(1);
+        o.watch_latency(Pid(3));
+        o.record_latency(Pid(3), Nanos(10));
+        o.record_latency(Pid(3), Nanos(20));
+        assert_eq!(o.latencies(Pid(3)), &[Nanos(10), Nanos(20)]);
+    }
+
+    #[test]
+    fn lap_durations_are_diffs() {
+        let mut o = Observations::new(1);
+        o.watch_laps(Pid(0));
+        for t in [0u64, 100, 250, 500] {
+            o.record_lap(Pid(0), Instant(t));
+        }
+        assert_eq!(o.lap_durations(Pid(0)), vec![Nanos(100), Nanos(150), Nanos(250)]);
+    }
+
+    #[test]
+    fn accounting_sums() {
+        let acc = CpuAccounting {
+            user: Nanos(100),
+            kernel: Nanos(50),
+            spin: Nanos(5),
+            isr: Nanos(10),
+            softirq: Nanos(20),
+            tick: Nanos(2),
+            switching: Nanos(3),
+            irqs: 1,
+            switches: 1,
+            ticks: 1,
+        };
+        assert_eq!(acc.busy(), Nanos(190));
+        assert_eq!(acc.stolen(), Nanos(32));
+    }
+}

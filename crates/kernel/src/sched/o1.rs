@@ -1,0 +1,507 @@
+//! The O(1) scheduler (Ingo Molnar, adopted in 2.5; backported into RedHawk).
+//!
+//! Per-CPU runqueues, each with *active* and *expired* priority arrays of 140
+//! FIFO lists plus a find-first-bit bitmap: every operation is constant time.
+//! SCHED_OTHER tasks that exhaust a timeslice move to the expired array; when
+//! the active array drains, the arrays swap. Real-time tasks never expire.
+//! An idle CPU steals the best migratable task from its siblings.
+
+use super::{place_for_wake, CpuView, Scheduler};
+use crate::ids::Pid;
+use crate::params::KernelCosts;
+use crate::task::{SchedPolicy, Task};
+use simcore::{Nanos, SimRng};
+use sp_hw::CpuId;
+
+const NUM_PRIOS: usize = 140;
+
+#[derive(Debug, Default)]
+struct PrioArray {
+    bitmap: [u64; 3],
+    queues: Vec<std::collections::VecDeque<Pid>>,
+    count: usize,
+}
+
+impl PrioArray {
+    fn new() -> Self {
+        PrioArray {
+            bitmap: [0; 3],
+            queues: (0..NUM_PRIOS).map(|_| std::collections::VecDeque::new()).collect(),
+            count: 0,
+        }
+    }
+
+    fn push_back(&mut self, prio: u8, pid: Pid) {
+        let p = prio as usize;
+        self.queues[p].push_back(pid);
+        self.bitmap[p / 64] |= 1 << (p % 64);
+        self.count += 1;
+    }
+
+    fn push_front(&mut self, prio: u8, pid: Pid) {
+        let p = prio as usize;
+        self.queues[p].push_front(pid);
+        self.bitmap[p / 64] |= 1 << (p % 64);
+        self.count += 1;
+    }
+
+    /// Highest-priority queued task (lowest index), without removing.
+    fn peek_best_prio(&self) -> Option<u8> {
+        for (w, &bits) in self.bitmap.iter().enumerate() {
+            if bits != 0 {
+                return Some((w * 64 + bits.trailing_zeros() as usize) as u8);
+            }
+        }
+        None
+    }
+
+    fn pop_front(&mut self, prio: u8) -> Option<Pid> {
+        let p = prio as usize;
+        let pid = self.queues[p].pop_front()?;
+        if self.queues[p].is_empty() {
+            self.bitmap[p / 64] &= !(1 << (p % 64));
+        }
+        self.count -= 1;
+        Some(pid)
+    }
+
+    fn remove(&mut self, prio: u8, pid: Pid) -> bool {
+        let p = prio as usize;
+        if let Some(idx) = self.queues[p].iter().position(|&q| q == pid) {
+            self.queues[p].remove(idx);
+            if self.queues[p].is_empty() {
+                self.bitmap[p / 64] &= !(1 << (p % 64));
+            }
+            self.count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Runqueue {
+    active: PrioArray,
+    expired: PrioArray,
+}
+
+impl Runqueue {
+    fn new() -> Self {
+        Runqueue { active: PrioArray::new(), expired: PrioArray::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.active.count + self.expired.count
+    }
+}
+
+/// Where a queued task currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    cpu: u32,
+    prio: u8,
+    expired: bool,
+}
+
+#[derive(Debug)]
+pub struct O1Scheduler {
+    rqs: Vec<Runqueue>,
+    /// pid -> queue slot, for O(1) removal. Dense by pid.
+    slots: Vec<Option<Slot>>,
+    /// Tasks whose quantum just expired (routed to the expired array on the
+    /// next requeue).
+    just_expired: Vec<bool>,
+}
+
+impl O1Scheduler {
+    pub fn new(cpus: u32) -> Self {
+        assert!(cpus > 0);
+        O1Scheduler {
+            rqs: (0..cpus).map(|_| Runqueue::new()).collect(),
+            slots: Vec::new(),
+            just_expired: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, pid: Pid) {
+        let need = pid.index() + 1;
+        if self.slots.len() < need {
+            self.slots.resize(need, None);
+            self.just_expired.resize(need, false);
+        }
+    }
+
+    fn enqueue(&mut self, pid: Pid, tasks: &[Task], cpu: CpuId, front: bool, expired: bool) {
+        self.ensure(pid);
+        debug_assert!(self.slots[pid.index()].is_none(), "{pid} double-enqueued");
+        let prio = tasks[pid.index()].effective_prio();
+        let rq = &mut self.rqs[cpu.index()];
+        let array = if expired { &mut rq.expired } else { &mut rq.active };
+        if front {
+            array.push_front(prio, pid);
+        } else {
+            array.push_back(prio, pid);
+        }
+        self.slots[pid.index()] = Some(Slot { cpu: cpu.0, prio, expired });
+    }
+
+    fn dequeue(&mut self, pid: Pid) -> bool {
+        self.ensure(pid);
+        if let Some(slot) = self.slots[pid.index()].take() {
+            let rq = &mut self.rqs[slot.cpu as usize];
+            let array = if slot.expired { &mut rq.expired } else { &mut rq.active };
+            let removed = array.remove(slot.prio, pid);
+            debug_assert!(removed, "slot desync for {pid}");
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// Default timeslice by policy (the 2.4-era O(1) constants: 100 ms at
+    /// nice 0, scaled by nice; RT round-robin gets a fixed 100 ms).
+    fn timeslice_for(policy: SchedPolicy) -> Nanos {
+        match policy {
+            SchedPolicy::Fifo { .. } => Nanos::MAX,
+            SchedPolicy::RoundRobin { .. } => Nanos::from_ms(100),
+            SchedPolicy::Other { nice } => Nanos::from_ms((100 - nice as i64 * 5).max(5) as u64),
+        }
+    }
+
+    /// Requeue target: the last CPU if still allowed, else the first allowed
+    /// CPU (a preemption triggered by an affinity change must migrate).
+    fn home_cpu(task: &Task) -> CpuId {
+        if task.effective_affinity.contains(task.last_cpu) {
+            task.last_cpu
+        } else {
+            task.effective_affinity.first().expect("non-empty affinity")
+        }
+    }
+
+    fn beats(&self, tasks: &[Task]) -> impl Fn(Pid, Pid) -> bool + '_ {
+        let prios: Vec<u8> = tasks.iter().map(|t| t.effective_prio()).collect();
+        move |a: Pid, b: Pid| prios[a.index()] < prios[b.index()]
+    }
+}
+
+impl Scheduler for O1Scheduler {
+    fn on_wake(&mut self, pid: Pid, tasks: &mut [Task], view: &CpuView<'_>) -> Option<CpuId> {
+        let (cpu, resched) = place_for_wake(pid, tasks, view, self.beats(tasks));
+        if tasks[pid.index()].timeslice.is_zero() {
+            tasks[pid.index()].timeslice = Self::timeslice_for(tasks[pid.index()].policy);
+        }
+        self.enqueue(pid, tasks, cpu, false, false);
+        resched.then_some(cpu)
+    }
+
+    fn on_preempt(&mut self, pid: Pid, tasks: &[Task]) {
+        self.ensure(pid);
+        let cpu = Self::home_cpu(&tasks[pid.index()]);
+        if self.just_expired[pid.index()] {
+            self.just_expired[pid.index()] = false;
+            // SCHED_OTHER expiry goes to the expired array; SCHED_RR rotates
+            // to the back of its active list.
+            let expired = matches!(tasks[pid.index()].policy, SchedPolicy::Other { .. });
+            self.enqueue(pid, tasks, cpu, false, expired);
+        } else {
+            // Still owed the CPU: head of its priority list in the active array.
+            self.enqueue(pid, tasks, cpu, true, false);
+        }
+    }
+
+    fn on_yield(&mut self, pid: Pid, tasks: &[Task]) {
+        self.ensure(pid);
+        self.just_expired[pid.index()] = false;
+        let cpu = Self::home_cpu(&tasks[pid.index()]);
+        self.enqueue(pid, tasks, cpu, false, false);
+    }
+
+    fn on_block(&mut self, pid: Pid) {
+        self.dequeue(pid);
+        self.ensure(pid);
+        self.just_expired[pid.index()] = false;
+    }
+
+    fn pick(&mut self, cpu: CpuId, tasks: &mut [Task]) -> Option<Pid> {
+        let rq = &mut self.rqs[cpu.index()];
+        if rq.active.count == 0 && rq.expired.count > 0 {
+            std::mem::swap(&mut rq.active, &mut rq.expired);
+            // Array swap flips the `expired` bit of every slot on this CPU.
+            for slot in self.slots.iter_mut().flatten() {
+                if slot.cpu == cpu.0 {
+                    slot.expired = !slot.expired;
+                }
+            }
+        }
+        if let Some(prio) = self.rqs[cpu.index()].active.peek_best_prio() {
+            let pid = self.rqs[cpu.index()].active.pop_front(prio).expect("bitmap said so");
+            self.slots[pid.index()] = None;
+            if tasks[pid.index()].timeslice.is_zero() {
+                tasks[pid.index()].timeslice = Self::timeslice_for(tasks[pid.index()].policy);
+            }
+            return Some(pid);
+        }
+        // Idle: steal the best migratable task from the busiest sibling.
+        let mut best: Option<(Pid, u8, usize)> = None;
+        for (other, rq) in self.rqs.iter().enumerate() {
+            if other == cpu.index() || rq.len() <= 1 {
+                continue;
+            }
+            for array in [&rq.active, &rq.expired] {
+                for (p, q) in array.queues.iter().enumerate() {
+                    for &pid in q {
+                        if tasks[pid.index()].effective_affinity.contains(cpu)
+                            && best.map_or(true, |(_, bp, _)| (p as u8) < bp)
+                        {
+                            best = Some((pid, p as u8, other));
+                        }
+                    }
+                    if best.is_some() && !q.is_empty() {
+                        break; // lists are priority-ordered; first hit per array wins
+                    }
+                }
+            }
+        }
+        if let Some((pid, _, _)) = best {
+            self.dequeue(pid);
+            if tasks[pid.index()].timeslice.is_zero() {
+                tasks[pid.index()].timeslice = Self::timeslice_for(tasks[pid.index()].policy);
+            }
+            return Some(pid);
+        }
+        None
+    }
+
+    fn pick_cost(&self, costs: &KernelCosts, rng: &mut SimRng) -> Nanos {
+        costs.sched_pick_o1.sample(rng)
+    }
+
+    fn preempts(&self, cand: Pid, cur: Pid, tasks: &[Task]) -> bool {
+        tasks[cand.index()].effective_prio() < tasks[cur.index()].effective_prio()
+    }
+
+    fn on_tick(&mut self, _cpu: CpuId, running: Pid, tasks: &mut [Task]) -> bool {
+        self.ensure(running);
+        let jiffy = Nanos::from_ms(10);
+        let t = &mut tasks[running.index()];
+        match t.policy {
+            SchedPolicy::Fifo { .. } => false,
+            SchedPolicy::RoundRobin { .. } | SchedPolicy::Other { .. } => {
+                t.timeslice = t.timeslice.saturating_sub(jiffy);
+                if t.timeslice.is_zero() {
+                    t.timeslice = Self::timeslice_for(t.policy);
+                    // Quantum exhausted: requeue behind peers (RR rotates in
+                    // the active array; OTHER moves to the expired array).
+                    self.just_expired[running.index()] = true;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn on_affinity_change(
+        &mut self,
+        pid: Pid,
+        tasks: &mut [Task],
+        view: &CpuView<'_>,
+    ) -> Option<CpuId> {
+        self.ensure(pid);
+        if let Some(slot) = self.slots[pid.index()] {
+            if !tasks[pid.index()].effective_affinity.contains(CpuId(slot.cpu)) {
+                self.dequeue(pid);
+                let (cpu, resched) = place_for_wake(pid, tasks, view, self.beats(tasks));
+                self.enqueue(pid, tasks, cpu, false, false);
+                return resched.then_some(cpu);
+            }
+        }
+        None
+    }
+
+    fn queued_count(&self) -> usize {
+        self.rqs.iter().map(|rq| rq.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::make_tasks;
+    use super::*;
+    use crate::task::SchedPolicy;
+    use sp_hw::CpuMask;
+
+    fn view<'a>(running: &'a [Option<Pid>]) -> CpuView<'a> {
+        static ZEROS: [u64; 8] = [0; 8];
+        CpuView {
+            online: CpuMask::first_n(running.len() as u32),
+            running,
+            idle_since: &ZEROS[..running.len()],
+        }
+    }
+
+    #[test]
+    fn picks_highest_priority_first() {
+        let mut tasks =
+            make_tasks(&[SchedPolicy::nice(0), SchedPolicy::fifo(10), SchedPolicy::fifo(90)]);
+        let mut s = O1Scheduler::new(2);
+        let running = [None, None];
+        for pid in [Pid(0), Pid(1), Pid(2)] {
+            tasks[pid.index()].last_cpu = CpuId(0);
+            s.on_wake(pid, &mut tasks, &view(&running));
+        }
+        // All landed somewhere; collect in pick order from both CPUs.
+        let mut order = Vec::new();
+        for _ in 0..3 {
+            for c in [CpuId(0), CpuId(1)] {
+                if let Some(p) = s.pick(c, &mut tasks) {
+                    order.push(p);
+                }
+            }
+        }
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], Pid(2), "fifo 90 first, got {order:?}");
+        assert_eq!(s.queued_count(), 0);
+    }
+
+    #[test]
+    fn fifo_same_prio_runs_in_wake_order() {
+        let mut tasks = make_tasks(&[SchedPolicy::fifo(50), SchedPolicy::fifo(50)]);
+        let mut s = O1Scheduler::new(1);
+        let running = [Some(Pid(9))]; // busy: no idle placement
+        tasks[0].last_cpu = CpuId(0);
+        tasks[1].last_cpu = CpuId(0);
+        // Use a fake higher-prio current so no preemption signal matters.
+        let mut t = make_tasks(&[
+            SchedPolicy::fifo(50),
+            SchedPolicy::fifo(50),
+            SchedPolicy::fifo(50),
+            SchedPolicy::fifo(50),
+            SchedPolicy::fifo(50),
+            SchedPolicy::fifo(50),
+            SchedPolicy::fifo(50),
+            SchedPolicy::fifo(50),
+            SchedPolicy::fifo(50),
+            SchedPolicy::fifo(99),
+        ]);
+        for pid in [Pid(0), Pid(1)] {
+            t[pid.index()].last_cpu = CpuId(0);
+            s.on_wake(pid, &mut t, &view(&running));
+        }
+        assert_eq!(s.pick(CpuId(0), &mut t), Some(Pid(0)));
+        assert_eq!(s.pick(CpuId(0), &mut t), Some(Pid(1)));
+        let _ = tasks;
+    }
+
+    #[test]
+    fn preempted_task_runs_before_equal_peers() {
+        let mut tasks = make_tasks(&[SchedPolicy::nice(0), SchedPolicy::nice(0)]);
+        let mut s = O1Scheduler::new(1);
+        let running = [Some(Pid(0))];
+        tasks[1].last_cpu = CpuId(0);
+        s.on_wake(Pid(1), &mut tasks, &view(&running));
+        // pid0 gets preempted (e.g. by an RT wake) and requeued.
+        tasks[0].last_cpu = CpuId(0);
+        s.on_preempt(Pid(0), &tasks);
+        assert_eq!(s.pick(CpuId(0), &mut tasks), Some(Pid(0)), "front of its list");
+    }
+
+    #[test]
+    fn expired_task_waits_for_array_swap() {
+        let mut tasks = make_tasks(&[SchedPolicy::nice(0), SchedPolicy::nice(0)]);
+        let mut s = O1Scheduler::new(1);
+        let running = [Some(Pid(0))];
+        tasks[0].last_cpu = CpuId(0);
+        tasks[1].last_cpu = CpuId(0);
+        s.on_wake(Pid(1), &mut tasks, &view(&running));
+        // Run pid0's whole quantum down.
+        tasks[0].timeslice = Nanos::from_ms(10);
+        assert!(s.on_tick(CpuId(0), Pid(0), &mut tasks), "quantum expired");
+        s.on_preempt(Pid(0), &tasks); // goes to expired array
+        assert_eq!(s.pick(CpuId(0), &mut tasks), Some(Pid(1)), "active array first");
+        assert_eq!(s.pick(CpuId(0), &mut tasks), Some(Pid(0)), "swap brings it back");
+    }
+
+    #[test]
+    fn fifo_never_expires() {
+        let mut tasks = make_tasks(&[SchedPolicy::fifo(50)]);
+        let mut s = O1Scheduler::new(1);
+        for _ in 0..1000 {
+            assert!(!s.on_tick(CpuId(0), Pid(0), &mut tasks));
+        }
+    }
+
+    #[test]
+    fn rr_rotates_on_quantum_end() {
+        let mut tasks = make_tasks(&[SchedPolicy::rr(50)]);
+        let mut s = O1Scheduler::new(1);
+        tasks[0].timeslice = Nanos::from_ms(20);
+        assert!(!s.on_tick(CpuId(0), Pid(0), &mut tasks));
+        assert!(s.on_tick(CpuId(0), Pid(0), &mut tasks), "second tick ends 20ms slice");
+        // RR requeues to the *active* array (push_back), not expired.
+        s.on_preempt(Pid(0), &tasks);
+        assert_eq!(s.pick(CpuId(0), &mut tasks), Some(Pid(0)));
+    }
+
+    #[test]
+    fn idle_cpu_steals() {
+        let mut tasks =
+            make_tasks(&[SchedPolicy::nice(0), SchedPolicy::nice(0), SchedPolicy::fifo(99)]);
+        let mut s = O1Scheduler::new(2);
+        // Both CPUs look busy, forcing both wakes onto cpu0's queue.
+        let running = [Some(Pid(2)), Some(Pid(2))];
+        for pid in [Pid(0), Pid(1)] {
+            tasks[pid.index()].last_cpu = CpuId(0);
+            s.on_wake(pid, &mut tasks, &view(&running));
+        }
+        assert_eq!(s.queued_count(), 2);
+        // cpu1 has nothing queued; it steals one.
+        let got = s.pick(CpuId(1), &mut tasks);
+        assert!(got.is_some(), "idle steal");
+        assert_eq!(s.queued_count(), 1);
+    }
+
+    #[test]
+    fn pinned_task_is_not_stolen() {
+        let mut tasks =
+            make_tasks(&[SchedPolicy::nice(0), SchedPolicy::nice(0), SchedPolicy::fifo(99)]);
+        tasks[0].effective_affinity = CpuMask::single(CpuId(0));
+        tasks[0].last_cpu = CpuId(0);
+        tasks[1].effective_affinity = CpuMask::single(CpuId(0));
+        tasks[1].last_cpu = CpuId(0);
+        let mut s = O1Scheduler::new(2);
+        let running = [Some(Pid(2)), Some(Pid(2))];
+        s.on_wake(Pid(0), &mut tasks, &view(&running));
+        s.on_wake(Pid(1), &mut tasks, &view(&running));
+        assert_eq!(s.pick(CpuId(1), &mut tasks), None, "affinity forbids stealing");
+        assert_eq!(s.queued_count(), 2);
+    }
+
+    #[test]
+    fn affinity_change_migrates_queued_task() {
+        let mut tasks = make_tasks(&[SchedPolicy::nice(0), SchedPolicy::fifo(99)]);
+        tasks[0].last_cpu = CpuId(0);
+        let mut s = O1Scheduler::new(2);
+        let running = [Some(Pid(1)), Some(Pid(1))];
+        s.on_wake(Pid(0), &mut tasks, &view(&running));
+        tasks[0].effective_affinity = CpuMask::single(CpuId(1));
+        let running2 = [Some(Pid(1)), None];
+        let target = s.on_affinity_change(Pid(0), &mut tasks, &view(&running2));
+        assert_eq!(target, Some(CpuId(1)));
+        assert_eq!(s.pick(CpuId(0), &mut tasks), None);
+        assert_eq!(s.pick(CpuId(1), &mut tasks), Some(Pid(0)));
+    }
+
+    #[test]
+    fn block_removes_from_queue() {
+        let mut tasks = make_tasks(&[SchedPolicy::nice(0), SchedPolicy::fifo(99)]);
+        let mut s = O1Scheduler::new(1);
+        let running = [Some(Pid(1))];
+        s.on_wake(Pid(0), &mut tasks, &view(&running));
+        assert_eq!(s.queued_count(), 1);
+        s.on_block(Pid(0));
+        assert_eq!(s.queued_count(), 0);
+        assert_eq!(s.pick(CpuId(0), &mut tasks), None);
+    }
+}

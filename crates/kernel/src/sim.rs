@@ -1,0 +1,1559 @@
+//! The discrete-event SMP kernel simulator.
+//!
+//! Each logical CPU executes one *activity* at a time (a task's user code, a
+//! kernel segment, a spinlock busy-wait, an ISR, a softirq burst, a timer
+//! tick, or a context switch). Activities carry a residual amount of *work*;
+//! wall time stretches over work by the contention slowdown (hyperthread
+//! sibling, SMP memory). Interrupts suspend the current activity, run, drain
+//! bottom halves per the kernel variant's rules, then either resume or
+//! reschedule — the same control flow whose corner cases the paper measures.
+//!
+//! Everything is event-driven and deterministic for a given seed.
+
+use crate::device::{Device, DeviceCmd, DeviceCtx, DeviceSlot};
+use crate::ids::{DeviceId, LockId, Pid, SoftirqClass, SyscallId};
+use crate::kconfig::KernelConfig;
+use crate::lock::{AcquireResult, LockTable};
+use crate::observe::Observations;
+use crate::program::{Op, WaitApi};
+use crate::sched::{build_scheduler, CpuView, Scheduler};
+use crate::shieldctl::{effective_mask, ShieldCtl};
+use crate::syscall::SyscallService;
+use crate::task::{
+    BlockReason, KernelPlan, Phase, PlanEnd, PlannedStep, Task, TaskSpec, TaskState,
+};
+use simcore::{EventKey, EventQueue, Instant, Nanos, SimRng, TraceKind, Tracer};
+use sp_hw::{exec_context, CpuId, CpuMask, IrqRouting, MachineConfig};
+use std::collections::{HashMap, VecDeque};
+
+/// Total pending softirq work a CPU may accumulate before drops (a starving
+/// configuration; drops are counted, not silent).
+const SOFTIRQ_PENDING_CAP: Nanos = Nanos::from_ms(50);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    SegEnd { cpu: u32, token: u64 },
+    Tick { cpu: u32 },
+    Device { dev: u32, tag: u64 },
+    SleepWake { pid: u32 },
+}
+
+#[derive(Debug, Clone)]
+enum ActKind {
+    User,
+    Kernel { step: PlannedStep },
+    SpinWait { lock: LockId, irqs_off: bool },
+    Isr { dev: DeviceId, asserted: Instant },
+    Softirq,
+    Tick,
+    Switch { to: Pid },
+}
+
+#[derive(Debug)]
+struct Activity {
+    kind: ActKind,
+    remaining: Nanos,
+    since: Instant,
+    slowdown: f64,
+    end: Option<(EventKey, u64)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingIrq {
+    dev: DeviceId,
+    asserted: Instant,
+}
+
+#[derive(Debug)]
+struct CpuSim {
+    current: Option<Activity>,
+    /// Interrupted activities (task at the bottom, then softirq, then...).
+    suspended: Vec<Activity>,
+    /// The task context installed on this CPU (running or suspended here).
+    task_ctx: Option<Pid>,
+    pending_irqs: VecDeque<PendingIrq>,
+    pending_softirq: VecDeque<(SoftirqClass, Nanos)>,
+    pending_softirq_total: Nanos,
+    need_resched: bool,
+    local_timer_on: bool,
+    tick_key: Option<EventKey>,
+    /// CPU is inside interrupt context (ISR/tick/softirq processing), even
+    /// between activities while the handler's outcome is being applied.
+    in_irq: bool,
+    /// CPU is executing something (for the contention model); stays true
+    /// across same-instant activity handoffs.
+    busy: bool,
+    /// When this CPU last stopped executing (for longest-idle placement).
+    last_busy_at: Instant,
+}
+
+impl CpuSim {
+    fn new() -> Self {
+        CpuSim {
+            current: None,
+            suspended: Vec::new(),
+            task_ctx: None,
+            pending_irqs: VecDeque::new(),
+            pending_softirq: VecDeque::new(),
+            pending_softirq_total: Nanos::ZERO,
+            need_resched: false,
+            local_timer_on: true,
+            tick_key: None,
+            in_irq: false,
+            busy: false,
+            last_busy_at: Instant::ZERO,
+        }
+    }
+
+    fn is_fully_idle(&self) -> bool {
+        self.current.is_none()
+            && self.suspended.is_empty()
+            && self.task_ctx.is_none()
+            && !self.in_irq
+    }
+}
+
+/// The simulator. See the crate docs for the model; see `sp-experiments` for
+/// ready-made scenario builders matching the paper's figures.
+pub struct Simulator {
+    machine: MachineConfig,
+    cfg: KernelConfig,
+    now: Instant,
+    queue: EventQueue<Ev>,
+    rng: SimRng,
+    tasks: Vec<Task>,
+    cpus: Vec<CpuSim>,
+    sched: Box<dyn Scheduler>,
+    locks: LockTable,
+    devices: Vec<DeviceSlot>,
+    line_to_dev: HashMap<u32, DeviceId>,
+    irq_routes: Vec<IrqRouting>,
+    irq_requested: Vec<CpuMask>,
+    /// Interrupts handled, per device per CPU (the /proc/interrupts counts).
+    irq_counts: Vec<Vec<u64>>,
+    syscalls: Vec<SyscallService>,
+    pub obs: Observations,
+    pub tracer: Tracer,
+    shield: ShieldCtl,
+    token_counter: u64,
+    started: bool,
+}
+
+impl Simulator {
+    pub fn new(machine: MachineConfig, cfg: KernelConfig, seed: u64) -> Self {
+        machine.validate().expect("invalid machine config");
+        cfg.validate().expect("invalid kernel config");
+        let n = machine.logical_cpus() as usize;
+        let sched = build_scheduler(cfg.o1_scheduler, machine.logical_cpus());
+        Simulator {
+            machine,
+            cfg,
+            now: Instant::ZERO,
+            queue: EventQueue::new(),
+            rng: SimRng::new(seed),
+            tasks: Vec::new(),
+            cpus: (0..n).map(|_| CpuSim::new()).collect(),
+            sched,
+            locks: LockTable::new(),
+            devices: Vec::new(),
+            line_to_dev: HashMap::new(),
+            irq_routes: Vec::new(),
+            irq_requested: Vec::new(),
+            irq_counts: Vec::new(),
+            syscalls: Vec::new(),
+            obs: Observations::new(n),
+            tracer: Tracer::disabled(),
+            shield: ShieldCtl::NONE,
+            token_counter: 0,
+            started: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Registration (before or after start)
+    // ------------------------------------------------------------------
+
+    /// Register a device; its IRQ line starts with an all-CPUs affinity.
+    pub fn add_device(&mut self, dev: Box<dyn Device>) -> DeviceId {
+        assert!(!self.started, "devices must be registered before start()");
+        let id = DeviceId(self.devices.len() as u32);
+        let line = dev.line();
+        assert!(
+            self.line_to_dev.insert(line.0, id).is_none(),
+            "irq line {line} already in use"
+        );
+        let online = self.machine.online_mask();
+        self.irq_requested.push(online);
+        self.irq_routes.push(IrqRouting::new(
+            line,
+            effective_mask(online, self.shield.irqs, online),
+            self.cfg.routing,
+        ));
+        let rng = self.rng.fork(0x1000 + id.0 as u64);
+        self.irq_counts.push(vec![0; self.cpus.len()]);
+        self.devices.push(DeviceSlot { dev: Some(dev), rng });
+        id
+    }
+
+    /// Register a syscall profile for use in task programs.
+    pub fn register_syscall(&mut self, svc: SyscallService) -> SyscallId {
+        svc.validate().expect("invalid syscall profile");
+        let id = SyscallId(self.syscalls.len() as u32);
+        self.syscalls.push(svc);
+        id
+    }
+
+    /// Create a task. Tasks spawned before `start()` begin at time zero;
+    /// afterwards they are woken immediately.
+    pub fn spawn(&mut self, spec: TaskSpec) -> Pid {
+        validate_program(&spec);
+        let pid = Pid(self.tasks.len() as u32);
+        let online = self.machine.online_mask();
+        let mut task = Task::from_spec(pid, spec, online);
+        task.effective_affinity =
+            effective_mask(task.requested_affinity, self.shield.procs, online);
+        task.last_cpu = task.effective_affinity.first().expect("non-empty");
+        self.tasks.push(task);
+        if self.started {
+            self.make_runnable(pid);
+        }
+        pid
+    }
+
+    // ------------------------------------------------------------------
+    // Control-plane API (used by the sp-core shield layer and experiments)
+    // ------------------------------------------------------------------
+
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    pub fn config(&self) -> &KernelConfig {
+        &self.cfg
+    }
+
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    pub fn shield(&self) -> ShieldCtl {
+        self.shield
+    }
+
+    pub fn task(&self, pid: Pid) -> &Task {
+        &self.tasks[pid.index()]
+    }
+
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    pub fn lock_stats(&self) -> &LockTable {
+        &self.locks
+    }
+
+    /// Inventory of registered interrupt lines (for the `/proc/irq`
+    /// interface layer and reports).
+    pub fn irq_lines(&self) -> Vec<IrqInfo> {
+        (0..self.devices.len())
+            .map(|i| IrqInfo {
+                dev: DeviceId(i as u32),
+                line: self.irq_routes[i].line,
+                name: self.devices[i]
+                    .dev
+                    .as_ref()
+                    .map(|d| d.name().to_string())
+                    .unwrap_or_default(),
+                requested: self.irq_requested[i],
+                effective: self.irq_routes[i].affinity,
+            })
+            .collect()
+    }
+
+    /// Find a device by its IRQ line number.
+    pub fn device_by_line(&self, line: sp_hw::IrqLine) -> Option<DeviceId> {
+        self.line_to_dev.get(&line.0).copied()
+    }
+
+    /// Interrupts handled by `dev`, per CPU (a /proc/interrupts row).
+    pub fn irq_counts(&self, dev: DeviceId) -> &[u64] {
+        &self.irq_counts[dev.index()]
+    }
+
+    /// `sched_setaffinity`: change a task's requested mask. The effective
+    /// mask is recomputed under the current shield.
+    pub fn set_task_affinity(&mut self, pid: Pid, mask: CpuMask) -> Result<(), String> {
+        let online = self.machine.online_mask();
+        if (mask & online).is_empty() {
+            return Err(format!("{pid}: affinity excludes all online CPUs"));
+        }
+        self.tasks[pid.index()].requested_affinity = mask & online;
+        self.refresh_task_affinity(pid);
+        Ok(())
+    }
+
+    /// `sched_setscheduler`: change a task's policy/priority at runtime.
+    pub fn set_task_policy(&mut self, pid: Pid, policy: crate::task::SchedPolicy) {
+        let old = self.tasks[pid.index()].policy;
+        if old == policy {
+            return;
+        }
+        self.tasks[pid.index()].policy = policy;
+        match self.tasks[pid.index()].state {
+            TaskState::Ready => {
+                // Requeue at the new priority.
+                self.sched.on_block(pid);
+                self.tasks[pid.index()].timeslice = Nanos::ZERO;
+                self.make_runnable(pid);
+            }
+            TaskState::Running => {
+                // A downgrade may let someone queued preempt at the next
+                // boundary; an upgrade needs nothing (it already runs).
+                let cpu = self.tasks[pid.index()].last_cpu;
+                self.cpus[cpu.index()].need_resched = true;
+                self.try_preempt_now(cpu);
+            }
+            TaskState::Blocked(_) | TaskState::Exited => {}
+        }
+    }
+
+    /// `/proc/irq/<n>/smp_affinity`: change a device IRQ's requested mask.
+    pub fn set_irq_affinity(&mut self, dev: DeviceId, mask: CpuMask) -> Result<(), String> {
+        let online = self.machine.online_mask();
+        if (mask & online).is_empty() {
+            return Err(format!("{dev}: affinity excludes all online CPUs"));
+        }
+        self.irq_requested[dev.index()] = mask & online;
+        let eff = effective_mask(mask & online, self.shield.irqs, online);
+        self.irq_routes[dev.index()].set_affinity(eff)
+    }
+
+    /// Install new shield masks, recomputing every task and IRQ affinity and
+    /// migrating whatever no longer belongs (the dynamic enable of §3).
+    /// Requires a kernel with shield support.
+    pub fn set_shield(&mut self, ctl: ShieldCtl) -> Result<(), String> {
+        if !self.cfg.shield_support && !ctl.is_none() {
+            return Err(format!("{} has no shield support", self.cfg.variant));
+        }
+        let online = self.machine.online_mask();
+        if ctl.procs == online || ctl.irqs == online {
+            return Err("refusing to shield every online CPU".into());
+        }
+        self.shield = ctl;
+        self.trace(TraceKind::Shield, None, || {
+            format!("shield procs={} irqs={} ltmrs={}", ctl.procs, ctl.irqs, ctl.ltmrs)
+        });
+        // IRQ routing.
+        for dev in 0..self.irq_routes.len() {
+            let eff = effective_mask(self.irq_requested[dev], ctl.irqs, online);
+            self.irq_routes[dev].set_affinity(eff)?;
+        }
+        // Local timers.
+        for cpu in self.machine.cpus() {
+            self.set_local_timer(cpu, !ctl.ltmrs.contains(cpu));
+        }
+        // Tasks.
+        for i in 0..self.tasks.len() {
+            self.refresh_task_affinity(Pid(i as u32));
+        }
+        Ok(())
+    }
+
+    /// Enable or disable the local timer interrupt on one CPU.
+    pub fn set_local_timer(&mut self, cpu: CpuId, on: bool) {
+        let c = &mut self.cpus[cpu.index()];
+        if c.local_timer_on == on {
+            return;
+        }
+        c.local_timer_on = on;
+        if on {
+            if self.started {
+                let key = self.queue.push(self.now + self.cfg.jiffy(), Ev::Tick { cpu: cpu.0 });
+                self.cpus[cpu.index()].tick_key = Some(key);
+            }
+        } else if let Some(key) = self.cpus[cpu.index()].tick_key.take() {
+            self.queue.cancel(key);
+        }
+    }
+
+    /// Record wake-to-user latencies for `pid`'s `WaitIrq` ops.
+    pub fn watch_latency(&mut self, pid: Pid) {
+        self.obs.watch_latency(pid);
+    }
+
+    /// Record `MarkLap` timestamps for `pid`.
+    pub fn watch_laps(&mut self, pid: Pid) {
+        self.obs.watch_laps(pid);
+    }
+
+    /// Record per-sample wake-latency breakdowns for `pid`.
+    pub fn watch_breakdown(&mut self, pid: Pid) {
+        self.obs.watch_breakdown(pid);
+    }
+
+    fn refresh_task_affinity(&mut self, pid: Pid) {
+        let online = self.machine.online_mask();
+        let req = self.tasks[pid.index()].requested_affinity;
+        let eff = effective_mask(req, self.shield.procs, online);
+        if self.tasks[pid.index()].effective_affinity == eff {
+            return;
+        }
+        self.tasks[pid.index()].effective_affinity = eff;
+        if !self.started {
+            self.tasks[pid.index()].last_cpu = eff.first().expect("non-empty");
+            return;
+        }
+        match self.tasks[pid.index()].state {
+            TaskState::Ready => {
+                let running = self.running_view();
+                let idle_since = self.idle_since_view();
+                let view = CpuView { online, running: &running, idle_since: &idle_since };
+                if let Some(target) =
+                    self.sched.on_affinity_change(pid, &mut self.tasks, &view)
+                {
+                    self.kick_cpu(target);
+                }
+            }
+            TaskState::Running => {
+                let cpu = self.tasks[pid.index()].last_cpu;
+                if !eff.contains(cpu) {
+                    // Migrate off: preempt at the next legal point.
+                    self.cpus[cpu.index()].need_resched = true;
+                    self.try_preempt_now(cpu);
+                }
+            }
+            TaskState::Blocked(_) | TaskState::Exited => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Running
+    // ------------------------------------------------------------------
+
+    /// Start the simulation: arm device and timer events, place initial tasks.
+    pub fn start(&mut self) {
+        assert!(!self.started, "start() called twice");
+        self.started = true;
+        // Local timer ticks, staggered so CPUs don't tick in lockstep.
+        let jiffy = self.cfg.jiffy();
+        for cpu in 0..self.cpus.len() {
+            if self.cpus[cpu].local_timer_on {
+                let phase = Nanos(jiffy.as_ns() * (cpu as u64 + 1) / (self.cpus.len() as u64 + 1));
+                let key = self.queue.push(self.now + phase, Ev::Tick { cpu: cpu as u32 });
+                self.cpus[cpu].tick_key = Some(key);
+            }
+        }
+        // Devices.
+        for d in 0..self.devices.len() {
+            self.with_device(DeviceId(d as u32), |dev, ctx, rng| dev.start(ctx, rng));
+        }
+        // Initial task placement.
+        for i in 0..self.tasks.len() {
+            self.make_runnable(Pid(i as u32));
+        }
+    }
+
+    /// Advance virtual time to `t`, processing all events on the way.
+    pub fn run_until(&mut self, t: Instant) {
+        assert!(self.started, "call start() first");
+        while let Some(at) = self.queue.peek_time() {
+            if at > t {
+                break;
+            }
+            let (at, ev) = self.queue.pop().expect("peeked");
+            debug_assert!(at >= self.now, "event from the past");
+            self.now = at;
+            self.dispatch(ev);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Advance virtual time by `d`.
+    pub fn run_for(&mut self, d: Nanos) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::SegEnd { cpu, token } => self.handle_seg_end(cpu as usize, token),
+            Ev::Tick { cpu } => self.handle_tick(cpu as usize),
+            Ev::Device { dev, tag } => {
+                self.with_device(DeviceId(dev), |d, ctx, rng| d.on_timer(tag, ctx, rng));
+            }
+            Ev::SleepWake { pid } => {
+                let pid = Pid(pid);
+                if self.tasks[pid.index()].state == TaskState::Blocked(BlockReason::Sleep) {
+                    self.wake_task(pid, None);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Activity plumbing
+    // ------------------------------------------------------------------
+
+    fn fresh_token(&mut self) -> u64 {
+        self.token_counter += 1;
+        self.token_counter
+    }
+
+    fn sample_slowdown(&mut self, cpu: usize) -> f64 {
+        let busy: Vec<bool> = self.cpus.iter().map(|c| c.busy).collect();
+        let ctx = exec_context(&self.machine, CpuId(cpu as u32), |c| busy[c.index()]);
+        self.cfg.contention.sample_slowdown(ctx, &mut self.rng)
+    }
+
+    /// Install a fresh activity as current on an empty CPU.
+    fn install(&mut self, cpu: usize, kind: ActKind, work: Nanos) {
+        debug_assert!(self.cpus[cpu].current.is_none(), "cpu{cpu} busy");
+        let was_idle = !self.cpus[cpu].busy;
+        self.cpus[cpu].busy = true;
+        let slowdown = self.sample_slowdown(cpu);
+        let mut act =
+            Activity { kind, remaining: work, since: self.now, slowdown, end: None };
+        if !matches!(act.kind, ActKind::SpinWait { .. }) {
+            let token = self.fresh_token();
+            let wall = act.remaining.scale(act.slowdown).max(Nanos(1));
+            let key = self.queue.push(self.now + wall, Ev::SegEnd { cpu: cpu as u32, token });
+            act.end = Some((key, token));
+        }
+        self.cpus[cpu].current = Some(act);
+        if was_idle {
+            self.reprice_others(cpu);
+        }
+    }
+
+    /// Account the wall time the current activity consumed since `since`,
+    /// deduct the work done, and leave it cancelled (no end event).
+    fn checkpoint_current(&mut self, cpu: usize) -> Option<Activity> {
+        let mut act = self.cpus[cpu].current.take()?;
+        if let Some((key, _)) = act.end.take() {
+            self.queue.cancel(key);
+        }
+        let wall = self.now.since(act.since);
+        self.account(cpu, &act.kind, wall);
+        let done = Nanos((wall.as_ns() as f64 / act.slowdown) as u64);
+        act.remaining = act.remaining.saturating_sub(done);
+        act.since = self.now;
+        Some(act)
+    }
+
+    /// Suspend the current activity under an interrupt.
+    fn suspend_current(&mut self, cpu: usize) {
+        if let Some(act) = self.checkpoint_current(cpu) {
+            self.cpus[cpu].suspended.push(act);
+        }
+    }
+
+    /// Resume the most recently suspended activity.
+    fn resume_top(&mut self, cpu: usize) {
+        let mut act = self.cpus[cpu].suspended.pop().expect("nothing to resume");
+        act.since = self.now;
+        act.slowdown = self.sample_slowdown(cpu);
+        if !matches!(act.kind, ActKind::SpinWait { .. }) {
+            let token = self.fresh_token();
+            let wall = act.remaining.scale(act.slowdown).max(Nanos(1));
+            let key = self.queue.push(self.now + wall, Ev::SegEnd { cpu: cpu as u32, token });
+            act.end = Some((key, token));
+        }
+        self.cpus[cpu].current = Some(act);
+    }
+
+    /// Re-evaluate the slowdown of every *other* CPU's running activity after
+    /// a busy/idle transition (hyperthread sibling / memory contention).
+    fn reprice_others(&mut self, changed: usize) {
+        for cpu in 0..self.cpus.len() {
+            if cpu == changed {
+                continue;
+            }
+            if self.cpus[cpu].current.as_ref().map_or(true, |a| a.end.is_none()) {
+                continue;
+            }
+            if let Some(mut act) = self.checkpoint_current(cpu) {
+                if act.remaining.is_zero() {
+                    // Its end was due now anyway; finish it on schedule.
+                    act.remaining = Nanos(1);
+                }
+                act.slowdown = self.sample_slowdown(cpu);
+                let token = self.fresh_token();
+                let wall = act.remaining.scale(act.slowdown).max(Nanos(1));
+                let key =
+                    self.queue.push(self.now + wall, Ev::SegEnd { cpu: cpu as u32, token });
+                act.end = Some((key, token));
+                self.cpus[cpu].current = Some(act);
+            }
+        }
+    }
+
+    fn account(&mut self, cpu: usize, kind: &ActKind, wall: Nanos) {
+        let acc = &mut self.obs.cpu[cpu];
+        match kind {
+            ActKind::User => acc.user += wall,
+            ActKind::Kernel { .. } => acc.kernel += wall,
+            ActKind::SpinWait { lock, .. } => {
+                acc.spin += wall;
+                self.locks.get_mut(*lock).add_spin_time(wall);
+            }
+            ActKind::Isr { .. } => acc.isr += wall,
+            ActKind::Softirq => acc.softirq += wall,
+            ActKind::Tick => acc.tick += wall,
+            ActKind::Switch { .. } => acc.switching += wall,
+        }
+        if let Some(pid) = self.cpus[cpu].task_ctx {
+            if matches!(kind, ActKind::User | ActKind::Kernel { .. }) {
+                self.tasks[pid.index()].cpu_time += wall;
+            }
+        }
+    }
+
+    fn trace(&mut self, kind: TraceKind, cpu: Option<u32>, f: impl FnOnce() -> String) {
+        if self.tracer.is_enabled() {
+            self.tracer.emit(self.now, kind, cpu, f());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Interrupt delivery
+    // ------------------------------------------------------------------
+
+    fn cpu_can_take_irq(&self, cpu: usize) -> bool {
+        if self.cpus[cpu].in_irq {
+            return false;
+        }
+        match &self.cpus[cpu].current {
+            None => true,
+            Some(act) => match &act.kind {
+                ActKind::Isr { .. } | ActKind::Tick => false,
+                ActKind::Kernel { step } => !step.irqs_off,
+                ActKind::SpinWait { irqs_off, .. } => !irqs_off,
+                _ => true,
+            },
+        }
+    }
+
+    fn assert_irq(&mut self, dev: DeviceId) {
+        let online = self.machine.online_mask();
+        let cpu = self.irq_routes[dev.index()].route(online);
+        let pend = PendingIrq { dev, asserted: self.now };
+        let c = cpu.index();
+        if self.cpu_can_take_irq(c) && self.cpus[c].pending_irqs.is_empty() {
+            self.begin_isr(c, pend);
+        } else {
+            self.cpus[c].pending_irqs.push_back(pend);
+        }
+    }
+
+    fn begin_isr(&mut self, cpu: usize, pend: PendingIrq) {
+        let entry = self.cfg.costs.irq_entry.sample(&mut self.rng);
+        let exit = self.cfg.costs.irq_exit.sample(&mut self.rng);
+        let body = {
+            let slot = &mut self.devices[pend.dev.index()];
+            let dev = slot.dev.as_mut().expect("device reentrancy");
+            dev.isr_cost(&mut slot.rng)
+        };
+        self.suspend_current(cpu);
+        self.cpus[cpu].in_irq = true;
+        self.obs.cpu[cpu].irqs += 1;
+        self.irq_counts[pend.dev.index()][cpu] += 1;
+        self.trace(TraceKind::Irq, Some(cpu as u32), || {
+            format!("isr enter {} asserted {}", pend.dev, pend.asserted)
+        });
+        self.install(
+            cpu,
+            ActKind::Isr { dev: pend.dev, asserted: pend.asserted },
+            entry + body + exit,
+        );
+    }
+
+    /// Run a device callback with the device detached, then apply commands.
+    fn with_device(
+        &mut self,
+        dev: DeviceId,
+        f: impl FnOnce(&mut dyn Device, &mut DeviceCtx, &mut SimRng),
+    ) {
+        let mut boxed = self.devices[dev.index()].dev.take().expect("device reentrancy");
+        let mut rng = self.devices[dev.index()].rng.clone();
+        let mut ctx = DeviceCtx::new(self.now);
+        f(boxed.as_mut(), &mut ctx, &mut rng);
+        self.devices[dev.index()].dev = Some(boxed);
+        self.devices[dev.index()].rng = rng;
+        self.apply_device_commands(dev, ctx);
+    }
+
+    fn apply_device_commands(&mut self, dev: DeviceId, ctx: DeviceCtx) {
+        for cmd in ctx.commands {
+            match cmd {
+                DeviceCmd::Schedule { delay, tag } => {
+                    self.queue.push(self.now + delay, Ev::Device { dev: dev.0, tag });
+                }
+                DeviceCmd::AssertIrq => self.assert_irq(dev),
+            }
+        }
+    }
+
+    fn handle_tick(&mut self, cpu: usize) {
+        if !self.cpus[cpu].local_timer_on {
+            self.cpus[cpu].tick_key = None;
+            return;
+        }
+        let key = self.queue.push(self.now + self.cfg.jiffy(), Ev::Tick { cpu: cpu as u32 });
+        self.cpus[cpu].tick_key = Some(key);
+        if !self.cpu_can_take_irq(cpu) {
+            // Delivery masked; the tick is lost (real hardware would pend it,
+            // but irq-off windows are ≪ a jiffy so the distinction is noise).
+            return;
+        }
+        let cost = self.cfg.costs.tick.sample(&mut self.rng);
+        self.suspend_current(cpu);
+        self.cpus[cpu].in_irq = true;
+        self.obs.cpu[cpu].ticks += 1;
+        self.install(cpu, ActKind::Tick, cost);
+    }
+
+    // ------------------------------------------------------------------
+    // Segment completion
+    // ------------------------------------------------------------------
+
+    fn handle_seg_end(&mut self, cpu: usize, token: u64) {
+        let valid = self.cpus[cpu]
+            .current
+            .as_ref()
+            .and_then(|a| a.end)
+            .map_or(false, |(_, t)| t == token);
+        if !valid {
+            debug_assert!(false, "stale SegEnd should have been cancelled");
+            return;
+        }
+        let mut act = self.cpus[cpu].current.take().expect("checked");
+        act.end = None;
+        let wall = self.now.since(act.since);
+        self.account(cpu, &act.kind, wall);
+        match act.kind {
+            ActKind::User => {
+                let pid = self.cpus[cpu].task_ctx.expect("user work without task");
+                self.advance_op(pid);
+                self.continue_on_cpu(cpu);
+            }
+            ActKind::Kernel { step } => {
+                let pid = self.cpus[cpu].task_ctx.expect("kernel work without task");
+                if let Some(lock) = step.lock {
+                    // Prefer a waiter that is actively spinning right now
+                    // (its CPU's current activity is the spin): a waiter
+                    // suspended under an interrupt cannot test-and-set.
+                    let actively_spinning: Vec<Pid> = self
+                        .cpus
+                        .iter()
+                        .filter_map(|c| match (&c.current, c.task_ctx) {
+                            (Some(act), Some(p))
+                                if matches!(act.kind, ActKind::SpinWait { .. }) =>
+                            {
+                                Some(p)
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    let next = self
+                        .locks
+                        .get_mut(lock)
+                        .release(pid, self.now, |w| actively_spinning.contains(&w));
+                    if let Some(next_pid) = next {
+                        self.grant_lock(lock, next_pid);
+                    }
+                }
+                self.kernel_step_done(cpu, pid);
+            }
+            ActKind::Isr { dev, asserted } => {
+                self.finish_isr(cpu, dev, asserted);
+            }
+            ActKind::Softirq => {
+                self.after_irq(cpu);
+            }
+            ActKind::Tick => {
+                if let Some(pid) = self.cpus[cpu].task_ctx {
+                    if self.tasks[pid.index()].state == TaskState::Running
+                        && self.sched.on_tick(CpuId(cpu as u32), pid, &mut self.tasks)
+                    {
+                        self.cpus[cpu].need_resched = true;
+                    }
+                }
+                self.after_irq(cpu);
+            }
+            ActKind::Switch { to } => {
+                self.obs.cpu[cpu].switches += 1;
+                debug_assert_eq!(self.cpus[cpu].task_ctx, Some(to));
+                self.continue_on_cpu(cpu);
+            }
+            ActKind::SpinWait { .. } => unreachable!("spin waits have no end event"),
+        }
+    }
+
+    fn finish_isr(&mut self, cpu: usize, dev: DeviceId, asserted: Instant) {
+        // ISR body: ask the device what this interrupt meant.
+        let mut boxed = self.devices[dev.index()].dev.take().expect("device reentrancy");
+        let mut rng = self.devices[dev.index()].rng.clone();
+        let mut ctx = DeviceCtx::new(self.now);
+        let outcome = boxed.on_isr(&mut ctx, &mut rng);
+        self.devices[dev.index()].dev = Some(boxed);
+        self.devices[dev.index()].rng = rng;
+        self.apply_device_commands(dev, ctx);
+
+        if let Some((class, work)) = outcome.softirq {
+            let c = &mut self.cpus[cpu];
+            if c.pending_softirq_total + work <= SOFTIRQ_PENDING_CAP {
+                c.pending_softirq.push_back((class, work));
+                c.pending_softirq_total += work;
+            } else {
+                self.obs.softirq_dropped += 1;
+            }
+        }
+        for pid in outcome.wake {
+            self.wake_task(pid, Some(asserted));
+        }
+        self.after_irq(cpu);
+    }
+
+    /// Post-interrupt processing on a CPU whose current is empty: more IRQs,
+    /// then softirqs, then rescheduling, then resume.
+    fn after_irq(&mut self, cpu: usize) {
+        debug_assert!(self.cpus[cpu].current.is_none());
+        // 1. Back-to-back pending interrupts.
+        if let Some(pend) = self.cpus[cpu].pending_irqs.pop_front() {
+            self.begin_isr(cpu, pend);
+            return;
+        }
+        // 2. Bottom halves — unless the variant defers them behind a wakeup,
+        // or a burst is already on the stack beneath a nested interrupt.
+        let softirq_ok = !(self.cfg.softirq_deferral && self.cpus[cpu].need_resched)
+            && !self.cpus[cpu].suspended.iter().any(|a| matches!(a.kind, ActKind::Softirq));
+        if !self.cpus[cpu].pending_softirq.is_empty() && softirq_ok {
+            self.begin_softirq_burst(cpu, self.cfg.sections.softirq_burst_cap);
+            return;
+        }
+        // 3. Leaving interrupt context.
+        self.cpus[cpu].in_irq = false;
+        // Reschedule if someone was woken (or a quantum expired).
+        if self.cpus[cpu].need_resched && self.try_resched_here(cpu) {
+            return;
+        }
+        // 4. Back to whatever was interrupted.
+        if !self.cpus[cpu].suspended.is_empty() {
+            self.resume_top(cpu);
+            return;
+        }
+        // 5. A task whose between-steps drain point we serviced: continue
+        // its kernel plan directly. need_resched (if still set on a
+        // non-preemptible kernel) is honoured at the next legal boundary
+        // inside begin_task_step.
+        if let Some(pid) = self.cpus[cpu].task_ctx {
+            if self.tasks[pid.index()].state == TaskState::Running {
+                self.begin_task_step(cpu, pid);
+            } else {
+                self.cpus[cpu].task_ctx = None;
+                self.begin_switch(cpu, false);
+            }
+            return;
+        }
+        // 6. Nothing was interrupted: we came in over idle. Deferred softirq
+        // work runs now (the ksoftirqd opportunity), then try to run a task.
+        if !self.cpus[cpu].pending_softirq.is_empty() {
+            self.begin_softirq_burst(cpu, None);
+            return;
+        }
+        self.cpus[cpu].need_resched = false;
+        self.begin_switch(cpu, true);
+    }
+
+    fn begin_softirq_burst(&mut self, cpu: usize, cap: Option<Nanos>) {
+        let c = &mut self.cpus[cpu];
+        let mut burst = Nanos::ZERO;
+        while let Some(front) = c.pending_softirq.front_mut() {
+            let room = cap.map(|x| x.saturating_sub(burst)).unwrap_or(Nanos::MAX);
+            if room.is_zero() {
+                break;
+            }
+            if front.1 <= room {
+                burst += front.1;
+                c.pending_softirq_total = c.pending_softirq_total.saturating_sub(front.1);
+                c.pending_softirq.pop_front();
+            } else {
+                front.1 -= room;
+                c.pending_softirq_total = c.pending_softirq_total.saturating_sub(room);
+                burst += room;
+                break;
+            }
+        }
+        debug_assert!(!burst.is_zero());
+        self.install(cpu, ActKind::Softirq, burst);
+        // Softirqs execute with interrupts enabled.
+        self.cpus[cpu].in_irq = false;
+    }
+
+    /// Attempt a reschedule on `cpu` from interrupt exit. Returns true if a
+    /// switch began (the suspended task, if any, was saved and requeued).
+    fn try_resched_here(&mut self, cpu: usize) -> bool {
+        match self.cpus[cpu].suspended.last() {
+            None => {
+                match self.cpus[cpu].task_ctx {
+                    None => {
+                        // Interrupt arrived over idle.
+                        self.cpus[cpu].need_resched = false;
+                        self.begin_switch(cpu, true);
+                        true
+                    }
+                    Some(pid) => {
+                        // The interrupt was serviced at a between-steps drain
+                        // point of a task's kernel plan (no live activity, no
+                        // lock held). Preemption-patch kernels may switch
+                        // here; stock 2.4 must let the syscall continue.
+                        if self.cfg.kernel_preempt {
+                            self.tasks[pid.index()].state = TaskState::Ready;
+                            self.sched.on_preempt(pid, &self.tasks);
+                            self.cpus[cpu].task_ctx = None;
+                            self.cpus[cpu].need_resched = false;
+                            self.begin_switch(cpu, false);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                }
+            }
+            Some(act) => {
+                let preemptible = match &act.kind {
+                    ActKind::User | ActKind::Switch { .. } => true,
+                    ActKind::Kernel { step } => {
+                        self.cfg.kernel_preempt && step.lock.is_none() && !step.irqs_off
+                    }
+                    ActKind::SpinWait { .. } => false,
+                    // Nested interrupt contexts are not task-preemption points.
+                    _ => false,
+                };
+                if !preemptible {
+                    return false;
+                }
+                if matches!(act.kind, ActKind::Switch { .. }) {
+                    // A switch is already in flight; let it land — need_resched
+                    // stays set and is honoured right after installation.
+                    return false;
+                }
+                let act = self.cpus[cpu].suspended.pop().expect("checked");
+                let pid = self.cpus[cpu].task_ctx.expect("task activity without ctx");
+                self.save_task_continuation(pid, act);
+                self.tasks[pid.index()].state = TaskState::Ready;
+                self.sched.on_preempt(pid, &self.tasks);
+                self.cpus[cpu].task_ctx = None;
+                self.cpus[cpu].need_resched = false;
+                self.begin_switch(cpu, false);
+                true
+            }
+        }
+    }
+
+    /// Immediate preemption of the *current* activity (reschedule IPI landing
+    /// in user mode or preemptible kernel code). No-op if not allowed.
+    fn try_preempt_now(&mut self, cpu: CpuId) {
+        let c = cpu.index();
+        let allowed = match &self.cpus[c].current {
+            Some(act) if self.cpus[c].suspended.is_empty() => match &act.kind {
+                ActKind::User => true,
+                ActKind::Kernel { step } => {
+                    self.cfg.kernel_preempt && step.lock.is_none() && !step.irqs_off
+                }
+                _ => false,
+            },
+            _ => false,
+        };
+        if !allowed {
+            return;
+        }
+        let act = self.checkpoint_current(c).expect("checked");
+        let pid = self.cpus[c].task_ctx.expect("task activity without ctx");
+        self.save_task_continuation(pid, act);
+        self.tasks[pid.index()].state = TaskState::Ready;
+        self.sched.on_preempt(pid, &self.tasks);
+        self.cpus[c].task_ctx = None;
+        self.cpus[c].need_resched = false;
+        // IPI + schedule + switch.
+        let ipi = self.cfg.costs.ipi.sample(&mut self.rng);
+        self.begin_switch_with_extra(c, ipi);
+    }
+
+    fn save_task_continuation(&mut self, pid: Pid, act: Activity) {
+        let t = &mut self.tasks[pid.index()];
+        match act.kind {
+            ActKind::User => {
+                t.phase = Phase::User { remaining: act.remaining };
+            }
+            ActKind::Kernel { .. } => {
+                if let Phase::Kernel(plan) = &mut t.phase {
+                    plan.steps[plan.cur].work = act.remaining;
+                } else {
+                    unreachable!("kernel activity without kernel phase");
+                }
+            }
+            _ => unreachable!("only task activities are saved"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling and switching
+    // ------------------------------------------------------------------
+
+    fn running_view(&self) -> Vec<Option<Pid>> {
+        self.cpus.iter().map(|c| c.task_ctx).collect()
+    }
+
+    fn idle_since_view(&self) -> Vec<u64> {
+        self.cpus.iter().map(|c| c.last_busy_at.as_ns()).collect()
+    }
+
+    fn make_runnable(&mut self, pid: Pid) {
+        self.tasks[pid.index()].state = TaskState::Ready;
+        let running = self.running_view();
+        let idle_since = self.idle_since_view();
+        let view = CpuView {
+            online: self.machine.online_mask(),
+            running: &running,
+            idle_since: &idle_since,
+        };
+        if let Some(target) = self.sched.on_wake(pid, &mut self.tasks, &view) {
+            self.kick_cpu(target);
+        }
+    }
+
+    /// React to the scheduler requesting a reschedule on `target`.
+    fn kick_cpu(&mut self, target: CpuId) {
+        let c = target.index();
+        if self.cpus[c].is_fully_idle() {
+            self.begin_switch(c, true);
+        } else {
+            self.cpus[c].need_resched = true;
+            self.try_preempt_now(target);
+        }
+    }
+
+    fn wake_task(&mut self, pid: Pid, wake_ref: Option<Instant>) {
+        let t = &mut self.tasks[pid.index()];
+        let reason = match t.state {
+            TaskState::Blocked(r) => r,
+            // Subscribers are removed from device wait lists when woken, so
+            // this is only reachable for a task torn down while waiting.
+            _ => return,
+        };
+        t.wake_ref = wake_ref;
+        // Build the kernel continuation the task runs when it gets a CPU.
+        let plan = match reason {
+            BlockReason::Sleep | BlockReason::IoWait(_) => {
+                let exit = self.cfg.costs.syscall_exit.sample(&mut self.rng);
+                KernelPlan {
+                    syscall: None,
+                    steps: vec![PlannedStep { work: exit, lock: None, irqs_off: false }],
+                    cur: 0,
+                    then: PlanEnd::ReturnToUser,
+                }
+            }
+            BlockReason::IrqWait(dev) => {
+                let api = self.tasks[pid.index()]
+                    .wait_api
+                    .expect("irq wait without wait_api");
+                self.build_wait_exit_plan(dev, api)
+            }
+        };
+        self.tasks[pid.index()].phase = Phase::Kernel(plan);
+        self.tasks[pid.index()].woken_at = Some(self.now);
+        self.tasks[pid.index()].ran_at = None;
+        self.trace(TraceKind::Sched, None, || format!("wake {pid}"));
+        self.make_runnable(pid);
+    }
+
+    fn begin_switch(&mut self, cpu: usize, from_idle: bool) {
+        let extra = if from_idle {
+            self.cfg.costs.idle_exit.sample(&mut self.rng)
+        } else {
+            Nanos::ZERO
+        };
+        self.begin_switch_with_extra(cpu, extra);
+    }
+
+    fn begin_switch_with_extra(&mut self, cpu: usize, extra: Nanos) {
+        debug_assert!(self.cpus[cpu].current.is_none());
+        debug_assert!(self.cpus[cpu].task_ctx.is_none());
+        let pick_cost = self.sched.pick_cost(&self.cfg.costs, &mut self.rng);
+        match self.sched.pick(CpuId(cpu as u32), &mut self.tasks) {
+            Some(pid) => {
+                let t = &mut self.tasks[pid.index()];
+                debug_assert_eq!(t.state, TaskState::Ready);
+                t.state = TaskState::Running;
+                t.last_cpu = CpuId(cpu as u32);
+                self.cpus[cpu].task_ctx = Some(pid);
+                let switch = self.cfg.costs.context_switch.sample(&mut self.rng);
+                self.trace(TraceKind::Sched, Some(cpu as u32), || format!("switch to {pid}"));
+                self.install(cpu, ActKind::Switch { to: pid }, extra + pick_cost + switch);
+            }
+            None => {
+                // Before idling, run any deferred bottom-half work (the
+                // ksoftirqd opportunity), uncapped.
+                if !self.cpus[cpu].pending_softirq.is_empty() {
+                    self.begin_softirq_burst(cpu, None);
+                    return;
+                }
+                // Idle. (The failed pick's cost is negligible against the
+                // idle time that follows; not modelled.)
+                if self.cpus[cpu].busy {
+                    self.cpus[cpu].busy = false;
+                    self.cpus[cpu].last_busy_at = self.now;
+                    self.reprice_others(cpu);
+                }
+            }
+        }
+    }
+
+    /// The CPU finished a switch or a step boundary and should continue
+    /// executing its installed task.
+    fn continue_on_cpu(&mut self, cpu: usize) {
+        // Honour a pending reschedule at this boundary first.
+        if self.cpus[cpu].need_resched {
+            if let Some(pid) = self.cpus[cpu].task_ctx {
+                if self.tasks[pid.index()].state == TaskState::Running {
+                    self.tasks[pid.index()].state = TaskState::Ready;
+                    self.sched.on_preempt(pid, &self.tasks);
+                }
+                self.cpus[cpu].task_ctx = None;
+            }
+            self.cpus[cpu].need_resched = false;
+            self.begin_switch(cpu, false);
+            return;
+        }
+        match self.cpus[cpu].task_ctx {
+            Some(pid) if self.tasks[pid.index()].state == TaskState::Running => {
+                self.begin_task_step(cpu, pid);
+            }
+            _ => {
+                self.cpus[cpu].task_ctx = None;
+                self.begin_switch(cpu, false);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task execution
+    // ------------------------------------------------------------------
+
+    /// Move the task to its next op (or exit). Leaves phase = Start.
+    fn advance_op(&mut self, pid: Pid) {
+        let t = &mut self.tasks[pid.index()];
+        match t.program.next_index(t.op_idx) {
+            Some(next) => {
+                t.op_idx = next;
+                t.phase = Phase::Start;
+            }
+            None => {
+                t.state = TaskState::Exited;
+                self.sched.on_block(pid);
+            }
+        }
+    }
+
+    /// Start executing the installed task's current phase on `cpu`.
+    fn begin_task_step(&mut self, cpu: usize, pid: Pid) {
+        if self.tasks[pid.index()].ran_at.is_none() {
+            self.tasks[pid.index()].ran_at = Some(self.now);
+        }
+        loop {
+            debug_assert_eq!(self.cpus[cpu].task_ctx, Some(pid));
+            let t = &self.tasks[pid.index()];
+            if t.state == TaskState::Exited {
+                self.cpus[cpu].task_ctx = None;
+                self.begin_switch(cpu, false);
+                return;
+            }
+            match &t.phase {
+                Phase::User { remaining } => {
+                    let rem = *remaining;
+                    self.install(cpu, ActKind::User, rem);
+                    return;
+                }
+                Phase::Kernel(plan) => {
+                    if plan.cur < plan.steps.len() {
+                        let step = plan.steps[plan.cur];
+                        if let Some(lock) = step.lock {
+                            match self.locks.get_mut(lock).acquire_or_wait(pid, self.now) {
+                                AcquireResult::Acquired => {
+                                    self.install(cpu, ActKind::Kernel { step }, step.work);
+                                }
+                                AcquireResult::MustSpin => {
+                                    self.tasks[pid.index()].spinning_on = Some(lock);
+                                    self.trace(TraceKind::Lock, Some(cpu as u32), || {
+                                        format!("{pid} spins on {lock}")
+                                    });
+                                    self.install(
+                                        cpu,
+                                        ActKind::SpinWait { lock, irqs_off: step.irqs_off },
+                                        Nanos::ZERO,
+                                    );
+                                }
+                            }
+                        } else {
+                            self.install(cpu, ActKind::Kernel { step }, step.work);
+                        }
+                        return;
+                    }
+                    // Plan finished.
+                    let then = plan.then;
+                    match then {
+                        PlanEnd::ReturnToUser => {
+                            self.advance_op(pid);
+                            if self.cpus[cpu].need_resched {
+                                self.continue_on_cpu(cpu);
+                                return;
+                            }
+                            continue;
+                        }
+                        PlanEnd::ResumeUser(remaining) => {
+                            self.tasks[pid.index()].phase = Phase::User { remaining };
+                            continue;
+                        }
+                        PlanEnd::CompleteIrqWait => {
+                            if let Some(asserted) = self.tasks[pid.index()].wake_ref.take() {
+                                let lat = self.now.since(asserted);
+                                self.obs.record_latency(pid, lat);
+                                if self.obs.wants_breakdown(pid) {
+                                    let t = &self.tasks[pid.index()];
+                                    let woken = t.woken_at.unwrap_or(asserted);
+                                    let ran = t.ran_at.unwrap_or(woken).max(woken);
+                                    self.obs.record_breakdown(
+                                        pid,
+                                        crate::observe::WakeBreakdown {
+                                            to_wake: woken.saturating_since(asserted),
+                                            to_run: ran.since(woken),
+                                            exit_path: self.now.since(ran),
+                                        },
+                                    );
+                                }
+                            }
+                            self.tasks[pid.index()].wait_api = None;
+                            self.advance_op(pid);
+                            if self.cpus[cpu].need_resched {
+                                self.continue_on_cpu(cpu);
+                                return;
+                            }
+                            continue;
+                        }
+                        PlanEnd::BlockOnIo(dev) => {
+                            self.block_task(cpu, pid, BlockReason::IoWait(dev));
+                            self.with_device(dev, |d, ctx, rng| d.submit_io(pid, ctx, rng));
+                            self.begin_switch(cpu, false);
+                            return;
+                        }
+                        PlanEnd::BlockOnIrq(dev) => {
+                            self.block_task(cpu, pid, BlockReason::IrqWait(dev));
+                            let slot = &mut self.devices[dev.index()];
+                            slot.dev.as_mut().expect("device reentrancy").subscribe(pid);
+                            self.begin_switch(cpu, false);
+                            return;
+                        }
+                    }
+                }
+                Phase::Start => {
+                    let op = t
+                        .program
+                        .op(t.op_idx)
+                        .expect("op index in range")
+                        .clone();
+                    match op {
+                        Op::Compute(d) => {
+                            let work = d.sample(&mut self.rng);
+                            let t = &mut self.tasks[pid.index()];
+                            if !t.mlocked && self.rng.chance(0.02) {
+                                // First-touch page fault on an unlocked page.
+                                let cost = self.cfg.costs.page_fault.sample(&mut self.rng);
+                                t.phase = Phase::Kernel(KernelPlan {
+                                    syscall: None,
+                                    steps: vec![PlannedStep {
+                                        work: cost,
+                                        lock: Some(LockId::MM),
+                                        irqs_off: false,
+                                    }],
+                                    cur: 0,
+                                    then: PlanEnd::ResumeUser(work),
+                                });
+                            } else {
+                                t.phase = Phase::User { remaining: work };
+                            }
+                            continue;
+                        }
+                        Op::Syscall(id) => {
+                            let plan = self.build_syscall_plan(id);
+                            self.tasks[pid.index()].phase = Phase::Kernel(plan);
+                            continue;
+                        }
+                        Op::WaitIrq { device, api } => {
+                            let plan = self.build_wait_entry_plan(device, api);
+                            let t = &mut self.tasks[pid.index()];
+                            t.wait_api = Some(api);
+                            t.phase = Phase::Kernel(plan);
+                            continue;
+                        }
+                        Op::Sleep(d) => {
+                            let dur = d.sample(&mut self.rng);
+                            let wake_at = self.sleep_deadline(dur);
+                            self.queue.push(wake_at, Ev::SleepWake { pid: pid.0 });
+                            self.block_task(cpu, pid, BlockReason::Sleep);
+                            self.begin_switch(cpu, false);
+                            return;
+                        }
+                        Op::MarkLap => {
+                            self.obs.record_lap(pid, self.now);
+                            self.advance_op(pid);
+                            continue;
+                        }
+                        Op::Yield => {
+                            self.advance_op(pid);
+                            if self.tasks[pid.index()].state == TaskState::Exited {
+                                continue;
+                            }
+                            if self.sched.queued_count() > 0 {
+                                self.tasks[pid.index()].state = TaskState::Ready;
+                                self.sched.on_yield(pid, &self.tasks);
+                                self.cpus[cpu].task_ctx = None;
+                                self.begin_switch(cpu, false);
+                                return;
+                            }
+                            continue;
+                        }
+                        Op::Exit => {
+                            self.tasks[pid.index()].state = TaskState::Exited;
+                            self.sched.on_block(pid);
+                            self.cpus[cpu].task_ctx = None;
+                            self.begin_switch(cpu, false);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn block_task(&mut self, cpu: usize, pid: Pid, reason: BlockReason) {
+        self.tasks[pid.index()].state = TaskState::Blocked(reason);
+        self.sched.on_block(pid);
+        self.cpus[cpu].task_ctx = None;
+    }
+
+    fn sleep_deadline(&self, dur: Nanos) -> Instant {
+        if self.cfg.hires_sleep {
+            self.now + dur
+        } else {
+            // Stock 2.4: round up to the next jiffy boundary, plus one jiffy
+            // so the timer can never fire early.
+            let jiffy = self.cfg.jiffy();
+            let raw = self.now + dur;
+            let rem = Nanos(raw.as_ns()) % jiffy;
+            let rounded = if rem.is_zero() { raw } else { raw + (jiffy - rem) };
+            rounded + jiffy
+        }
+    }
+
+    /// Hand a released lock to the next spinner.
+    fn grant_lock(&mut self, lock: LockId, pid: Pid) {
+        self.tasks[pid.index()].spinning_on = None;
+        self.trace(TraceKind::Lock, None, || format!("{lock} handed to {pid}"));
+        let cpu = self.tasks[pid.index()].last_cpu.index();
+        debug_assert_eq!(self.cpus[cpu].task_ctx, Some(pid), "spinner moved CPUs");
+        let step = match &self.tasks[pid.index()].phase {
+            Phase::Kernel(plan) => plan.steps[plan.cur],
+            _ => unreachable!("spinner without kernel phase"),
+        };
+        let is_current = matches!(
+            self.cpus[cpu].current.as_ref().map(|a| &a.kind),
+            Some(ActKind::SpinWait { .. })
+        );
+        if is_current {
+            let act = self.checkpoint_current(cpu).expect("checked");
+            debug_assert!(matches!(act.kind, ActKind::SpinWait { .. }));
+            self.install(cpu, ActKind::Kernel { step }, step.work);
+        } else {
+            // The spinner's CPU is servicing an interrupt; it now owns the
+            // lock and will start the critical section when resumed.
+            let slot = self.cpus[cpu]
+                .suspended
+                .iter_mut()
+                .find(|a| matches!(a.kind, ActKind::SpinWait { .. }))
+                .expect("spinner activity somewhere");
+            slot.kind = ActKind::Kernel { step };
+            slot.remaining = step.work;
+            slot.since = self.now;
+        }
+    }
+
+    fn kernel_step_done(&mut self, cpu: usize, pid: Pid) {
+        let preempt_ok = self.cfg.kernel_preempt;
+        if let Phase::Kernel(plan) = &mut self.tasks[pid.index()].phase {
+            plan.cur += 1;
+        } else {
+            unreachable!("kernel step without kernel phase");
+        }
+        // Interrupts masked by the finished section are enabled again here:
+        // service anything that pended during the irqs-off window before the
+        // task continues (the task context stays installed; after_irq hands
+        // control back through continue_on_cpu).
+        if let Some(pend) = self.cpus[cpu].pending_irqs.pop_front() {
+            self.begin_isr(cpu, pend);
+            return;
+        }
+        // Preemption-patch kernels check need_resched whenever the preempt
+        // count drops to zero — i.e. between plan steps, no lock held.
+        if preempt_ok && self.cpus[cpu].need_resched {
+            self.continue_on_cpu(cpu);
+            return;
+        }
+        self.begin_task_step(cpu, pid);
+    }
+
+    // ------------------------------------------------------------------
+    // Plan builders
+    // ------------------------------------------------------------------
+
+    fn build_syscall_plan(&mut self, id: SyscallId) -> KernelPlan {
+        let entry = self.cfg.costs.syscall_entry.sample(&mut self.rng);
+        let exit = self.cfg.costs.syscall_exit.sample(&mut self.rng);
+        let svc = &self.syscalls[id.index()];
+        let takes_bkl = svc.takes_bkl;
+        let injectable = svc.injectable;
+        let io = svc.io;
+        let n_segs = svc.segments.len();
+        let mut steps = Vec::with_capacity(n_segs + 4);
+        steps.push(PlannedStep { work: entry, lock: None, irqs_off: false });
+        if takes_bkl {
+            let hold = self.cfg.sections.bkl_hold.sample(&mut self.rng);
+            steps.push(PlannedStep { work: hold, lock: Some(LockId::BKL), irqs_off: false });
+        }
+        for i in 0..n_segs {
+            let seg = &self.syscalls[id.index()].segments[i];
+            let prob = seg.prob;
+            let lock = seg.lock;
+            let irqs_off = seg.irqs_off;
+            let dur = seg.dur.clone();
+            if prob >= 1.0 || self.rng.chance(prob) {
+                let work = dur.sample(&mut self.rng);
+                steps.push(PlannedStep { work, lock, irqs_off });
+            }
+        }
+        if injectable && self.rng.chance(self.cfg.sections.long_section_prob) {
+            let work = self.cfg.sections.long_section.sample(&mut self.rng);
+            // The long section lands on one of the busy global locks.
+            let lock = match self.rng.below(5) {
+                0 => LockId::FILE,
+                1 => LockId::MM,
+                2 => LockId::DCACHE,
+                3 => LockId::NET,
+                _ => LockId::TIMER,
+            };
+            steps.push(PlannedStep { work, lock: Some(lock), irqs_off: false });
+        }
+        steps.push(PlannedStep { work: exit, lock: None, irqs_off: false });
+        let then = match io {
+            Some(spec) => PlanEnd::BlockOnIo(spec.device),
+            None => PlanEnd::ReturnToUser,
+        };
+        KernelPlan { syscall: Some(id), steps, cur: 0, then }
+    }
+
+    fn build_wait_entry_plan(&mut self, dev: DeviceId, api: WaitApi) -> KernelPlan {
+        let entry = self.cfg.costs.syscall_entry.sample(&mut self.rng);
+        let mut steps = vec![PlannedStep { work: entry, lock: None, irqs_off: false }];
+        if let WaitApi::IoctlWait { driver_bkl_free } = api {
+            if !(driver_bkl_free && self.cfg.bkl_ioctl_optout) {
+                // Generic ioctl grabs the BKL around the driver call; the
+                // driver then sleeps, releasing it (2.4 drops the BKL across
+                // schedule()) — so the entry hold is short.
+                steps.push(PlannedStep {
+                    work: Nanos::from_us(1),
+                    lock: Some(LockId::BKL),
+                    irqs_off: false,
+                });
+            }
+        }
+        // Driver-side arming of the wait.
+        steps.push(PlannedStep { work: Nanos::from_us(1), lock: None, irqs_off: false });
+        KernelPlan { syscall: None, steps, cur: 0, then: PlanEnd::BlockOnIrq(dev) }
+    }
+
+    fn build_wait_exit_plan(&mut self, dev: DeviceId, api: WaitApi) -> KernelPlan {
+        let exit = self.cfg.costs.syscall_exit.sample(&mut self.rng);
+        let mut steps = Vec::with_capacity(4);
+        match api {
+            WaitApi::ReadDevice => {
+                // Driver-side copy-out under its own irq-safe lock.
+                steps.push(PlannedStep {
+                    work: Nanos::from_us(1),
+                    lock: Some(LockId::RTC),
+                    irqs_off: true,
+                });
+                // Occasionally the generic file-layer exit takes a global
+                // lock (dnotify/fasync-style shared state) — the §6.2 tail.
+                // The §7 future-work kernel removes it entirely.
+                if !self.cfg.file_layer_lockfree
+                    && self.rng.chance(self.cfg.sections.read_exit_file_lock_prob)
+                {
+                    let hold = self.cfg.sections.read_exit_lock_hold.sample(&mut self.rng);
+                    steps.push(PlannedStep { work: hold, lock: Some(LockId::FILE), irqs_off: false });
+                }
+            }
+            WaitApi::IoctlWait { driver_bkl_free } => {
+                if !(driver_bkl_free && self.cfg.bkl_ioctl_optout) {
+                    // 2.4 re-acquires the BKL when the driver's ioctl resumes
+                    // after sleeping — the contended step the RedHawk opt-out
+                    // removes.
+                    steps.push(PlannedStep {
+                        work: Nanos::from_us(1),
+                        lock: Some(LockId::BKL),
+                        irqs_off: false,
+                    });
+                }
+            }
+        }
+        if let Some(extra) = self.devices[dev.index()]
+            .dev
+            .as_ref()
+            .and_then(|d| d.reader_exit_work())
+        {
+            let work = extra.sample(&mut self.rng);
+            steps.push(PlannedStep { work, lock: None, irqs_off: false });
+        }
+        steps.push(PlannedStep { work: exit, lock: None, irqs_off: false });
+        KernelPlan { syscall: None, steps, cur: 0, then: PlanEnd::CompleteIrqWait }
+    }
+}
+
+/// One row of the simulator's interrupt inventory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrqInfo {
+    pub dev: DeviceId,
+    pub line: sp_hw::IrqLine,
+    pub name: String,
+    /// What was written to `smp_affinity`.
+    pub requested: CpuMask,
+    /// What routing actually uses (after shield semantics).
+    pub effective: CpuMask,
+}
+
+/// Reject programs whose loop body can spin forever in zero simulated time.
+fn validate_program(spec: &TaskSpec) {
+    if spec.program.loops() {
+        let consumes_time = (0..spec.program.len()).any(|i| {
+            matches!(
+                spec.program.op(i),
+                Some(Op::Compute(_)) | Some(Op::Syscall(_)) | Some(Op::WaitIrq { .. })
+                    | Some(Op::Sleep(_))
+            )
+        });
+        assert!(
+            consumes_time,
+            "looping program for '{}' must contain a time-consuming op",
+            spec.name
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Long-horizon scheduler behaviour: nice weighting, recalculation fairness,
+//! timeslice semantics — for both the 2.4 goodness scheduler and the O(1)
+//! scheduler, end to end through the simulator.
+
+use simcore::{DurationDist, Nanos};
+use sp_hw::{CpuId, CpuMask, MachineConfig};
+use sp_kernel::{KernelConfig, KernelVariant, Op, Pid, Program, SchedPolicy, Simulator, TaskSpec};
+
+fn spin() -> Program {
+    Program::forever(vec![Op::Compute(DurationDist::constant(Nanos::from_us(500)))])
+}
+
+fn cpu_share(kernel: KernelVariant, policies: &[SchedPolicy], secs: u64) -> Vec<f64> {
+    let mut sim =
+        Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::new(kernel), 0xFA_17);
+    let pids: Vec<Pid> = policies
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            sim.spawn(
+                TaskSpec::new(format!("t{i}"), p, spin())
+                    .pinned(CpuMask::single(CpuId(0)))
+                    .mlockall(),
+            )
+        })
+        .collect();
+    sim.start();
+    sim.run_for(Nanos::from_secs(secs));
+    let total: u64 = pids.iter().map(|p| sim.task(*p).cpu_time.as_ns()).sum();
+    pids.iter().map(|p| sim.task(*p).cpu_time.as_ns() as f64 / total as f64).collect()
+}
+
+#[test]
+fn nice_weighting_favours_negative_nice_on_both_schedulers() {
+    for kernel in [KernelVariant::Vanilla24, KernelVariant::RedHawk] {
+        let shares = cpu_share(
+            kernel,
+            &[SchedPolicy::nice(-15), SchedPolicy::nice(0), SchedPolicy::nice(15)],
+            10,
+        );
+        assert!(
+            shares[0] > shares[1] && shares[1] > shares[2],
+            "{kernel}: shares {shares:?} should decrease with nice"
+        );
+        assert!(
+            shares[0] > shares[2] * 1.8,
+            "{kernel}: nice -15 ({:.3}) should get well over nice 15 ({:.3})",
+            shares[0],
+            shares[2]
+        );
+        assert!(shares[2] > 0.05, "{kernel}: nice 15 not starved: {:.3}", shares[2]);
+    }
+}
+
+#[test]
+fn equal_nice_shares_equally_on_both_schedulers() {
+    for kernel in [KernelVariant::Vanilla24, KernelVariant::RedHawk] {
+        let shares = cpu_share(
+            kernel,
+            &[SchedPolicy::nice(0), SchedPolicy::nice(0), SchedPolicy::nice(0)],
+            10,
+        );
+        for s in &shares {
+            assert!(
+                (0.26..0.41).contains(s),
+                "{kernel}: equal nice should share ~evenly: {shares:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rt_always_dominates_timesharing() {
+    for kernel in [KernelVariant::Vanilla24, KernelVariant::RedHawk] {
+        let shares =
+            cpu_share(kernel, &[SchedPolicy::fifo(10), SchedPolicy::nice(-20)], 3);
+        assert!(shares[0] > 0.99, "{kernel}: FIFO owns the CPU: {shares:?}");
+    }
+}
+
+#[test]
+fn higher_rt_priority_wins_within_rr() {
+    // Two RR tasks at different priorities: the higher one owns the CPU.
+    for kernel in [KernelVariant::Vanilla24, KernelVariant::RedHawk] {
+        let shares = cpu_share(kernel, &[SchedPolicy::rr(60), SchedPolicy::rr(40)], 2);
+        assert!(shares[0] > 0.99, "{kernel}: rr 60 over rr 40: {shares:?}");
+    }
+}
+
+#[test]
+fn sleeper_is_not_penalised_after_waking() {
+    // A task that sleeps through several recalculation cycles must compete
+    // normally once it wakes (2.4's counter refresh at wake).
+    let mut sim = Simulator::new(
+        MachineConfig::dual_xeon_p3(),
+        KernelConfig::new(KernelVariant::Vanilla24),
+        0xFA_18,
+    );
+    let cpu0 = CpuMask::single(CpuId(0));
+    let hog = sim.spawn(TaskSpec::new("hog", SchedPolicy::nice(0), spin()).pinned(cpu0));
+    let napper = sim.spawn(
+        TaskSpec::new(
+            "napper",
+            SchedPolicy::nice(0),
+            Program::forever(vec![
+                Op::Sleep(DurationDist::constant(Nanos::from_ms(500))),
+                Op::Compute(DurationDist::constant(Nanos::from_ms(40))),
+            ]),
+        )
+        .pinned(cpu0),
+    );
+    sim.start();
+    sim.run_for(Nanos::from_secs(5));
+    // ~9 completed nap cycles → ~360 ms of compute, even against the hog.
+    let napper_time = sim.task(napper).cpu_time;
+    assert!(
+        napper_time > Nanos::from_ms(250),
+        "napper got its compute done: {napper_time}"
+    );
+    assert!(sim.task(hog).cpu_time > Nanos::from_secs(4), "hog got the rest");
+}
+
+#[test]
+fn load_spreads_across_cpus() {
+    // Four unpinned CPU hogs on two CPUs end up two-and-two, not all on one.
+    for kernel in [KernelVariant::Vanilla24, KernelVariant::RedHawk] {
+        let mut sim =
+            Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::new(kernel), 0xFA_19);
+        for i in 0..4 {
+            sim.spawn(TaskSpec::new(format!("hog{i}"), SchedPolicy::nice(0), spin()));
+        }
+        sim.start();
+        sim.run_for(Nanos::from_secs(2));
+        for (c, acc) in sim.obs.cpu.iter().enumerate() {
+            assert!(
+                acc.user > Nanos::from_ms(1_800),
+                "{kernel}: cpu{c} nearly saturated: {}",
+                acc.user
+            );
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # sp-metrics — measurement and reporting
+//!
+//! Fixed-footprint latency histograms ([`LatencyHistogram`]), scalar digests
+//! ([`LatencySummary`]), the paper's cumulative "samples < X" blocks
+//! ([`CumulativeReport`]), the execution-determinism jitter series of §5
+//! ([`JitterSeries`]), aligned text tables, ASCII figure plots, and trace
+//! timeline analysis ([`timeline`]).
+
+pub mod histogram;
+pub mod jitter;
+pub mod plot;
+pub mod summary;
+pub mod table;
+pub mod timeline;
+
+pub use histogram::LatencyHistogram;
+pub use jitter::{JitterSeries, JitterSummary};
+pub use plot::{ascii_histogram, PlotOptions};
+pub use summary::{CumulativeReport, CumulativeRow, LatencySummary};
+pub use table::Table;
+pub use timeline::{analyze, render_timeline, TraceStats};

@@ -1,0 +1,181 @@
+//! Scalar summaries of latency distributions.
+
+use crate::histogram::LatencyHistogram;
+use serde::{Deserialize, Serialize};
+use simcore::Nanos;
+use std::fmt;
+
+/// The scalar digest printed at the bottom of each paper figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub min: Nanos,
+    pub mean: Nanos,
+    pub p50: Nanos,
+    pub p90: Nanos,
+    pub p99: Nanos,
+    pub p999: Nanos,
+    pub p9999: Nanos,
+    pub max: Nanos,
+}
+
+impl LatencySummary {
+    pub fn from_histogram(h: &LatencyHistogram) -> Self {
+        LatencySummary {
+            count: h.count(),
+            min: h.min(),
+            mean: h.mean(),
+            p50: h.quantile(0.50),
+            p90: h.quantile(0.90),
+            p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
+            p9999: h.quantile(0.9999),
+            max: h.max(),
+        }
+    }
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={} mean={} p50={} p90={} p99={} p99.9={} p99.99={} max={}",
+            self.count,
+            self.min,
+            self.mean,
+            self.p50,
+            self.p90,
+            self.p99,
+            self.p999,
+            self.p9999,
+            self.max
+        )
+    }
+}
+
+/// The cumulative "samples < X" block the paper prints under Figures 5 and 6.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CumulativeReport {
+    pub rows: Vec<CumulativeRow>,
+    pub total: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CumulativeRow {
+    pub threshold: Nanos,
+    pub count: u64,
+    pub fraction: f64,
+}
+
+impl CumulativeReport {
+    /// Build a report at the given thresholds. Rows past the first one that
+    /// reaches 100 % are dropped, matching the paper's presentation.
+    pub fn new(h: &LatencyHistogram, thresholds: &[Nanos]) -> Self {
+        let total = h.count();
+        let mut rows = Vec::with_capacity(thresholds.len());
+        for &t in thresholds {
+            let count = h.count_below(t).min(total);
+            let fraction = if total == 0 { 0.0 } else { count as f64 / total as f64 };
+            rows.push(CumulativeRow { threshold: t, count, fraction });
+            if count == total && total > 0 {
+                break;
+            }
+        }
+        CumulativeReport { rows, total }
+    }
+
+    /// The standard millisecond ladder the paper uses for Figure 5.
+    pub fn paper_ms_ladder() -> Vec<Nanos> {
+        let mut t = vec![Nanos::from_us(100), Nanos::from_us(200)];
+        for ms in [1u64, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 200, 500, 1000] {
+            t.push(Nanos::from_ms(ms));
+        }
+        t
+    }
+
+    /// The sub-millisecond ladder used for Figure 6.
+    pub fn paper_sub_ms_ladder() -> Vec<Nanos> {
+        (1..=10).map(|i| Nanos::from_us(i * 100)).collect()
+    }
+
+    /// The microsecond ladder used for Figure 7.
+    pub fn paper_us_ladder() -> Vec<Nanos> {
+        (1..=10).map(|i| Nanos::from_us(i * 10)).collect()
+    }
+}
+
+impl fmt::Display for CumulativeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:>12} samples < {:<10} ({:.3}%)",
+                row.count,
+                row.threshold.to_string(),
+                row.fraction * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_hist() -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..9_900 {
+            h.record(Nanos::from_us(50));
+        }
+        for _ in 0..90 {
+            h.record(Nanos::from_us(500));
+        }
+        for _ in 0..10 {
+            h.record(Nanos::from_ms(50));
+        }
+        h
+    }
+
+    #[test]
+    fn summary_reflects_distribution() {
+        let s = LatencySummary::from_histogram(&sample_hist());
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.min, Nanos::from_us(50));
+        assert_eq!(s.max, Nanos::from_ms(50));
+        assert!(s.p50 < Nanos::from_us(60));
+        assert!(s.p999 >= Nanos::from_us(500));
+        assert!(s.p9999 >= Nanos::from_ms(40));
+    }
+
+    #[test]
+    fn cumulative_rows_track_fractions() {
+        let h = sample_hist();
+        let report = CumulativeReport::new(
+            &h,
+            &[Nanos::from_us(100), Nanos::from_ms(1), Nanos::from_ms(100)],
+        );
+        assert_eq!(report.rows.len(), 3);
+        assert!((report.rows[0].fraction - 0.99).abs() < 1e-9);
+        assert!((report.rows[1].fraction - 0.999).abs() < 1e-9);
+        assert!((report.rows[2].fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_stops_at_full_coverage() {
+        let mut h = LatencyHistogram::new();
+        h.record(Nanos::from_us(10));
+        let report = CumulativeReport::new(&h, &CumulativeReport::paper_ms_ladder());
+        assert_eq!(report.rows.len(), 1, "all later rows are redundant");
+        assert!((report.rows[0].fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let h = sample_hist();
+        let report = CumulativeReport::new(&h, &[Nanos::from_us(100)]);
+        let text = report.to_string();
+        assert!(text.contains("samples < 100.000us"), "got: {text}");
+        assert!(text.contains("99.000%"), "got: {text}");
+    }
+}

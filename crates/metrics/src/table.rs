@@ -1,0 +1,80 @@
+//! Minimal aligned-column text tables for harness output.
+
+use std::fmt::Write as _;
+
+/// A simple left-padded text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.chars().count();
+                out.push_str(cell);
+                for _ in 0..pad {
+                    out.push(' ');
+                }
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        emit(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["kernel", "max latency"]);
+        t.row(["kernel.org 2.4.18", "92.3ms"]);
+        t.row(["RedHawk 1.4", "0.565ms"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All data lines start their second column at the same offset.
+        let off1 = lines[2].find("92.3ms").unwrap();
+        let off2 = lines[3].find("0.565ms").unwrap();
+        assert_eq!(off1, off2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Trace analysis: turn a simulator trace ring into summaries and a compact
+//! per-CPU ASCII timeline — the post-mortem view for "what was this CPU
+//! doing while my task waited?".
+
+use simcore::{Instant, Nanos, TraceKind, TraceRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate statistics over a trace window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    pub first: Option<Instant>,
+    pub last: Option<Instant>,
+    pub total: usize,
+    /// Records per kind.
+    pub per_kind: BTreeMap<&'static str, usize>,
+    /// Records per CPU (records without a CPU are not counted here).
+    pub per_cpu: BTreeMap<u32, usize>,
+}
+
+impl TraceStats {
+    pub fn span(&self) -> Nanos {
+        match (self.first, self.last) {
+            (Some(a), Some(b)) => b.saturating_since(a),
+            _ => Nanos::ZERO,
+        }
+    }
+}
+
+fn kind_name(kind: TraceKind) -> &'static str {
+    match kind {
+        TraceKind::Sched => "sched",
+        TraceKind::Irq => "irq",
+        TraceKind::Softirq => "softirq",
+        TraceKind::Lock => "lock",
+        TraceKind::Syscall => "syscall",
+        TraceKind::Timer => "timer",
+        TraceKind::Shield => "shield",
+        TraceKind::Device => "device",
+        TraceKind::Workload => "workload",
+        TraceKind::Other => "other",
+    }
+}
+
+fn kind_glyph(kind: TraceKind) -> char {
+    match kind {
+        TraceKind::Sched => 's',
+        TraceKind::Irq => 'I',
+        TraceKind::Softirq => 'b',
+        TraceKind::Lock => 'L',
+        TraceKind::Syscall => 'y',
+        TraceKind::Timer => 't',
+        TraceKind::Shield => 'S',
+        TraceKind::Device => 'd',
+        TraceKind::Workload => 'w',
+        TraceKind::Other => '.',
+    }
+}
+
+/// Summarise a trace window.
+pub fn analyze<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> TraceStats {
+    let mut stats = TraceStats::default();
+    for r in records {
+        if stats.first.is_none() {
+            stats.first = Some(r.at);
+        }
+        stats.last = Some(r.at);
+        stats.total += 1;
+        *stats.per_kind.entry(kind_name(r.kind)).or_default() += 1;
+        if let Some(cpu) = r.cpu {
+            *stats.per_cpu.entry(cpu).or_default() += 1;
+        }
+    }
+    stats
+}
+
+/// Render a per-CPU timeline: one row per CPU, one column per time bucket,
+/// each cell showing the glyph of the *most frequent* event kind in that
+/// bucket (capital `I` = irq, `b` = bottom half, `s` = sched, `L` = lock,
+/// space = quiet).
+pub fn render_timeline<'a>(
+    records: impl IntoIterator<Item = &'a TraceRecord>,
+    cpus: u32,
+    columns: usize,
+) -> String {
+    assert!(columns > 0 && cpus > 0);
+    let records: Vec<&TraceRecord> = records.into_iter().collect();
+    let stats = analyze(records.iter().copied());
+    let (Some(first), Some(last)) = (stats.first, stats.last) else {
+        return String::from("(empty trace)\n");
+    };
+    let span = last.saturating_since(first).as_ns().max(1);
+    // counts[cpu][column][kind-slot]
+    let mut counts = vec![vec![BTreeMap::<char, usize>::new(); columns]; cpus as usize];
+    for r in &records {
+        let Some(cpu) = r.cpu else { continue };
+        if cpu >= cpus {
+            continue;
+        }
+        let col = ((r.at.saturating_since(first).as_ns() as u128 * columns as u128)
+            / (span as u128 + 1)) as usize;
+        *counts[cpu as usize][col].entry(kind_glyph(r.kind)).or_default() += 1;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace {} .. {} ({}), {} records",
+        first,
+        last,
+        stats.span(),
+        stats.total
+    );
+    for (cpu, row) in counts.iter().enumerate() {
+        let cells: String = row
+            .iter()
+            .map(|bucket| {
+                bucket
+                    .iter()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(&g, _)| g)
+                    .unwrap_or(' ')
+            })
+            .collect();
+        let _ = writeln!(out, "cpu{cpu} |{cells}|");
+    }
+    out.push_str("       I=irq b=softirq s=sched L=lock t=timer S=shield\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at: u64, kind: TraceKind, cpu: Option<u32>) -> TraceRecord {
+        TraceRecord { at: Instant(at), kind, cpu, message: String::new() }
+    }
+
+    #[test]
+    fn analyze_counts_kinds_and_cpus() {
+        let records = vec![
+            rec(10, TraceKind::Irq, Some(0)),
+            rec(20, TraceKind::Irq, Some(1)),
+            rec(30, TraceKind::Sched, Some(0)),
+            rec(40, TraceKind::Shield, None),
+        ];
+        let s = analyze(&records);
+        assert_eq!(s.total, 4);
+        assert_eq!(s.per_kind["irq"], 2);
+        assert_eq!(s.per_kind["sched"], 1);
+        assert_eq!(s.per_cpu[&0], 2);
+        assert_eq!(s.per_cpu.get(&2), None);
+        assert_eq!(s.span(), Nanos(30));
+    }
+
+    #[test]
+    fn timeline_places_events_in_buckets() {
+        let records = vec![
+            rec(0, TraceKind::Irq, Some(0)),
+            rec(999, TraceKind::Sched, Some(1)),
+        ];
+        let text = render_timeline(&records, 2, 10);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].starts_with("cpu0 |I"), "{text}");
+        assert!(lines[2].ends_with("s|"), "{text}");
+    }
+
+    #[test]
+    fn timeline_majority_vote_per_cell() {
+        let records = vec![
+            rec(5, TraceKind::Sched, Some(0)),
+            rec(6, TraceKind::Irq, Some(0)),
+            rec(7, TraceKind::Irq, Some(0)),
+            rec(1_000, TraceKind::Lock, Some(0)), // stretches the span
+        ];
+        let text = render_timeline(&records, 1, 4);
+        assert!(text.lines().nth(1).unwrap().contains('I'), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        let text = render_timeline(&[], 2, 10);
+        assert_eq!(text, "(empty trace)\n");
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the metrics layer.
+
+use proptest::prelude::*;
+use simcore::Nanos;
+use sp_metrics::{CumulativeReport, JitterSeries, LatencyHistogram, LatencySummary};
+
+proptest! {
+    /// Histogram count/min/max/mean are exact; quantiles bracket the data
+    /// within the documented 1.6 % bucket resolution.
+    #[test]
+    fn histogram_matches_exact_statistics(
+        values in proptest::collection::vec(1u64..10_000_000_000, 1..500),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(Nanos(v));
+        }
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        let mean = values.iter().map(|&v| v as u128).sum::<u128>() / values.len() as u128;
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), Nanos(min));
+        prop_assert_eq!(h.max(), Nanos(max));
+        prop_assert_eq!(h.mean(), Nanos(mean as u64));
+
+        // Quantile sanity against a sorted copy.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1] as f64;
+            let est = h.quantile(q).as_ns() as f64;
+            prop_assert!(
+                est >= exact * 0.99 && est <= (exact * 1.04 + 2.0),
+                "q{q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    /// `count_below` is monotone in the threshold and bounded by the count.
+    #[test]
+    fn count_below_is_monotone(
+        values in proptest::collection::vec(1u64..1_000_000, 1..200),
+        thresholds in proptest::collection::vec(1u64..2_000_000, 2..20),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(Nanos(v));
+        }
+        let mut ts = thresholds;
+        ts.sort_unstable();
+        let mut last = 0;
+        for t in ts {
+            let c = h.count_below(Nanos(t));
+            prop_assert!(c >= last, "count_below not monotone");
+            prop_assert!(c <= h.count());
+            last = c;
+        }
+        prop_assert_eq!(h.count_below(Nanos(0)), 0);
+        prop_assert_eq!(h.count_below(Nanos(u64::MAX)), h.count());
+    }
+
+    /// Merging histograms equals recording the concatenation.
+    #[test]
+    fn merge_equals_concatenation(
+        a in proptest::collection::vec(1u64..1_000_000, 1..100),
+        b in proptest::collection::vec(1u64..1_000_000, 1..100),
+    ) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        let mut hall = LatencyHistogram::new();
+        for &v in &a {
+            ha.record(Nanos(v));
+            hall.record(Nanos(v));
+        }
+        for &v in &b {
+            hb.record(Nanos(v));
+            hall.record(Nanos(v));
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        prop_assert_eq!(ha.min(), hall.min());
+        prop_assert_eq!(ha.max(), hall.max());
+        prop_assert_eq!(ha.mean(), hall.mean());
+        prop_assert_eq!(ha.quantile(0.9), hall.quantile(0.9));
+    }
+
+    /// Summary fields are ordered: min <= p50 <= p90 <= p99 <= p99.9 <= max.
+    #[test]
+    fn summary_quantiles_are_ordered(
+        values in proptest::collection::vec(1u64..100_000_000, 2..300),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(Nanos(v));
+        }
+        let s = LatencySummary::from_histogram(&h);
+        prop_assert!(s.min <= s.p50 || s.p50.as_ns() + 2 >= s.min.as_ns());
+        prop_assert!(s.p50 <= s.p90);
+        prop_assert!(s.p90 <= s.p99);
+        prop_assert!(s.p99 <= s.p999);
+        prop_assert!(s.p999 <= s.p9999);
+        prop_assert!(s.p9999 <= s.max.max(s.p9999));
+        prop_assert!(s.max >= s.min);
+    }
+
+    /// Cumulative report fractions are nondecreasing and end at ≤ 1.
+    #[test]
+    fn cumulative_fractions_monotone(
+        values in proptest::collection::vec(1u64..50_000_000, 1..200),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(Nanos(v));
+        }
+        let report = CumulativeReport::new(&h, &CumulativeReport::paper_ms_ladder());
+        let mut last = 0.0;
+        for row in &report.rows {
+            prop_assert!(row.fraction >= last);
+            prop_assert!(row.fraction <= 1.0 + 1e-12);
+            last = row.fraction;
+        }
+    }
+
+    /// Jitter is invariant under sample order, and zero for constant series.
+    #[test]
+    fn jitter_order_invariant(mut values in proptest::collection::vec(1u64..1_000_000, 2..100)) {
+        let mut a = JitterSeries::new();
+        for &v in &values {
+            a.record(Nanos(v));
+        }
+        values.reverse();
+        let mut b = JitterSeries::new();
+        for &v in &values {
+            b.record(Nanos(v));
+        }
+        prop_assert_eq!(a.summary(), b.summary());
+
+        let mut c = JitterSeries::new();
+        for _ in 0..10 {
+            c.record(Nanos(values[0]));
+        }
+        prop_assert_eq!(c.summary().jitter, Nanos::ZERO);
+        prop_assert_eq!(c.summary().jitter_pct(), 0.0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Duration distributions used to model service times and arrival processes.
+//!
+//! The kernel simulator draws ISR lengths, critical-section hold times,
+//! softirq bursts and interrupt inter-arrival gaps from these. Everything
+//! samples into [`Nanos`]; parameters are expressed in nanoseconds so model
+//! constants read directly against the paper's numbers.
+
+use crate::rng::SimRng;
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// A distribution over time spans.
+///
+/// ```
+/// use simcore::{DurationDist, Nanos, SimRng};
+///
+/// // Mostly-short critical sections with a bounded heavy tail.
+/// let hold = DurationDist::bounded_pareto(Nanos::from_us(2), Nanos::from_ms(1), 1.1);
+/// let mut rng = SimRng::new(7);
+/// let sample = hold.sample(&mut rng);
+/// assert!(sample >= Nanos::from_us(2) && sample <= Nanos::from_ms(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DurationDist {
+    /// Always the same span.
+    Constant(u64),
+    /// Uniform over `[lo, hi]` nanoseconds.
+    Uniform { lo: u64, hi: u64 },
+    /// Exponential with the given mean (ns). Models Poisson arrival gaps.
+    Exponential { mean: u64 },
+    /// Log-normal parameterised by the *median* (ns) and `sigma` of the
+    /// underlying normal. Right-skewed; models service times with occasional
+    /// slow outliers.
+    LogNormal { median: u64, sigma: f64 },
+    /// Bounded Pareto over `[lo, hi]` ns with tail index `alpha`.
+    /// Heavy-tailed; models critical-section hold times where most sections
+    /// are short but the worst case is orders of magnitude longer.
+    BoundedPareto { lo: u64, hi: u64, alpha: f64 },
+    /// Mixture: pick one branch by weight, then sample it. Weights need not
+    /// sum to 1. Models e.g. "mostly-fast syscall, occasionally takes the
+    /// slow path through a long critical section".
+    Mix(Vec<(f64, DurationDist)>),
+    /// Base distribution plus a constant offset, for "fixed overhead + noise".
+    Shifted { base: u64, rest: Box<DurationDist> },
+}
+
+impl DurationDist {
+    pub fn constant(d: Nanos) -> Self {
+        DurationDist::Constant(d.as_ns())
+    }
+
+    pub fn uniform(lo: Nanos, hi: Nanos) -> Self {
+        assert!(lo <= hi, "uniform: lo > hi");
+        DurationDist::Uniform { lo: lo.as_ns(), hi: hi.as_ns() }
+    }
+
+    pub fn exponential(mean: Nanos) -> Self {
+        assert!(!mean.is_zero(), "exponential: zero mean");
+        DurationDist::Exponential { mean: mean.as_ns() }
+    }
+
+    pub fn log_normal(median: Nanos, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "log_normal: negative sigma");
+        DurationDist::LogNormal { median: median.as_ns(), sigma }
+    }
+
+    pub fn bounded_pareto(lo: Nanos, hi: Nanos, alpha: f64) -> Self {
+        assert!(lo < hi, "bounded_pareto: lo >= hi");
+        assert!(lo.as_ns() > 0, "bounded_pareto: lo must be positive");
+        assert!(alpha > 0.0, "bounded_pareto: alpha must be positive");
+        DurationDist::BoundedPareto { lo: lo.as_ns(), hi: hi.as_ns(), alpha }
+    }
+
+    pub fn mix(branches: Vec<(f64, DurationDist)>) -> Self {
+        assert!(!branches.is_empty(), "mix: empty");
+        assert!(branches.iter().all(|(w, _)| *w >= 0.0), "mix: negative weight");
+        assert!(branches.iter().map(|(w, _)| w).sum::<f64>() > 0.0, "mix: zero total weight");
+        DurationDist::Mix(branches)
+    }
+
+    pub fn shifted(base: Nanos, rest: DurationDist) -> Self {
+        DurationDist::Shifted { base: base.as_ns(), rest: Box::new(rest) }
+    }
+
+    /// Draw one span.
+    pub fn sample(&self, rng: &mut SimRng) -> Nanos {
+        match self {
+            DurationDist::Constant(ns) => Nanos(*ns),
+            DurationDist::Uniform { lo, hi } => Nanos(rng.range_inclusive(*lo, *hi)),
+            DurationDist::Exponential { mean } => {
+                let u = rng.f64_open0();
+                Nanos((-(u.ln()) * *mean as f64).round() as u64)
+            }
+            DurationDist::LogNormal { median, sigma } => {
+                let z = sample_standard_normal(rng);
+                Nanos((*median as f64 * (sigma * z).exp()).round() as u64)
+            }
+            DurationDist::BoundedPareto { lo, hi, alpha } => {
+                // Inverse CDF of the bounded Pareto on [lo, hi].
+                let l = *lo as f64;
+                let h = *hi as f64;
+                let a = *alpha;
+                let u = rng.f64();
+                let la = l.powf(a);
+                let ha = h.powf(a);
+                let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / a);
+                Nanos(x.round().clamp(l, h) as u64)
+            }
+            DurationDist::Mix(branches) => {
+                let total: f64 = branches.iter().map(|(w, _)| w).sum();
+                let mut pick = rng.f64() * total;
+                for (w, d) in branches {
+                    if pick < *w {
+                        return d.sample(rng);
+                    }
+                    pick -= w;
+                }
+                // Floating-point slop: fall through to the last branch.
+                branches.last().expect("mix is non-empty").1.sample(rng)
+            }
+            DurationDist::Shifted { base, rest } => Nanos(*base) + rest.sample(rng),
+        }
+    }
+
+    /// The smallest value the distribution can produce (used by tests and by
+    /// budget sanity checks in scenario builders).
+    pub fn lower_bound(&self) -> Nanos {
+        match self {
+            DurationDist::Constant(ns) => Nanos(*ns),
+            DurationDist::Uniform { lo, .. } => Nanos(*lo),
+            DurationDist::Exponential { .. } => Nanos::ZERO,
+            DurationDist::LogNormal { .. } => Nanos::ZERO,
+            DurationDist::BoundedPareto { lo, .. } => Nanos(*lo),
+            DurationDist::Mix(branches) => branches
+                .iter()
+                .filter(|(w, _)| *w > 0.0)
+                .map(|(_, d)| d.lower_bound())
+                .min()
+                .unwrap_or(Nanos::ZERO),
+            DurationDist::Shifted { base, rest } => Nanos(*base) + rest.lower_bound(),
+        }
+    }
+
+    /// An upper bound if one exists (heavy-tailed unbounded forms return None).
+    pub fn upper_bound(&self) -> Option<Nanos> {
+        match self {
+            DurationDist::Constant(ns) => Some(Nanos(*ns)),
+            DurationDist::Uniform { hi, .. } => Some(Nanos(*hi)),
+            DurationDist::Exponential { .. } | DurationDist::LogNormal { .. } => None,
+            DurationDist::BoundedPareto { hi, .. } => Some(Nanos(*hi)),
+            DurationDist::Mix(branches) => {
+                let mut max = Nanos::ZERO;
+                for (w, d) in branches {
+                    if *w > 0.0 {
+                        max = max.max(d.upper_bound()?);
+                    }
+                }
+                Some(max)
+            }
+            DurationDist::Shifted { base, rest } => Some(Nanos(*base) + rest.upper_bound()?),
+        }
+    }
+}
+
+/// Standard normal via Box–Muller. One draw per call; the pair's second value
+/// is discarded to keep the generator state trajectory simple to reason about.
+fn sample_standard_normal(rng: &mut SimRng) -> f64 {
+    let u1 = rng.f64_open0();
+    let u2 = rng.f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Nanos;
+
+    fn rng() -> SimRng {
+        SimRng::new(0xD15E_A5ED)
+    }
+
+    fn mean_of(d: &DurationDist, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| d.sample(&mut r).as_ns() as f64).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = DurationDist::constant(Nanos(123));
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r), Nanos(123));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let d = DurationDist::uniform(Nanos(10), Nanos(20));
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let v = d.sample(&mut r);
+            assert!((10..=20).contains(&v.as_ns()));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = DurationDist::exponential(Nanos(1_000));
+        let m = mean_of(&d, 200_000);
+        assert!((m - 1_000.0).abs() < 20.0, "mean {m}");
+    }
+
+    #[test]
+    fn log_normal_median_converges() {
+        let d = DurationDist::log_normal(Nanos(1_000), 0.5);
+        let mut r = rng();
+        let mut samples: Vec<u64> = (0..100_001).map(|_| d.sample(&mut r).as_ns()).collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2] as f64;
+        assert!((median - 1_000.0).abs() < 30.0, "median {median}");
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let d = DurationDist::bounded_pareto(Nanos(100), Nanos(10_000), 1.2);
+        let mut r = rng();
+        let mut hit_low_half = false;
+        let mut hit_top_decade = false;
+        for _ in 0..100_000 {
+            let v = d.sample(&mut r).as_ns();
+            assert!((100..=10_000).contains(&v), "out of bounds: {v}");
+            if v < 200 {
+                hit_low_half = true;
+            }
+            if v > 5_000 {
+                hit_top_decade = true;
+            }
+        }
+        assert!(hit_low_half, "mass should concentrate near lo");
+        assert!(hit_top_decade, "tail should reach toward hi");
+    }
+
+    #[test]
+    fn mix_selects_all_branches() {
+        let d = DurationDist::mix(vec![
+            (0.5, DurationDist::constant(Nanos(1))),
+            (0.5, DurationDist::constant(Nanos(1_000_000))),
+        ]);
+        let mut r = rng();
+        let mut small = 0usize;
+        let mut big = 0usize;
+        for _ in 0..10_000 {
+            match d.sample(&mut r).as_ns() {
+                1 => small += 1,
+                1_000_000 => big += 1,
+                other => panic!("unexpected sample {other}"),
+            }
+        }
+        assert!(small > 4_000 && big > 4_000, "small={small} big={big}");
+    }
+
+    #[test]
+    fn rare_mix_branch_still_fires() {
+        let d = DurationDist::mix(vec![
+            (0.999, DurationDist::constant(Nanos(1))),
+            (0.001, DurationDist::constant(Nanos(9_999))),
+        ]);
+        let mut r = rng();
+        let rare = (0..100_000).filter(|_| d.sample(&mut r) == Nanos(9_999)).count();
+        assert!(rare > 20 && rare < 500, "rare branch count {rare}");
+    }
+
+    #[test]
+    fn shifted_adds_base() {
+        let d = DurationDist::shifted(Nanos(500), DurationDist::uniform(Nanos(0), Nanos(10)));
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = d.sample(&mut r).as_ns();
+            assert!((500..=510).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bounds_reporting() {
+        let d = DurationDist::mix(vec![
+            (1.0, DurationDist::uniform(Nanos(5), Nanos(10))),
+            (1.0, DurationDist::bounded_pareto(Nanos(2), Nanos(100), 1.0)),
+        ]);
+        assert_eq!(d.lower_bound(), Nanos(2));
+        assert_eq!(d.upper_bound(), Some(Nanos(100)));
+        let unbounded = DurationDist::exponential(Nanos(10));
+        assert_eq!(unbounded.upper_bound(), None);
+        let shifted = DurationDist::shifted(Nanos(3), DurationDist::constant(Nanos(4)));
+        assert_eq!(shifted.lower_bound(), Nanos(7));
+        assert_eq!(shifted.upper_bound(), Some(Nanos(7)));
+    }
+}

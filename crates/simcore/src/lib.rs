@@ -1,0 +1,22 @@
+//! # simcore — deterministic discrete-event simulation core
+//!
+//! Foundation layer for the shielded-processors reproduction: virtual time
+//! ([`Nanos`], [`Instant`]), a stable-ordered [`EventQueue`], a reproducible
+//! RNG ([`SimRng`]) with the duration distributions ([`DurationDist`]) the
+//! kernel model draws service times from, and a bounded [`Tracer`].
+//!
+//! Everything above this crate (hardware model, kernel, devices, workloads)
+//! is pure simulation logic driven by these primitives; given the same seed
+//! and configuration, a run is bit-for-bit reproducible.
+
+pub mod dist;
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use dist::DurationDist;
+pub use queue::{EventKey, EventQueue};
+pub use rng::SimRng;
+pub use time::{Instant, Nanos};
+pub use trace::{TraceKind, TraceRecord, Tracer};

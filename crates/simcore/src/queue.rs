@@ -1,0 +1,213 @@
+//! The simulation event queue.
+//!
+//! A min-heap keyed on `(Instant, seq)`. The monotonically increasing sequence
+//! number makes event ordering total and *stable*: two events scheduled for
+//! the same instant fire in the order they were scheduled, which keeps the
+//! whole simulation deterministic for a given seed.
+//!
+//! Events can be cancelled lazily through the [`EventKey`] returned at push
+//! time (used for timers that get rearmed or torn down): cancelled entries are
+//! skipped when they surface at the top of the heap.
+
+use crate::time::Instant;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey(u64);
+
+struct Entry<E> {
+    at: Instant,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Seqs of events that are in the heap and have not been cancelled.
+    pending: HashSet<u64>,
+    /// Seqs of events that are in the heap but were cancelled (tombstones).
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at `at`. Returns a key usable with [`cancel`].
+    ///
+    /// [`cancel`]: EventQueue::cancel
+    pub fn push(&mut self, at: Instant, event: E) -> EventKey {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        self.pending.insert(seq);
+        EventKey(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. had not fired and was not already cancelled).
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if self.pending.remove(&key.0) {
+            self.cancelled.insert(key.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove and return the earliest live event.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.pending.remove(&entry.seq);
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// The instant of the earliest live event, if any.
+    pub fn peek_time(&mut self) -> Option<Instant> {
+        // Drain cancelled tombstones off the top so peek is accurate.
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.seq) {
+                let seq = top.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(top.at);
+            }
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled, not yet fired) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Instant(30), "c");
+        q.push(Instant(10), "a");
+        q.push(Instant(20), "b");
+        assert_eq!(q.pop(), Some((Instant(10), "a")));
+        assert_eq!(q.pop(), Some((Instant(20), "b")));
+        assert_eq!(q.pop(), Some((Instant(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Instant(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Instant(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let _a = q.push(Instant(1), "a");
+        let b = q.push(Instant(2), "b");
+        let _c = q.push(Instant(3), "c");
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b), "double cancel reports false");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((Instant(1), "a")));
+        assert_eq!(q.pop(), Some((Instant(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.push(Instant(1), "a");
+        assert_eq!(q.pop(), Some((Instant(1), "a")));
+        assert!(!q.cancel(a));
+        // A later push must still work and not be eaten by a stale tombstone.
+        q.push(Instant(2), "b");
+        assert_eq!(q.pop(), Some((Instant(2), "b")));
+    }
+
+    #[test]
+    fn cancel_does_not_affect_other_pending_events() {
+        let mut q = EventQueue::new();
+        let a = q.push(Instant(1), "a");
+        q.push(Instant(2), "b");
+        assert_eq!(q.pop(), Some((Instant(1), "a")));
+        // `a` has fired; cancelling it now must not eat `b`.
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Instant(2), "b")));
+    }
+
+    #[test]
+    fn peek_time_sees_through_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.push(Instant(1), "a");
+        q.push(Instant(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Instant(2)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cancel_bogus_key_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventKey(42)));
+    }
+}

@@ -1,0 +1,39 @@
+//! Kernel-segment vocabulary for the workload syscalls.
+//!
+//! Short lock holds with bounded-Pareto tails; the long critical sections
+//! that differ per kernel variant are injected by the simulator itself
+//! (see `sp_kernel::params::SectionProfile`), so workload profiles stay
+//! kernel-independent, as the paper's workloads were.
+
+use simcore::{DurationDist, Nanos};
+
+/// A short kernel hold: mass near `lo`, tail to `hi`.
+pub fn hold(lo_us: u64, hi_us: u64) -> DurationDist {
+    DurationDist::bounded_pareto(Nanos::from_us(lo_us), Nanos::from_us(hi_us), 1.2)
+}
+
+/// Plain (unlocked) kernel work.
+pub fn work(lo_us: u64, hi_us: u64) -> DurationDist {
+    DurationDist::bounded_pareto(Nanos::from_us(lo_us), Nanos::from_us(hi_us), 1.1)
+}
+
+/// User-mode compute burst.
+pub fn burst(mean_us: u64) -> DurationDist {
+    DurationDist::exponential(Nanos::from_us(mean_us))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimRng;
+
+    #[test]
+    fn holds_are_bounded() {
+        let d = hold(1, 20);
+        let mut rng = SimRng::new(1);
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!(v >= Nanos::from_us(1) && v <= Nanos::from_us(20));
+        }
+    }
+}

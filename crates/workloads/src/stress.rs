@@ -1,0 +1,240 @@
+//! The Red Hat `stress-kernel` RPM, as used by the paper's §6 interrupt
+//! response tests (following Clark Williams' scheduler-latency study, the
+//! paper's reference \[5\]). Six components, each reproduced as the kernel
+//! activity it induces:
+//!
+//! * **NFS-COMPILE** — repeated kernel compiles over loopback NFS: compute
+//!   bursts, path lookups (dcache), loopback network I/O;
+//! * **TTCP** — bulk data over loopback: socket syscalls under the net lock
+//!   with blocking NIC I/O, heavy `net_rx` bottom halves;
+//! * **FIFOS_MMAP** — FIFO ping-pong alternated with mmap'd file work:
+//!   pipe syscalls under the file lock, page faults (tasks not mlocked);
+//! * **P3_FPU** — floating-point matrix work: pure user compute;
+//! * **FS** — pathological file-system metadata abuse: dcache/file/BKL
+//!   holds, disk I/O, occasional giant truncates;
+//! * **CRASHME** — random code execution: bursts of faults and signal
+//!   delivery.
+
+use crate::profiles::{burst, hold, work};
+
+use sp_kernel::{
+    DeviceId, KernelSegment, LockId, Op, Pid, Program, SchedPolicy, Simulator, SyscallService,
+    TaskSpec,
+};
+
+/// Pids spawned for one workload component.
+#[derive(Debug, Clone)]
+pub struct WorkloadSet {
+    pub name: &'static str,
+    pub pids: Vec<Pid>,
+}
+
+/// Devices the stress components talk to.
+#[derive(Debug, Clone, Copy)]
+pub struct StressDevices {
+    pub nic: DeviceId,
+    pub disk: DeviceId,
+}
+
+/// Install the full stress-kernel suite.
+pub fn stress_kernel(sim: &mut Simulator, devs: StressDevices) -> Vec<WorkloadSet> {
+    vec![
+        nfs_compile(sim, devs),
+        ttcp_loopback(sim, devs.nic),
+        fifos_mmap(sim, devs),
+        p3_fpu(sim),
+        fs_torture(sim, devs.disk),
+        crashme(sim),
+    ]
+}
+
+/// NFS-COMPILE: gcc-like processes reading sources over loopback NFS and
+/// writing objects to disk.
+pub fn nfs_compile(sim: &mut Simulator, devs: StressDevices) -> WorkloadSet {
+    let open = sim.register_syscall(
+        // 2.4 fs code paths enter under the BKL.
+        SyscallService::new("nfs_open")
+            .segment(KernelSegment::locked(LockId::DCACHE, hold(1, 25)))
+            .segment(KernelSegment::locked(LockId::FILE, hold(1, 10)).with_prob(0.4))
+            .with_bkl(),
+    );
+    let read_nfs = sim.register_syscall(
+        SyscallService::new("nfs_read")
+            .segment(KernelSegment::locked(LockId::NET, hold(2, 30)))
+            .blocking_io(devs.nic),
+    );
+    let write_obj = sim.register_syscall(
+        SyscallService::new("obj_write")
+            .segment(KernelSegment::locked(LockId::FILE, hold(1, 15)))
+            .segment(KernelSegment::locked(LockId::MM, hold(1, 10)).with_prob(0.5))
+            .blocking_io(devs.disk),
+    );
+    let mut pids = Vec::new();
+    for i in 0..2 {
+        let prog = Program::forever(vec![
+            Op::Syscall(open),
+            Op::Syscall(read_nfs),
+            Op::Compute(burst(2_500)), // parse + codegen
+            Op::Syscall(write_obj),
+        ]);
+        pids.push(sim.spawn(TaskSpec::new(format!("nfs-compile{i}"), SchedPolicy::nice(0), prog)));
+    }
+    WorkloadSet { name: "NFS-COMPILE", pids }
+}
+
+/// TTCP over the loopback device: a sender/receiver pair moving large
+/// buffers through the socket layer.
+pub fn ttcp_loopback(sim: &mut Simulator, nic: DeviceId) -> WorkloadSet {
+    let send = sim.register_syscall(
+        SyscallService::new("ttcp_send")
+            .segment(KernelSegment::work(work(3, 40)))
+            .segment(KernelSegment::locked(LockId::NET, hold(2, 35)))
+            .blocking_io(nic),
+    );
+    let recv = sim.register_syscall(
+        SyscallService::new("ttcp_recv")
+            .segment(KernelSegment::locked(LockId::NET, hold(2, 25)))
+            .blocking_io(nic),
+    );
+    let sender = sim.spawn(TaskSpec::new(
+        "ttcp-tx",
+        SchedPolicy::nice(0),
+        Program::forever(vec![Op::Compute(burst(150)), Op::Syscall(send)]),
+    ));
+    let receiver = sim.spawn(TaskSpec::new(
+        "ttcp-rx",
+        SchedPolicy::nice(0),
+        Program::forever(vec![Op::Syscall(recv), Op::Compute(burst(100))]),
+    ));
+    WorkloadSet { name: "TTCP", pids: vec![sender, receiver] }
+}
+
+/// FIFOS_MMAP: alternate FIFO ping-pong with operations on an mmap'd file.
+/// Not mlocked: the mmap side takes real page faults.
+pub fn fifos_mmap(sim: &mut Simulator, devs: StressDevices) -> WorkloadSet {
+    let fifo_op = sim.register_syscall(
+        SyscallService::new("fifo_rw")
+            .segment(KernelSegment::locked(LockId::FILE, hold(1, 12))),
+    );
+    let mmap_op = sim.register_syscall(
+        SyscallService::new("mmap_touch")
+            .segment(KernelSegment::locked(LockId::MM, hold(2, 40)))
+            .segment(KernelSegment::locked(LockId::FILE, hold(1, 8)).with_prob(0.3)),
+    );
+    let msync = sim.register_syscall(
+        SyscallService::new("msync")
+            .segment(KernelSegment::locked(LockId::MM, hold(2, 25)))
+            .blocking_io(devs.disk),
+    );
+    let mut pids = Vec::new();
+    for i in 0..2 {
+        let prog = Program::forever(vec![
+            Op::Syscall(fifo_op),
+            Op::Compute(burst(300)),
+            Op::Syscall(mmap_op),
+            Op::Compute(burst(200)),
+            Op::Syscall(msync),
+        ]);
+        pids.push(sim.spawn(TaskSpec::new(format!("fifos-mmap{i}"), SchedPolicy::nice(0), prog)));
+    }
+    WorkloadSet { name: "FIFOS_MMAP", pids }
+}
+
+/// P3_FPU: floating-point matrix operations — pure user-mode compute.
+pub fn p3_fpu(sim: &mut Simulator) -> WorkloadSet {
+    let mut pids = Vec::new();
+    for i in 0..2 {
+        // Pure floating-point matrix work: no syscalls at all between
+        // (simulated) result batches.
+        let prog = Program::forever(vec![Op::Compute(burst(8_000))]);
+        pids.push(
+            sim.spawn(TaskSpec::new(format!("p3-fpu{i}"), SchedPolicy::nice(0), prog).mlockall()),
+        );
+    }
+    WorkloadSet { name: "P3_FPU", pids }
+}
+
+/// FS: "all sorts of unnatural acts on a set of files" — metadata storms,
+/// holes, truncates and extends. The giant-truncate syscalls are where the
+/// variant-injected long critical sections mostly land in practice.
+pub fn fs_torture(sim: &mut Simulator, disk: DeviceId) -> WorkloadSet {
+    let meta = sim.register_syscall(
+        SyscallService::new("fs_meta")
+            .segment(KernelSegment::locked(LockId::DCACHE, hold(1, 30)))
+            .segment(KernelSegment::locked(LockId::FILE, hold(1, 20)))
+            .with_bkl(),
+    );
+    let truncate = sim.register_syscall(
+        SyscallService::new("fs_truncate")
+            .segment(KernelSegment::locked(LockId::FILE, hold(2, 60)))
+            .segment(KernelSegment::work(work(5, 400)))
+            .with_bkl()
+            .blocking_io(disk),
+    );
+    let mut pids = Vec::new();
+    for i in 0..2 {
+        let prog = Program::forever(vec![
+            Op::Syscall(meta),
+            Op::Compute(burst(400)),
+            Op::Syscall(truncate),
+        ]);
+        pids.push(sim.spawn(TaskSpec::new(format!("fs{i}"), SchedPolicy::nice(0), prog)));
+    }
+    WorkloadSet { name: "FS", pids }
+}
+
+/// CRASHME: execute random bytes — short user bursts ending in faults and
+/// signal delivery. Not mlocked, so the fault path stays hot.
+pub fn crashme(sim: &mut Simulator) -> WorkloadSet {
+    let sigpath = sim.register_syscall(
+        SyscallService::new("signal_deliver")
+            .segment(KernelSegment::work(work(2, 30)))
+            .segment(KernelSegment::locked(LockId::MM, hold(1, 10)).with_prob(0.5)),
+    );
+    let prog = Program::forever(vec![Op::Compute(burst(500)), Op::Syscall(sigpath)]);
+    let pid = sim.spawn(TaskSpec::new("crashme", SchedPolicy::nice(0), prog));
+    WorkloadSet { name: "CRASHME", pids: vec![pid] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Nanos;
+    use sp_devices::{DiskDevice, NicDevice};
+    use sp_hw::MachineConfig;
+    use sp_kernel::KernelConfig;
+
+    #[test]
+    fn stress_kernel_spawns_all_components() {
+        let mut sim =
+            Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::vanilla(), 1);
+        let nic = sim.add_device(Box::new(NicDevice::new(None)));
+        let disk = sim.add_device(Box::new(DiskDevice::new()));
+        let sets = stress_kernel(&mut sim, StressDevices { nic, disk });
+        assert_eq!(sets.len(), 6);
+        let total: usize = sets.iter().map(|s| s.pids.len()).sum();
+        assert_eq!(total, sim.task_count());
+        sim.start();
+        sim.run_for(Nanos::from_secs(1));
+        // The suite keeps the machine busy and the kernel hot.
+        let busy: Nanos = sim.obs.cpu.iter().map(|c| c.busy()).sum();
+        assert!(busy > Nanos::from_ms(1_200), "busy {busy}");
+        let kernel: Nanos = sim.obs.cpu.iter().map(|c| c.kernel).sum();
+        assert!(kernel > Nanos::from_ms(50), "kernel time {kernel}");
+    }
+
+    #[test]
+    fn stress_kernel_contends_global_locks() {
+        let mut sim =
+            Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::vanilla(), 2);
+        let nic = sim.add_device(Box::new(NicDevice::new(None)));
+        let disk = sim.add_device(Box::new(DiskDevice::new()));
+        stress_kernel(&mut sim, StressDevices { nic, disk });
+        sim.start();
+        sim.run_for(Nanos::from_secs(2));
+        let file = sim.lock_stats().get(LockId::FILE);
+        assert!(file.acquisitions > 400, "file lock hot: {}", file.acquisitions);
+        let dcache = sim.lock_stats().get(LockId::DCACHE);
+        assert!(dcache.acquisitions > 150, "dcache hot: {}", dcache.acquisitions);
+    }
+}

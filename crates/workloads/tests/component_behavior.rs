@@ -1,0 +1,112 @@
+//! Each stress-kernel component induces the class of kernel activity it is
+//! named for — the property that makes the suite a valid stand-in for the
+//! Red Hat RPM.
+
+use simcore::Nanos;
+use sp_devices::{DiskDevice, NicDevice};
+use sp_hw::MachineConfig;
+use sp_kernel::{KernelConfig, LockId, Simulator};
+use sp_workloads::{
+    crashme, disknoise, fifos_mmap, fs_torture, nfs_compile, p3_fpu, scp_receiver, ttcp_loopback,
+    StressDevices,
+};
+
+fn sim_with_devices() -> (Simulator, StressDevices) {
+    let mut sim = Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::vanilla(), 0x110);
+    let nic = sim.add_device(Box::new(NicDevice::new(None)));
+    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    (sim, StressDevices { nic, disk })
+}
+
+#[test]
+fn nfs_compile_mixes_compute_net_and_disk() {
+    let (mut sim, devs) = sim_with_devices();
+    let set = nfs_compile(&mut sim, devs);
+    assert_eq!(set.pids.len(), 2);
+    sim.start();
+    sim.run_for(Nanos::from_secs(3));
+    let user: Nanos = sim.obs.cpu.iter().map(|c| c.user).sum();
+    let irqs: u64 = sim.obs.cpu.iter().map(|c| c.irqs).sum();
+    assert!(user > Nanos::from_ms(500), "compile compute: {user}");
+    assert!(irqs > 200, "loopback + disk completions: {irqs}");
+    assert!(sim.lock_stats().get(LockId::DCACHE).acquisitions > 100, "path lookups");
+}
+
+#[test]
+fn ttcp_hammers_the_net_lock() {
+    let (mut sim, devs) = sim_with_devices();
+    ttcp_loopback(&mut sim, devs.nic);
+    sim.start();
+    sim.run_for(Nanos::from_secs(2));
+    let net = sim.lock_stats().get(LockId::NET);
+    assert!(net.acquisitions > 1_000, "socket traffic: {}", net.acquisitions);
+}
+
+#[test]
+fn fifos_mmap_faults_and_syncs() {
+    let (mut sim, devs) = sim_with_devices();
+    fifos_mmap(&mut sim, devs);
+    sim.start();
+    sim.run_for(Nanos::from_secs(2));
+    let mm = sim.lock_stats().get(LockId::MM);
+    assert!(mm.acquisitions > 200, "mmap + fault traffic: {}", mm.acquisitions);
+}
+
+#[test]
+fn p3_fpu_is_pure_userspace() {
+    let (mut sim, _) = sim_with_devices();
+    p3_fpu(&mut sim);
+    sim.start();
+    sim.run_for(Nanos::from_secs(2));
+    let user: Nanos = sim.obs.cpu.iter().map(|c| c.user).sum();
+    let kernel: Nanos = sim.obs.cpu.iter().map(|c| c.kernel).sum();
+    assert!(user > Nanos::from_ms(1_500), "fp compute: {user}");
+    assert!(
+        kernel < user / 50,
+        "negligible kernel time: user {user} vs kernel {kernel}"
+    );
+    // mlocked: zero page faults.
+    assert_eq!(sim.lock_stats().get(LockId::MM).acquisitions, 0);
+}
+
+#[test]
+fn fs_torture_takes_the_bkl() {
+    let (mut sim, devs) = sim_with_devices();
+    fs_torture(&mut sim, devs.disk);
+    sim.start();
+    sim.run_for(Nanos::from_secs(3));
+    let bkl = sim.lock_stats().get(LockId::BKL);
+    assert!(bkl.acquisitions > 100, "2.4 fs paths under BKL: {}", bkl.acquisitions);
+    assert!(
+        sim.lock_stats().get(LockId::FILE).acquisitions > 200,
+        "metadata storms hit the file lock"
+    );
+}
+
+#[test]
+fn crashme_faults_without_mlock() {
+    let (mut sim, _) = sim_with_devices();
+    crashme(&mut sim);
+    sim.start();
+    sim.run_for(Nanos::from_secs(3));
+    assert!(
+        sim.lock_stats().get(LockId::MM).acquisitions > 30,
+        "random-code faults: {}",
+        sim.lock_stats().get(LockId::MM).acquisitions
+    );
+}
+
+#[test]
+fn scp_and_disknoise_drive_the_disk_hard() {
+    let (mut sim, devs) = sim_with_devices();
+    scp_receiver(&mut sim, devs.disk);
+    disknoise(&mut sim, devs.disk);
+    sim.start();
+    sim.run_for(Nanos::from_secs(3));
+    let irqs: u64 = sim.obs.cpu.iter().map(|c| c.irqs).sum();
+    assert!(irqs > 400, "disk completion interrupts: {irqs}");
+    assert!(
+        sim.lock_stats().get(LockId::BKL).acquisitions > 50,
+        "disknoise rm takes the BKL"
+    );
+}

@@ -1,0 +1,39 @@
+//! The §5 determinism experiment as an application: time a fixed compute
+//! loop under background load on four kernel configurations and print the
+//! paper-style variance histograms side by side.
+//!
+//! Run with: `cargo run --release --example determinism [iterations]`
+
+use shielded_processors::prelude::*;
+use sp_experiments::report::render_determinism;
+use sp_experiments::{run_determinism, DeterminismConfig};
+
+fn main() {
+    let iterations: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
+
+    let configs = [
+        ("fig1", DeterminismConfig::fig1_vanilla_ht()),
+        ("fig2", DeterminismConfig::fig2_redhawk_shielded()),
+        ("fig3", DeterminismConfig::fig3_redhawk_unshielded()),
+        ("fig4", DeterminismConfig::fig4_vanilla_noht()),
+    ];
+
+    let mut table = Table::new(["figure", "configuration", "ideal", "max", "jitter %"]);
+    for (id, cfg) in configs {
+        let cfg = cfg.with_iterations(iterations);
+        let r = run_determinism(&cfg);
+        print!("{}", render_determinism(id, &r));
+        table.row([
+            id.to_string(),
+            cfg.label(),
+            format!("{:.4}s", r.summary.ideal.as_secs_f64()),
+            format!("{:.4}s", r.summary.max.as_secs_f64()),
+            format!("{:.2}", r.summary.jitter_pct()),
+        ]);
+    }
+    println!("\nsummary ({iterations} iterations each):\n");
+    print!("{}", table.render());
+}

@@ -1,0 +1,195 @@
+//! Property-based invariants over the whole stack: shield arithmetic,
+//! accounting conservation, determinism, and scheduler sanity under random
+//! configurations.
+
+use proptest::prelude::*;
+use shielded_processors::prelude::*;
+use sp_kernel::effective_mask;
+
+// ---------------------------------------------------------------------
+// Shield arithmetic (pure function, exhaustive-ish random coverage).
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The §3 rule, as properties: the result is always non-empty when the
+    /// request intersects online CPUs; it never contains offline CPUs; it
+    /// only overlaps the shield when the request lies entirely inside it.
+    #[test]
+    fn effective_mask_properties(req in 1u64..=0xF, shield in 0u64..=0xF, online_bits in 1u32..=4) {
+        let online = CpuMask::first_n(online_bits);
+        let req = CpuMask(req);
+        let shield = CpuMask(shield) & online;
+        prop_assume!(!(req & online).is_empty());
+
+        let eff = effective_mask(req, shield, online);
+        prop_assert!(!eff.is_empty(), "never empty");
+        prop_assert!(eff.is_subset_of(online), "never offline");
+        prop_assert!(eff.is_subset_of(req & online), "never beyond the request");
+        if eff.intersects(shield) {
+            prop_assert!(
+                (req & online).is_subset_of(shield),
+                "shield overlap only for fully-inside requests: req={req} shield={shield} eff={eff}"
+            );
+        } else {
+            prop_assert_eq!(eff, (req & online) - shield);
+        }
+    }
+
+    /// Idempotence: applying the rule twice changes nothing.
+    #[test]
+    fn effective_mask_idempotent(req in 1u64..=0xFF, shield in 0u64..=0xFF) {
+        let online = CpuMask::first_n(8);
+        let req = CpuMask(req);
+        let shield = CpuMask(shield);
+        prop_assume!(!(req & online).is_empty());
+        let once = effective_mask(req, shield, online);
+        let twice = effective_mask(once, shield, online);
+        prop_assert_eq!(once, twice);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Full-simulation properties on randomized scenarios.
+// ---------------------------------------------------------------------
+
+/// Build a small random scenario: N compute/sleep tasks across policies on a
+/// 2- or 4-CPU machine with a periodic interrupt source.
+fn random_sim(
+    seed: u64,
+    ht: bool,
+    redhawk: bool,
+    n_tasks: usize,
+    with_shield: bool,
+) -> (Simulator, Vec<Pid>) {
+    let machine = MachineConfig::dual_xeon_p4(ht);
+    let cfg = if redhawk { KernelConfig::redhawk() } else { KernelConfig::vanilla() };
+    let mut sim = Simulator::new(machine, cfg, seed);
+    let rtc = sim.add_device(Box::new(RtcDevice::new(256)));
+    let mut pids = Vec::new();
+    for i in 0..n_tasks {
+        let policy = match i % 3 {
+            0 => SchedPolicy::nice((i as i8 % 10) - 5),
+            1 => SchedPolicy::fifo(10 + (i as u8 % 50)),
+            _ => SchedPolicy::rr(5 + (i as u8 % 20)),
+        };
+        let prog = match i % 4 {
+            0 => Program::forever(vec![
+                Op::Compute(DurationDist::exponential(Nanos::from_us(200))),
+                Op::Sleep(DurationDist::exponential(Nanos::from_us(400))),
+            ]),
+            1 => Program::forever(vec![
+                Op::Compute(DurationDist::uniform(Nanos::from_us(50), Nanos::from_us(500))),
+                Op::Yield,
+            ]),
+            2 => Program::forever(vec![Op::WaitIrq { device: rtc, api: WaitApi::ReadDevice }]),
+            _ => Program::forever(vec![
+                Op::MarkLap,
+                Op::Compute(DurationDist::constant(Nanos::from_ms(1))),
+            ]),
+        };
+        pids.push(sim.spawn(TaskSpec::new(format!("t{i}"), policy, prog)));
+    }
+    sim.start();
+    if with_shield && redhawk {
+        let _ = sim.set_shield(ShieldCtl::full(CpuMask::single(CpuId(1))));
+    }
+    (sim, pids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Accounted busy time on each CPU never exceeds elapsed wall time, and
+    /// the simulation clock always reaches the requested horizon.
+    #[test]
+    fn accounting_is_conserved(
+        seed in 0u64..1_000,
+        ht in any::<bool>(),
+        redhawk in any::<bool>(),
+        n_tasks in 1usize..8,
+    ) {
+        let (mut sim, _) = random_sim(seed, ht, redhawk, n_tasks, false);
+        let horizon = Nanos::from_ms(200);
+        sim.run_for(horizon);
+        prop_assert!(sim.now() >= Instant::ZERO + horizon);
+        let elapsed = sim.now().as_ns();
+        for (i, acc) in sim.obs.cpu.iter().enumerate() {
+            prop_assert!(
+                acc.busy().as_ns() <= elapsed + 1_000,
+                "cpu{i} busy {} exceeds elapsed {}",
+                acc.busy(),
+                elapsed
+            );
+        }
+    }
+
+    /// Bit-for-bit determinism under every random configuration.
+    #[test]
+    fn runs_are_reproducible(
+        seed in 0u64..1_000,
+        ht in any::<bool>(),
+        redhawk in any::<bool>(),
+        n_tasks in 1usize..6,
+        shield in any::<bool>(),
+    ) {
+        let run = || {
+            let (mut sim, pids) = random_sim(seed, ht, redhawk, n_tasks, shield);
+            sim.run_for(Nanos::from_ms(150));
+            let mut sig = Vec::new();
+            for acc in &sim.obs.cpu {
+                sig.push(acc.busy().as_ns());
+                sig.push(acc.irqs);
+                sig.push(acc.switches);
+            }
+            for pid in &pids {
+                sig.push(sim.task(*pid).cpu_time.as_ns());
+            }
+            sig
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Under a full shield, no unbound task ever accumulates CPU time on the
+    /// shielded CPU, and its local timer stays silent.
+    #[test]
+    fn shield_keeps_cpu_quiet(seed in 0u64..1_000, n_tasks in 1usize..8) {
+        let (mut sim, _) = random_sim(seed, false, true, n_tasks, true);
+        let before = sim.obs.cpu[1];
+        sim.run_for(Nanos::from_ms(300));
+        let after = sim.obs.cpu[1];
+        prop_assert_eq!(after.user, before.user, "no user work on the shielded CPU");
+        prop_assert_eq!(after.ticks, before.ticks, "local timer off");
+        prop_assert_eq!(after.irqs, before.irqs, "no device interrupts");
+    }
+
+    /// Every task keeps making progress (no starvation/livelock): each
+    /// runnable task accumulates CPU time over a long horizon.
+    #[test]
+    fn no_task_starves_forever(seed in 0u64..500, n_tasks in 1usize..5) {
+        // RT tasks at different priorities can legitimately starve lower
+        // ones, so use timesharing-only mixes here.
+        let machine = MachineConfig::dual_xeon_p3();
+        let mut sim = Simulator::new(machine, KernelConfig::vanilla(), seed);
+        let mut pids = Vec::new();
+        for i in 0..n_tasks {
+            let prog = Program::forever(vec![
+                Op::Compute(DurationDist::exponential(Nanos::from_us(300))),
+            ]);
+            pids.push(sim.spawn(TaskSpec::new(
+                format!("t{i}"),
+                SchedPolicy::nice((i as i8 % 6) - 3),
+                prog,
+            )));
+        }
+        sim.start();
+        sim.run_for(Nanos::from_secs(1));
+        for pid in pids {
+            prop_assert!(
+                sim.task(pid).cpu_time > Nanos::from_ms(5),
+                "{} starved: {}",
+                pid,
+                sim.task(pid).cpu_time
+            );
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Shielding beyond the paper's dual-CPU testbeds: the §3 interface is a
+//! bitmask, so "one or more shielded CPUs" must compose. A quad machine with
+//! two shielded CPUs carries two independent real-time partitions.
+
+use shielded_processors::prelude::*;
+use sp_workloads::{stress_kernel, StressDevices};
+
+fn quad() -> MachineConfig {
+    MachineConfig { physical_cores: 4, hyperthreading: false, clock_ghz: 1.4 }
+}
+
+#[test]
+fn two_shielded_cpus_carry_independent_rt_partitions() {
+    let mut sim = Simulator::new(quad(), KernelConfig::redhawk(), 0x4444);
+    let rcim_a = sim.add_device(Box::new(RcimDevice::new(Nanos::from_ms(1))));
+    let rcim_b = sim.add_device(Box::new(sp_devices::rcim::RcimExternalInput::new(
+        IrqLine(21),
+        OnOffPoisson::continuous(Nanos::from_ms(2)),
+    )));
+    let nic = sim.add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(
+        Nanos::from_us(600),
+    )))));
+    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    stress_kernel(&mut sim, StressDevices { nic, disk });
+
+    let waiter = |sim: &mut Simulator, name: &str, dev, cpu: u32| {
+        let pid = sim.spawn(
+            TaskSpec::new(
+                name,
+                SchedPolicy::fifo(90),
+                Program::forever(vec![Op::WaitIrq {
+                    device: dev,
+                    api: WaitApi::IoctlWait { driver_bkl_free: true },
+                }]),
+            )
+            .pinned(CpuMask::single(CpuId(cpu)))
+            .mlockall(),
+        );
+        sim.watch_latency(pid);
+        pid
+    };
+    let rt_a = waiter(&mut sim, "rt-a", rcim_a, 2);
+    let rt_b = waiter(&mut sim, "rt-b", rcim_b, 3);
+    sim.start();
+
+    // Shield CPUs 2 and 3 together, then bind one source into each.
+    ShieldPlan::full(CpuMask(0b1100))
+        .bind_task(rt_a)
+        .bind_task(rt_b)
+        .apply(&mut sim)
+        .unwrap();
+    sim.set_task_affinity(rt_a, CpuMask::single(CpuId(2))).unwrap();
+    sim.set_task_affinity(rt_b, CpuMask::single(CpuId(3))).unwrap();
+    sim.set_irq_affinity(rcim_a, CpuMask::single(CpuId(2))).unwrap();
+    sim.set_irq_affinity(rcim_b, CpuMask::single(CpuId(3))).unwrap();
+
+    sim.run_for(Nanos::from_secs(5));
+
+    // Both partitions hold the guarantee simultaneously.
+    for (name, pid) in [("rt-a", rt_a), ("rt-b", rt_b)] {
+        let lats = sim.obs.latencies(pid);
+        assert!(lats.len() > 1_000, "{name}: samples {}", lats.len());
+        let max = *lats.iter().max().unwrap();
+        assert!(max < Nanos::from_us(30), "{name}: worst case {max}");
+    }
+    // The load is confined to CPUs 0–1.
+    assert!(sim.obs.cpu[0].softirq + sim.obs.cpu[1].softirq > Nanos::from_ms(50));
+    assert_eq!(sim.obs.cpu[2].softirq, Nanos::ZERO);
+    assert_eq!(sim.obs.cpu[3].softirq, Nanos::ZERO);
+    assert!(sim.obs.cpu[2].ticks <= 1);
+    assert!(sim.obs.cpu[3].ticks <= 1);
+    // And each partition's interrupts landed only on its own CPU.
+    assert_eq!(sim.irq_counts(rcim_a)[3], 0);
+    assert_eq!(sim.irq_counts(rcim_b)[2], 0);
+    assert!(sim.irq_counts(rcim_a)[2] > 4_000);
+}
+
+#[test]
+fn shrinking_the_shield_releases_cpus_back() {
+    let mut sim = Simulator::new(quad(), KernelConfig::redhawk(), 0x4445);
+    for i in 0..6 {
+        sim.spawn(TaskSpec::new(
+            format!("bg{i}"),
+            SchedPolicy::nice(0),
+            Program::forever(vec![Op::Compute(DurationDist::constant(Nanos::from_us(400)))]),
+        ));
+    }
+    sim.start();
+    // Shield half the machine, then shrink to one CPU.
+    sim.set_shield(ShieldCtl::full(CpuMask(0b1100))).unwrap();
+    sim.run_for(Nanos::from_ms(100));
+    let cpu2_user_shielded = sim.obs.cpu[2].user;
+    assert_eq!(cpu2_user_shielded, Nanos::ZERO);
+
+    sim.set_shield(ShieldCtl::full(CpuMask(0b1000))).unwrap();
+    sim.run_for(Nanos::from_ms(300));
+    assert!(
+        sim.obs.cpu[2].user > Nanos::from_ms(250),
+        "released CPU 2 picks up load: {}",
+        sim.obs.cpu[2].user
+    );
+    assert_eq!(sim.obs.cpu[3].user, Nanos::ZERO, "CPU 3 still shielded");
+    // Local timer came back on CPU 2.
+    let ticks_before = sim.obs.cpu[2].ticks;
+    sim.run_for(Nanos::from_secs(1));
+    assert!(sim.obs.cpu[2].ticks >= ticks_before + 90);
+}
+
+#[test]
+fn float_tasks_never_enter_any_shielded_cpu() {
+    let mut sim = Simulator::new(quad(), KernelConfig::redhawk(), 0x4446);
+    let pids: Vec<Pid> = (0..8)
+        .map(|i| {
+            sim.spawn(TaskSpec::new(
+                format!("f{i}"),
+                SchedPolicy::nice((i % 5) as i8 - 2),
+                Program::forever(vec![
+                    Op::Compute(DurationDist::exponential(Nanos::from_us(150))),
+                    Op::Sleep(DurationDist::exponential(Nanos::from_us(100))),
+                ]),
+            ))
+        })
+        .collect();
+    sim.start();
+    sim.set_shield(ShieldCtl::full(CpuMask(0b0110))).unwrap();
+    sim.run_for(Nanos::from_secs(2));
+    for pid in pids {
+        assert_eq!(sim.task(pid).effective_affinity, CpuMask(0b1001), "{pid}");
+    }
+    assert_eq!(sim.obs.cpu[1].user + sim.obs.cpu[2].user, Nanos::ZERO);
+}

@@ -1,0 +1,207 @@
+//! Cross-crate shape tests: the orderings and mechanisms the paper reports,
+//! asserted end to end at reduced scale.
+
+use shielded_processors::prelude::*;
+use sp_experiments::{
+    run_determinism, run_rcim, run_realfeel, DeterminismConfig, RcimConfig, RealfeelConfig,
+};
+use sp_workloads::{stress_kernel, StressDevices};
+
+/// The paper's headline ordering across all four determinism figures:
+/// shielded ≪ unshielded ≈ vanilla-no-HT < vanilla-HT.
+#[test]
+fn determinism_figure_ordering() {
+    let quick = |cfg: DeterminismConfig| {
+        let mut c = cfg.with_iterations(25);
+        c.loop_work = Nanos::from_ms(400);
+        run_determinism(&c).summary
+    };
+    let fig1 = quick(DeterminismConfig::fig1_vanilla_ht());
+    let fig2 = quick(DeterminismConfig::fig2_redhawk_shielded());
+    let fig3 = quick(DeterminismConfig::fig3_redhawk_unshielded());
+    let fig4 = quick(DeterminismConfig::fig4_vanilla_noht());
+
+    assert!(
+        fig2.jitter_pct() * 3.0 < fig3.jitter_pct(),
+        "shield buys at least 3x: {} vs {}",
+        fig2.jitter_pct(),
+        fig3.jitter_pct()
+    );
+    assert!(fig2.jitter_pct() < 4.0, "shielded jitter small: {}", fig2.jitter_pct());
+    assert!(
+        (fig3.jitter_pct() - fig4.jitter_pct()).abs() < 8.0,
+        "unshielded RedHawk ≈ vanilla no-HT: {} vs {}",
+        fig3.jitter_pct(),
+        fig4.jitter_pct()
+    );
+    assert!(
+        fig1.jitter_pct() >= fig4.jitter_pct(),
+        "HT does not improve determinism: {} vs {}",
+        fig1.jitter_pct(),
+        fig4.jitter_pct()
+    );
+}
+
+/// Figures 5→6→7: each configuration cuts the worst case by an order of
+/// magnitude (92 ms → 0.565 ms → 27 µs in the paper).
+#[test]
+fn latency_figure_ordering() {
+    let fig5 = run_realfeel(&RealfeelConfig::fig5_vanilla().with_samples(60_000));
+    let fig6 = run_realfeel(&RealfeelConfig::fig6_redhawk_shielded().with_samples(60_000));
+    let fig7 = run_rcim(&RcimConfig::fig7_redhawk_shielded().with_samples(60_000));
+
+    assert!(
+        fig5.summary.max.as_ns() > 10 * fig6.summary.max.as_ns(),
+        "shielding cuts realfeel worst case >10x: {} vs {}",
+        fig5.summary.max,
+        fig6.summary.max
+    );
+    assert!(fig5.summary.max > Nanos::from_ms(2), "vanilla tail: {}", fig5.summary.max);
+    assert!(fig6.summary.max < Nanos::from_ms(1), "shielded sub-ms: {}", fig6.summary.max);
+    assert!(fig7.summary.max < Nanos::from_us(30), "RCIM <30us: {}", fig7.summary.max);
+    assert!(fig7.summary.min >= Nanos::from_us(8), "RCIM floor: {}", fig7.summary.min);
+    // The paper's average sits close to the minimum (11 vs 11.3 µs): the
+    // distribution hugs its floor.
+    let spread = fig7.summary.mean.as_ns() as f64 / fig7.summary.min.as_ns() as f64;
+    assert!(spread < 1.35, "RCIM mean hugs the floor: mean/min = {spread:.3}");
+}
+
+/// §6.2's diagnosed mechanism: the residual tail on a *shielded* CPU comes
+/// from the read() exit path taking a global file-layer lock whose holder
+/// (on the unshielded CPU) gets stretched by interrupt/bottom-half
+/// preemption. With the slow-path probability cranked up, the tail must
+/// appear — and stay bounded near the stretched-hold scale (sub-millisecond),
+/// exactly the Figure 6 shape.
+#[test]
+fn read_exit_lock_tail_mechanism() {
+    let mut kcfg = KernelConfig::redhawk();
+    // Make the rare §6.2 slow path common so a short run exhibits it.
+    kcfg.sections.read_exit_file_lock_prob = 0.5;
+
+    let mut sim = Simulator::new(MachineConfig::dual_xeon_p3(), kcfg, 0x62_62);
+    let rtc = sim.add_device(Box::new(RtcDevice::new(2048)));
+    let nic = sim.add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(
+        Nanos::from_us(500),
+    )))));
+    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    stress_kernel(&mut sim, StressDevices { nic, disk });
+    add_file_lock_hammer(&mut sim);
+
+    let realfeel = sim.spawn(
+        TaskSpec::new(
+            "realfeel",
+            SchedPolicy::fifo(90),
+            Program::forever(vec![Op::WaitIrq { device: rtc, api: WaitApi::ReadDevice }]),
+        )
+        .pinned(CpuMask::single(CpuId(1)))
+        .mlockall(),
+    );
+    sim.watch_latency(realfeel);
+    sim.start();
+    ShieldPlan::cpu(CpuId(1)).bind_task(realfeel).bind_irq(rtc).apply(&mut sim).unwrap();
+    sim.run_for(Nanos::from_secs(20));
+
+    let lats = sim.obs.latencies(realfeel);
+    assert!(lats.len() > 30_000, "samples: {}", lats.len());
+    let max = *lats.iter().max().unwrap();
+    let over_50us = lats.iter().filter(|&&l| l > Nanos::from_us(50)).count();
+    assert!(
+        over_50us > 0,
+        "cranked slow path must produce stretched-lock waits (max {max})"
+    );
+    assert!(
+        max > Nanos::from_us(60) && max < Nanos::from_ms(4),
+        "tail sits at the stretched-hold scale (the inflated-load analogue of \
+         Figure 6's 0.565 ms): {max}"
+    );
+
+    // Control: identical run with the slow path disabled has no such tail.
+    let mut kcfg2 = KernelConfig::redhawk();
+    kcfg2.sections.read_exit_file_lock_prob = 0.0;
+    let mut sim2 = Simulator::new(MachineConfig::dual_xeon_p3(), kcfg2, 0x62_62);
+    let rtc2 = sim2.add_device(Box::new(RtcDevice::new(2048)));
+    let nic2 = sim2.add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(
+        Nanos::from_us(500),
+    )))));
+    let disk2 = sim2.add_device(Box::new(DiskDevice::new()));
+    stress_kernel(&mut sim2, StressDevices { nic: nic2, disk: disk2 });
+    add_file_lock_hammer(&mut sim2);
+    let realfeel2 = sim2.spawn(
+        TaskSpec::new(
+            "realfeel",
+            SchedPolicy::fifo(90),
+            Program::forever(vec![Op::WaitIrq { device: rtc2, api: WaitApi::ReadDevice }]),
+        )
+        .pinned(CpuMask::single(CpuId(1)))
+        .mlockall(),
+    );
+    sim2.watch_latency(realfeel2);
+    sim2.start();
+    ShieldPlan::cpu(CpuId(1)).bind_task(realfeel2).bind_irq(rtc2).apply(&mut sim2).unwrap();
+    sim2.run_for(Nanos::from_secs(20));
+    let max2 = *sim2.obs.latencies(realfeel2).iter().max().unwrap();
+    assert!(max2 < Nanos::from_us(50), "no slow path, no tail: {max2}");
+}
+
+/// Unshielded-CPU tasks that keep the global file-layer lock hot, so the
+/// collision the mechanism test needs happens often enough to observe.
+fn add_file_lock_hammer(sim: &mut Simulator) {
+    let hammer = sim.register_syscall(
+        SyscallService::new("file_hammer")
+            .segment(KernelSegment::locked(
+                LockId::FILE,
+                DurationDist::uniform(Nanos::from_us(3), Nanos::from_us(20)),
+            ))
+            .not_injectable(),
+    );
+    sim.spawn(
+        TaskSpec::new(
+            "hammer",
+            SchedPolicy::nice(0),
+            Program::forever(vec![
+                Op::Syscall(hammer),
+                Op::Compute(DurationDist::exponential(Nanos::from_us(250))),
+            ]),
+        )
+        .pinned(CpuMask::single(CpuId(0))),
+    );
+}
+
+/// The patch stack strictly improves realfeel worst-case latency
+/// (vanilla → preempt → preempt+lowlat → RedHawk), matching the history the
+/// paper recounts in §6.
+#[test]
+fn patch_stack_monotonically_improves_latency() {
+    let max_for = |variant: KernelVariant| {
+        let mut cfg = RealfeelConfig::fig5_vanilla().with_samples(50_000);
+        cfg.variant = variant;
+        run_realfeel(&cfg).summary.max
+    };
+    let vanilla = max_for(KernelVariant::Vanilla24);
+    let preempt = max_for(KernelVariant::Preempt);
+    let lowlat = max_for(KernelVariant::PreemptLowLat);
+    let redhawk = max_for(KernelVariant::RedHawk);
+    assert!(
+        vanilla > preempt && preempt > lowlat && lowlat >= redhawk,
+        "stack: {vanilla} > {preempt} > {lowlat} >= {redhawk}"
+    );
+    // Reference [5]'s landmark: preempt+lowlat lands near a millisecond.
+    assert!(
+        lowlat > Nanos::from_us(300) && lowlat < Nanos::from_ms(8),
+        "preempt+lowlat in the ~1ms regime: {lowlat}"
+    );
+}
+
+/// Overruns: on the stock kernel realfeel misses interrupts during its long
+/// stalls; on the shielded configuration it keeps up with all of them.
+#[test]
+fn shielded_realfeel_keeps_up_with_2048hz() {
+    let v = run_realfeel(&RealfeelConfig::fig5_vanilla().with_samples(30_000));
+    let s = run_realfeel(&RealfeelConfig::fig6_redhawk_shielded().with_samples(30_000));
+    assert!(
+        s.overruns * 10 <= v.overruns.max(10),
+        "shielded overruns ({}) ≪ vanilla overruns ({})",
+        s.overruns,
+        v.overruns
+    );
+}

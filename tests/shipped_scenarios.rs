@@ -1,0 +1,45 @@
+//! The JSON scenario files shipped under `examples/scenarios/` must parse
+//! and run — they are the documented entry point for config-driven use.
+
+use simcore::Nanos;
+use sp_experiments::scenario::{run_scenario, MeasuredResult, ScenarioSpec};
+
+fn load(name: &str) -> ScenarioSpec {
+    let path = format!("{}/examples/scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+#[test]
+fn fig7_json_parses_and_holds_the_guarantee() {
+    let mut spec = load("fig7.json");
+    spec.run_secs = 2.0; // trim for test time
+    let report = run_scenario(&spec).expect("runs");
+    let MeasuredResult::Latency { summary, .. } = &report.results["rcim-response"] else {
+        panic!("expected latency result");
+    };
+    assert!(summary.count > 1_500);
+    assert!(summary.max < Nanos::from_us(30), "max {}", summary.max);
+}
+
+#[test]
+fn determinism_json_parses_and_stays_tight() {
+    let mut spec = load("determinism_shielded.json");
+    spec.run_secs = 8.0;
+    let report = run_scenario(&spec).expect("runs");
+    let MeasuredResult::Jitter { summary } = &report.results["sine-loop"] else {
+        panic!("expected jitter result");
+    };
+    assert!(summary.iterations >= 5, "iterations {}", summary.iterations);
+    assert!(summary.jitter_pct() < 3.0, "jitter {}", summary.jitter_pct());
+}
+
+#[test]
+fn shipped_specs_roundtrip_through_serde() {
+    for name in ["fig7.json", "determinism_shielded.json"] {
+        let spec = load(name);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, spec.name, "{name}");
+    }
+}
