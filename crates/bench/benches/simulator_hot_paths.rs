@@ -146,7 +146,7 @@ fn bench_cpumask(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = CpuMask::EMPTY;
             for w in masks.windows(2) {
-                acc = acc | (w[0] & !w[1]);
+                acc |= w[0] & !w[1];
                 black_box(acc.first());
                 black_box(acc.is_subset_of(w[1]));
             }

@@ -32,7 +32,7 @@ fn base_sim(seed: u64) -> Simulator {
 
 fn latency_run(keep_ltmr: bool, seconds: u64) -> (LatencySummary, u64) {
     let mut sim =
-        Simulator::new(MachineConfig::dual_xeon_p4(false), KernelConfig::redhawk(), 0xA2_2);
+        Simulator::new(MachineConfig::dual_xeon_p4(false), KernelConfig::redhawk(), 0x0A22);
     let rcim = sim.add_device(Box::new(RcimDevice::new(Nanos::from_us(500))));
     let _nic = sim.add_device(Box::new(NicDevice::new(Some(scp_nic_profile()))));
     let disk = sim.add_device(Box::new(DiskDevice::new()));
@@ -66,7 +66,7 @@ fn latency_run(keep_ltmr: bool, seconds: u64) -> (LatencySummary, u64) {
 }
 
 fn jitter_run(keep_ltmr: bool, iterations: u32) -> sp_metrics::JitterSummary {
-    let mut sim = base_sim(0xA2_3);
+    let mut sim = base_sim(0x0A23);
     let loop_work = Nanos::from_ms(1_148);
     let pid = sim.spawn(
         TaskSpec::new(

@@ -1,7 +1,8 @@
 //! Optional `--csv <path>` dumps the histogram buckets.
-//! Regenerates Figure 5 of the paper. Optional arg: scale factor.
+//! Regenerates Figure 5 of the paper. Optional arg: scale factor; optional
+//! `--shards <n>` (or `SP_SHARDS`) splits the run across forked-seed shards.
 
-use sp_bench::scale_from_args;
+use sp_bench::{scale_from_args, shards_from_args};
 use sp_experiments::report::render_realfeel;
 use sp_experiments::{run_realfeel, RealfeelConfig};
 
@@ -9,7 +10,7 @@ fn main() {
     let scale = scale_from_args();
     let base = RealfeelConfig::fig5_vanilla();
     let samples = ((base.samples as f64 * scale).ceil() as u64).max(1_000);
-    let result = run_realfeel(&base.with_samples(samples));
+    let result = run_realfeel(&base.with_samples(samples).with_shards(shards_from_args(1)));
     sp_experiments::report::maybe_write_csv(&result.histogram);
     print!("{}", render_realfeel("fig5", &result));
 }

@@ -1,25 +1,66 @@
 //! Run the complete figure suite and rewrite `EXPERIMENTS.md` with the
-//! paper-vs-measured table. Optional arg: scale factor (1.0 = defaults).
+//! paper-vs-measured table.
+//!
+//! Arguments (all optional):
+//!   <scale>          sample-count scale factor, default 1.0 (or `SP_SCALE`)
+//!   --shards <n>     shard count for figs 5–7, default = hardware threads
+//!                    (or `SP_SHARDS`); results are reproducible per (seed, n)
+//!   --json <path>    dump the raw suite as JSON
+//!   --strict         exit non-zero unless all seven verdicts are "in band"
+//!
+//! Every run also writes `BENCH_simulator.json` (per-figure wall-clock,
+//! events/sec, shard count, and data-structure microbenchmarks).
 
 use simcore::Nanos;
 use sp_bench::{
-    determinism_measured, rcim_measured, realfeel_measured, scale_from_args, verdict,
-    PAPER_TARGETS,
+    available_threads, determinism_measured, microbench, rcim_measured, realfeel_measured,
+    scale_from_args, shards_from_args, verdict, PAPER_TARGETS,
 };
 use sp_experiments::report::{render_determinism, render_rcim, render_realfeel};
-use sp_experiments::run_all_figures;
+use sp_experiments::runner::run_all_figures_timed;
 use std::fmt::Write as _;
+
+#[derive(serde::Serialize)]
+struct FigureBench {
+    id: String,
+    wall_ms: f64,
+    /// Simulator events dispatched (latency figures only).
+    events: Option<u64>,
+    events_per_sec: Option<f64>,
+}
+
+#[derive(serde::Serialize)]
+struct Microbench {
+    event_queue_push_pop_ns: f64,
+    event_queue_cancel_ns: f64,
+    /// Pre-optimisation baseline: binary heap + tombstone set.
+    tombstone_baseline_push_pop_ns: f64,
+    tombstone_baseline_cancel_ns: f64,
+    histogram_record_ns: f64,
+}
+
+#[derive(serde::Serialize)]
+struct BenchReport {
+    scale: f64,
+    shards: u32,
+    hardware_threads: u32,
+    suite_wall_ms: f64,
+    total_events: u64,
+    events_per_sec: f64,
+    figures: Vec<FigureBench>,
+    microbench: Microbench,
+}
 
 fn main() {
     let scale = scale_from_args();
-    // Optional: --json <path> after the scale argument dumps the raw suite.
-    let json_path = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned())
-    };
-    eprintln!("running all 7 figures at scale {scale} (parallel)...");
+    let shards = shards_from_args(available_threads());
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned());
+    let strict = args.iter().any(|a| a == "--strict");
+
+    eprintln!("running all 7 figures at scale {scale}, {shards} shard(s) (parallel)...");
     let t0 = std::time::Instant::now();
-    let suite = run_all_figures(scale);
+    let (suite, timings) = run_all_figures_timed(scale, shards);
     eprintln!("suite finished in {:.1}s", t0.elapsed().as_secs_f64());
 
     print!("{}", render_determinism("fig1", &suite.fig1));
@@ -75,11 +116,84 @@ fn main() {
         }
     }
 
+    if let Err(e) = write_bench_report(&suite, &timings, scale, shards) {
+        eprintln!("note: could not write BENCH_simulator.json: {e}");
+    } else {
+        eprintln!("throughput report written to BENCH_simulator.json");
+    }
+
     if let Err(e) = update_experiments_md(&table, scale) {
         eprintln!("note: could not update EXPERIMENTS.md: {e}");
     } else {
         eprintln!("EXPERIMENTS.md measured table updated");
     }
+
+    if strict {
+        let out_of_band: Vec<&str> = PAPER_TARGETS
+            .iter()
+            .zip(&verdicts)
+            .filter(|(_, v)| **v != "in band")
+            .map(|(t, _)| t.id)
+            .collect();
+        if !out_of_band.is_empty() {
+            eprintln!("STRICT: figures out of band: {}", out_of_band.join(", "));
+            std::process::exit(1);
+        }
+        eprintln!("STRICT: all 7 figures in band");
+    }
+}
+
+/// Emit `BENCH_simulator.json`: per-figure wall-clock and event throughput,
+/// plus microbenchmarks of the hot-path data structures.
+fn write_bench_report(
+    suite: &sp_experiments::FigureSuite,
+    timings: &sp_experiments::runner::SuiteTimings,
+    scale: f64,
+    shards: u32,
+) -> std::io::Result<()> {
+    let events = |id: &str| -> Option<u64> {
+        match id {
+            "fig5" => Some(suite.fig5.events),
+            "fig6" => Some(suite.fig6.events),
+            "fig7" => Some(suite.fig7.events),
+            _ => None,
+        }
+    };
+    let figures: Vec<FigureBench> = timings
+        .figures
+        .iter()
+        .map(|(id, wall_ms)| {
+            let events = events(id);
+            FigureBench {
+                id: id.clone(),
+                wall_ms: *wall_ms,
+                events,
+                events_per_sec: events
+                    .filter(|_| *wall_ms > 0.0)
+                    .map(|e| e as f64 / (wall_ms / 1e3)),
+            }
+        })
+        .collect();
+    let total_events = suite.fig5.events + suite.fig6.events + suite.fig7.events;
+    let report = BenchReport {
+        scale,
+        shards,
+        hardware_threads: sp_bench::available_threads(),
+        suite_wall_ms: timings.suite_wall_ms,
+        total_events,
+        events_per_sec: total_events as f64 / (timings.suite_wall_ms / 1e3).max(1e-9),
+        figures,
+        microbench: Microbench {
+            event_queue_push_pop_ns: microbench::event_queue_push_pop_ns(),
+            event_queue_cancel_ns: microbench::event_queue_cancel_ns(),
+            tombstone_baseline_push_pop_ns: microbench::tombstone_push_pop_ns(),
+            tombstone_baseline_cancel_ns: microbench::tombstone_cancel_ns(),
+            histogram_record_ns: microbench::histogram_record_ns(),
+        },
+    };
+    let json = serde_json::to_string_pretty(&report)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    std::fs::write("BENCH_simulator.json", json)
 }
 
 /// Replace the generated block in EXPERIMENTS.md (between the markers).

@@ -21,6 +21,209 @@ pub fn scale_from_args() -> f64 {
     scale
 }
 
+/// Resolve the shard count for the latency figures: `--shards <n>` argument,
+/// then `SP_SHARDS`, then `fallback`. Runs are bit-for-bit reproducible per
+/// `(seed, shards)` pair; see `sp_experiments::shard`.
+pub fn shards_from_args(fallback: u32) -> u32 {
+    let args: Vec<String> = std::env::args().collect();
+    let from_arg = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u32>().ok());
+    let from_env = std::env::var("SP_SHARDS").ok().and_then(|v| v.parse::<u32>().ok());
+    from_arg.or(from_env).unwrap_or(fallback).max(1)
+}
+
+/// Number of hardware threads, for the default shard count of deep runs.
+pub fn available_threads() -> u32 {
+    std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(1)
+}
+
+/// In-process microbenchmarks of the two data structures on the simulator's
+/// per-event path, for `BENCH_simulator.json`. Self-timed with wall-clock
+/// medians — coarser than the criterion benches but dependency-free and cheap
+/// enough to run on every `reproduce_all` invocation.
+pub mod microbench {
+    use simcore::{EventQueue, Instant, SimRng};
+    use sp_metrics::LatencyHistogram;
+
+    fn median_ns(mut runs: Vec<f64>) -> f64 {
+        runs.sort_by(|a, b| a.total_cmp(b));
+        runs[runs.len() / 2]
+    }
+
+    /// ns per push+pop over a queue kept at ~4k pending events.
+    pub fn event_queue_push_pop_ns() -> f64 {
+        const LIVE: usize = 4_096;
+        const OPS: usize = 200_000;
+        let runs = (0..5u64)
+            .map(|round| {
+                let mut rng = SimRng::new(0xBEC4 + round);
+                let mut q = EventQueue::new();
+                for _ in 0..LIVE {
+                    q.push(Instant(rng.next_u64() % 1_000_000), 0u32);
+                }
+                let t = std::time::Instant::now();
+                let mut floor = 0;
+                for _ in 0..OPS {
+                    let (at, _) = q.pop().expect("queue kept full");
+                    floor = floor.max(at.as_ns());
+                    q.push(Instant(floor + rng.next_u64() % 100_000), 0u32);
+                }
+                t.elapsed().as_secs_f64() * 1e9 / OPS as f64
+            })
+            .collect();
+        median_ns(runs)
+    }
+
+    /// ns per cancel on a queue where every second pending event is removed
+    /// (the timer re-arm pattern that motivated the indexed heap).
+    pub fn event_queue_cancel_ns() -> f64 {
+        const LIVE: usize = 8_192;
+        let runs = (0..5u64)
+            .map(|round| {
+                let mut rng = SimRng::new(0xCA9C + round);
+                let mut q = EventQueue::new();
+                let keys: Vec<_> = (0..LIVE)
+                    .map(|_| q.push(Instant(rng.next_u64() % 1_000_000), 0u32))
+                    .collect();
+                let t = std::time::Instant::now();
+                let mut hits = 0usize;
+                for k in keys.iter().step_by(2) {
+                    hits += q.cancel(*k) as usize;
+                }
+                let ns = t.elapsed().as_secs_f64() * 1e9 / (LIVE / 2) as f64;
+                assert_eq!(hits, LIVE / 2);
+                ns
+            })
+            .collect();
+        median_ns(runs)
+    }
+
+    /// The pre-optimisation queue design, kept as a baseline: binary heap
+    /// plus a tombstone set, where cancel only marks and pop skips corpses.
+    struct TombstoneQueue {
+        heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+        dead: std::collections::HashSet<u64>,
+        next_seq: u64,
+    }
+
+    impl TombstoneQueue {
+        fn new() -> Self {
+            TombstoneQueue {
+                heap: std::collections::BinaryHeap::new(),
+                dead: std::collections::HashSet::new(),
+                next_seq: 0,
+            }
+        }
+
+        fn push(&mut self, at: u64) -> u64 {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(std::cmp::Reverse((at, seq)));
+            seq
+        }
+
+        fn cancel(&mut self, seq: u64) {
+            self.dead.insert(seq);
+        }
+
+        fn pop(&mut self) -> Option<u64> {
+            while let Some(std::cmp::Reverse((at, seq))) = self.heap.pop() {
+                if !self.dead.remove(&seq) {
+                    return Some(at);
+                }
+            }
+            None
+        }
+    }
+
+    /// Baseline ns per push+pop on the tombstone design, same workload as
+    /// [`event_queue_push_pop_ns`]. The interesting comparison is
+    /// [`event_queue_cancel_ns`] vs [`tombstone_cancel_ns`]: tombstones make
+    /// cancel itself cheap but every corpse is paid for again at pop time —
+    /// this baseline charges that cost where it lands, in pop.
+    pub fn tombstone_push_pop_ns() -> f64 {
+        const LIVE: usize = 4_096;
+        const OPS: usize = 200_000;
+        let runs = (0..5u64)
+            .map(|round| {
+                let mut rng = SimRng::new(0xBEC4 + round);
+                let mut q = TombstoneQueue::new();
+                for _ in 0..LIVE {
+                    q.push(rng.next_u64() % 1_000_000);
+                }
+                let t = std::time::Instant::now();
+                let mut floor = 0;
+                for _ in 0..OPS {
+                    let at = q.pop().expect("queue kept full");
+                    floor = floor.max(at);
+                    q.push(floor + rng.next_u64() % 100_000);
+                }
+                t.elapsed().as_secs_f64() * 1e9 / OPS as f64
+            })
+            .collect();
+        median_ns(runs)
+    }
+
+    /// Baseline ns per cancel *including the deferred pop-side cost* of the
+    /// tombstones: cancel half the pending events, then drain and charge the
+    /// skip work back to the cancels that caused it.
+    pub fn tombstone_cancel_ns() -> f64 {
+        const LIVE: usize = 8_192;
+        let runs = (0..5u64)
+            .map(|round| {
+                let mut rng = SimRng::new(0xCA9C + round);
+                let mut q = TombstoneQueue::new();
+                let keys: Vec<u64> = (0..LIVE).map(|_| q.push(rng.next_u64() % 1_000_000)).collect();
+                let t = std::time::Instant::now();
+                for k in keys.iter().step_by(2) {
+                    q.cancel(*k);
+                }
+                let mut popped = 0usize;
+                while q.pop().is_some() {
+                    popped += 1;
+                }
+                let dirty_ns = t.elapsed().as_secs_f64() * 1e9;
+                assert_eq!(popped, LIVE - LIVE / 2);
+                // Subtract the drain cost a tombstone-free queue would pay
+                // anyway, approximated by popping a same-size clean queue.
+                let mut clean = TombstoneQueue::new();
+                for _ in 0..popped {
+                    clean.push(rng.next_u64() % 1_000_000);
+                }
+                let t2 = std::time::Instant::now();
+                while clean.pop().is_some() {}
+                let clean_ns = t2.elapsed().as_secs_f64() * 1e9;
+                ((dirty_ns - clean_ns.min(dirty_ns)) / (LIVE / 2) as f64).max(0.0)
+            })
+            .collect();
+        median_ns(runs)
+    }
+
+    /// ns per `LatencyHistogram::record` across the full magnitude range.
+    pub fn histogram_record_ns() -> f64 {
+        const OPS: usize = 400_000;
+        let runs = (0..5u64)
+            .map(|round| {
+                let mut rng = SimRng::new(0x4157 + round);
+                let values: Vec<u64> =
+                    (0..OPS).map(|_| rng.next_u64() >> (rng.next_u64() % 40)).collect();
+                let mut h = LatencyHistogram::new();
+                let t = std::time::Instant::now();
+                for &v in &values {
+                    h.record(simcore::Nanos(v));
+                }
+                let ns = t.elapsed().as_secs_f64() * 1e9 / OPS as f64;
+                assert_eq!(h.count(), OPS as u64);
+                ns
+            })
+            .collect();
+        median_ns(runs)
+    }
+}
+
 /// What the paper reports for each figure, for the side-by-side tables.
 pub struct PaperTarget {
     pub id: &'static str,

@@ -39,7 +39,7 @@ impl DeterminismConfig {
             shield,
             iterations: 120,
             loop_work: Nanos::from_ms(1_148),
-            seed: 0x51EE_1D,
+            seed: 0x0051_EE1D,
         }
     }
 

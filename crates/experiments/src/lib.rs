@@ -22,6 +22,7 @@ pub mod replication;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod shard;
 
 pub use determinism::{run_determinism, DeterminismConfig, DeterminismResult};
 pub use rcim::{run_rcim, RcimConfig, RcimResult};
@@ -29,5 +30,5 @@ pub use realfeel::{run_realfeel, RealfeelConfig, RealfeelResult};
 pub use replication::{
     replicate_determinism, replicate_rcim_max, replicate_realfeel_max, Replicated,
 };
-pub use runner::{run_all_figures, FigureSuite};
+pub use runner::{run_all_figures, run_all_figures_with, FigureSuite};
 pub use scenario::{run_scenario, MeasuredResult, ScenarioError, ScenarioReport, ScenarioSpec};

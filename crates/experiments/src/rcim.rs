@@ -29,6 +29,11 @@ pub struct RcimConfig {
     pub driver_bkl_free: bool,
     pub samples: u64,
     pub seed: u64,
+    /// Split the sample budget across this many independent simulations run
+    /// in parallel and merged (1 = the classic single-simulation path); see
+    /// [`crate::shard`] for the determinism contract.
+    #[serde(default = "crate::realfeel::default_shards")]
+    pub shards: u32,
 }
 
 impl RcimConfig {
@@ -41,6 +46,7 @@ impl RcimConfig {
             driver_bkl_free: true,
             samples: 400_000,
             seed: 0xF167_5EED,
+            shards: 1,
         }
     }
 
@@ -51,6 +57,11 @@ impl RcimConfig {
 
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -80,12 +91,15 @@ pub struct RcimResult {
     pub summary: LatencySummary,
     pub histogram: LatencyHistogram,
     pub cumulative: CumulativeReport,
+    /// Simulator events dispatched across all shards (throughput accounting).
+    #[serde(default)]
+    pub events: u64,
 }
 
-/// Run the experiment.
-pub fn run_rcim(cfg: &RcimConfig) -> RcimResult {
+/// Run one independent simulation with an explicit seed and sample budget.
+fn run_rcim_shard(cfg: &RcimConfig, seed: u64, samples: u64) -> (LatencyHistogram, u64) {
     let machine = MachineConfig::dual_xeon_p4_2ghz();
-    let mut sim = Simulator::new(machine, KernelConfig::new(cfg.variant), cfg.seed);
+    let mut sim = Simulator::new(machine, KernelConfig::new(cfg.variant), seed);
 
     let rcim = sim.add_device(Box::new(RcimDevice::new(cfg.period)));
     // §6.3 load: ttcp across a real 10BaseT link + graphics.
@@ -117,8 +131,8 @@ pub fn run_rcim(cfg: &RcimConfig) -> RcimResult {
     }
 
     let chunk = cfg.period * 16_384;
-    let deadline = Instant::ZERO + cfg.period.scale(4.0 * cfg.samples as f64);
-    while (sim.obs.latencies(pid).len() as u64) < cfg.samples {
+    let deadline = Instant::ZERO + cfg.period.scale(4.0 * samples as f64);
+    while (sim.obs.latencies(pid).len() as u64) < samples {
         assert!(sim.now() < deadline, "rcim waiter starved");
         sim.run_for(chunk);
     }
@@ -127,11 +141,39 @@ pub fn run_rcim(cfg: &RcimConfig) -> RcimResult {
     for &l in sim.obs.latencies(pid) {
         histogram.record(l);
     }
+    (histogram, sim.events_dispatched())
+}
+
+/// Run the experiment.
+///
+/// Sharding follows the same determinism contract as
+/// [`crate::realfeel::run_realfeel`]: `shards == 1` is the classic
+/// single-simulation path on `cfg.seed`; K > 1 splits the budget across K
+/// forked-seed simulations merged in shard-index order.
+pub fn run_rcim(cfg: &RcimConfig) -> RcimResult {
+    let shards = crate::shard::effective_shards(cfg.shards, cfg.samples);
+    let outputs: Vec<(LatencyHistogram, u64)> = if shards <= 1 {
+        vec![run_rcim_shard(cfg, cfg.seed, cfg.samples)]
+    } else {
+        let seeds = crate::shard::shard_seeds(cfg.seed, shards);
+        let budgets = crate::shard::split_samples(cfg.samples, shards);
+        crate::shard::run_indexed(shards as usize, |i| {
+            run_rcim_shard(cfg, seeds[i], budgets[i])
+        })
+    };
+
+    let mut histogram = LatencyHistogram::new();
+    let mut events = 0u64;
+    for (shard_hist, shard_events) in &outputs {
+        histogram.merge(shard_hist);
+        events += shard_events;
+    }
     RcimResult {
         config: cfg.clone(),
         summary: LatencySummary::from_histogram(&histogram),
         cumulative: CumulativeReport::new(&histogram, &CumulativeReport::paper_us_ladder()),
         histogram,
+        events,
     }
 }
 

@@ -31,6 +31,16 @@ pub struct RealfeelConfig {
     /// before then).
     pub samples: u64,
     pub seed: u64,
+    /// Split the sample budget across this many independent simulations run
+    /// in parallel and merged (1 = the classic single-simulation path). The
+    /// result is bit-for-bit reproducible per `(seed, shards)` pair, and
+    /// `shards == 1` reproduces the pre-sharding output exactly.
+    #[serde(default = "default_shards")]
+    pub shards: u32,
+}
+
+pub(crate) fn default_shards() -> u32 {
+    1
 }
 
 impl RealfeelConfig {
@@ -42,6 +52,7 @@ impl RealfeelConfig {
             rtc_hz: 2048,
             samples: 400_000,
             seed: 0xF165_5EED,
+            shards: 1,
         }
     }
 
@@ -53,6 +64,7 @@ impl RealfeelConfig {
             rtc_hz: 2048,
             samples: 400_000,
             seed: 0xF166_5EED,
+            shards: 1,
         }
     }
 
@@ -63,6 +75,11 @@ impl RealfeelConfig {
 
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -83,12 +100,21 @@ pub struct RealfeelResult {
     pub cumulative: CumulativeReport,
     /// Interrupts that fired while realfeel wasn't back in read() yet.
     pub overruns: u64,
+    /// Simulator events dispatched across all shards (throughput accounting).
+    #[serde(default)]
+    pub events: u64,
 }
 
-/// Run the experiment.
-pub fn run_realfeel(cfg: &RealfeelConfig) -> RealfeelResult {
+struct ShardOutput {
+    histogram: LatencyHistogram,
+    overruns: u64,
+    events: u64,
+}
+
+/// Run one independent simulation with an explicit seed and sample budget.
+fn run_realfeel_shard(cfg: &RealfeelConfig, seed: u64, samples: u64) -> ShardOutput {
     let machine = MachineConfig::dual_xeon_p3();
-    let mut sim = Simulator::new(machine, KernelConfig::new(cfg.variant), cfg.seed);
+    let mut sim = Simulator::new(machine, KernelConfig::new(cfg.variant), seed);
 
     let rtc = sim.add_device(Box::new(RtcDevice::new(cfg.rtc_hz)));
     // §6.1: no generated Ethernet load, but the box stays on a live network
@@ -119,8 +145,8 @@ pub fn run_realfeel(cfg: &RealfeelConfig) -> RealfeelResult {
 
     let period = Nanos(1_000_000_000 / cfg.rtc_hz as u64);
     let chunk = period * 32_768;
-    let deadline = Instant::ZERO + period.scale(4.0 * cfg.samples as f64);
-    while (sim.obs.latencies(pid).len() as u64) < cfg.samples {
+    let deadline = Instant::ZERO + period.scale(4.0 * samples as f64);
+    while (sim.obs.latencies(pid).len() as u64) < samples {
         assert!(sim.now() < deadline, "realfeel starved: {} samples", sim.obs.latencies(pid).len());
         sim.run_for(chunk);
     }
@@ -129,13 +155,44 @@ pub fn run_realfeel(cfg: &RealfeelConfig) -> RealfeelResult {
     for &l in sim.obs.latencies(pid) {
         histogram.record(l);
     }
+    let expected = sim.now().as_ns() / period.as_ns();
+    let overruns = expected.saturating_sub(histogram.count());
+    ShardOutput { histogram, overruns, events: sim.events_dispatched() }
+}
+
+/// Run the experiment.
+///
+/// With `cfg.shards == 1` this is the classic single-simulation path seeded
+/// with `cfg.seed`. With `shards = K > 1` the sample budget is split across K
+/// independent simulations whose seeds are forked deterministically from
+/// `cfg.seed` (see [`crate::shard::shard_seeds`]); the shards run on threads
+/// and their histograms are merged in shard-index order, so the output is
+/// bit-for-bit reproducible for a given `(seed, K)`.
+pub fn run_realfeel(cfg: &RealfeelConfig) -> RealfeelResult {
+    let shards = crate::shard::effective_shards(cfg.shards, cfg.samples);
+    let outputs: Vec<ShardOutput> = if shards <= 1 {
+        vec![run_realfeel_shard(cfg, cfg.seed, cfg.samples)]
+    } else {
+        let seeds = crate::shard::shard_seeds(cfg.seed, shards);
+        let budgets = crate::shard::split_samples(cfg.samples, shards);
+        crate::shard::run_indexed(shards as usize, |i| {
+            run_realfeel_shard(cfg, seeds[i], budgets[i])
+        })
+    };
+
+    let mut histogram = LatencyHistogram::new();
+    let mut overruns = 0u64;
+    let mut events = 0u64;
+    for out in &outputs {
+        histogram.merge(&out.histogram);
+        overruns += out.overruns;
+        events += out.events;
+    }
     let ladder = if cfg.shield.is_some() {
         CumulativeReport::paper_sub_ms_ladder()
     } else {
         CumulativeReport::paper_ms_ladder()
     };
-    let expected = sim.now().as_ns() / period.as_ns();
-    let overruns = expected.saturating_sub(histogram.count());
 
     RealfeelResult {
         config: cfg.clone(),
@@ -143,12 +200,59 @@ pub fn run_realfeel(cfg: &RealfeelConfig) -> RealfeelResult {
         cumulative: CumulativeReport::new(&histogram, &ladder),
         histogram,
         overruns,
+        events,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// `shards == 1` must be the historical single-simulation output,
+    /// bit-for-bit: same seed, same code path, same histogram.
+    #[test]
+    fn one_shard_reproduces_the_unsharded_path_exactly() {
+        let cfg = RealfeelConfig::fig6_redhawk_shielded().with_samples(5_000);
+        assert_eq!(cfg.shards, 1);
+        let via_public = run_realfeel(&cfg);
+        let direct = run_realfeel_shard(&cfg, cfg.seed, cfg.samples);
+        assert_eq!(
+            serde_json::to_string(&via_public.histogram).unwrap(),
+            serde_json::to_string(&direct.histogram).unwrap()
+        );
+        assert_eq!(via_public.overruns, direct.overruns);
+        assert_eq!(via_public.events, direct.events);
+    }
+
+    /// The merged result is exactly the shard-wise sum: histogram counts,
+    /// overruns and event totals all add up.
+    #[test]
+    fn merged_totals_equal_sum_of_shard_totals() {
+        let cfg = RealfeelConfig::fig6_redhawk_shielded().with_samples(6_000).with_shards(3);
+        let merged = run_realfeel(&cfg);
+
+        let seeds = crate::shard::shard_seeds(cfg.seed, 3);
+        let budgets = crate::shard::split_samples(cfg.samples, 3);
+        let mut count = 0u64;
+        let mut overruns = 0u64;
+        let mut events = 0u64;
+        let mut reference = LatencyHistogram::new();
+        for i in 0..3 {
+            let out = run_realfeel_shard(&cfg, seeds[i], budgets[i]);
+            count += out.histogram.count();
+            overruns += out.overruns;
+            events += out.events;
+            reference.merge(&out.histogram);
+        }
+        assert_eq!(merged.histogram.count(), count);
+        assert!(merged.histogram.count() >= cfg.samples);
+        assert_eq!(merged.overruns, overruns);
+        assert_eq!(merged.events, events);
+        assert_eq!(
+            serde_json::to_string(&merged.histogram).unwrap(),
+            serde_json::to_string(&reference).unwrap()
+        );
+    }
 
     #[test]
     fn vanilla_has_millisecond_tail_shielded_does_not() {

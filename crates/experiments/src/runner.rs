@@ -18,11 +18,37 @@ pub struct FigureSuite {
     pub fig7: RcimResult,
 }
 
+/// Wall-clock spent in each figure (throughput accounting for the
+/// `BENCH_simulator.json` emitter). The figures run concurrently, so entries
+/// overlap and do not sum to the suite wall-clock.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SuiteTimings {
+    /// `(figure id, wall-clock milliseconds)` in fig1..fig7 order.
+    pub figures: Vec<(String, f64)>,
+    pub suite_wall_ms: f64,
+}
+
 /// Scale factor for sample counts/iterations: 1.0 reproduces the defaults,
-/// smaller is faster (smoke runs), larger digs deeper into the tails.
+/// smaller is faster (smoke runs), larger digs deeper into the tails. The
+/// latency figures run single-sharded — identical to the historical output.
 pub fn run_all_figures(scale: f64) -> FigureSuite {
+    run_all_figures_with(scale, 1)
+}
+
+/// [`run_all_figures`] with the Figure 5–7 sample budgets split across
+/// `shards` forked-seed simulations each (see [`crate::shard`]); `shards = 1`
+/// reproduces [`run_all_figures`] bit-for-bit.
+pub fn run_all_figures_with(scale: f64, shards: u32) -> FigureSuite {
+    run_all_figures_timed(scale, shards).0
+}
+
+/// [`run_all_figures_with`], also reporting per-figure wall-clock.
+pub fn run_all_figures_timed(scale: f64, shards: u32) -> (FigureSuite, SuiteTimings) {
     assert!(scale > 0.0);
-    let iters = |base: u32| ((base as f64 * scale).ceil() as u32).max(4);
+    // Floors keep smoke runs statistically meaningful: worst-iteration jitter
+    // needs ~60 iterations before the tail bands are reachable at all, and
+    // the latency verdicts need a few thousand samples.
+    let iters = |base: u32| ((base as f64 * scale).ceil() as u32).max(60);
     let samples = |base: u64| ((base as f64 * scale).ceil() as u64).max(1_000);
 
     let d_cfgs = [
@@ -36,39 +62,76 @@ pub fn run_all_figures(scale: f64) -> FigureSuite {
         c.with_iterations(n)
     });
     let f5 = RealfeelConfig::fig5_vanilla();
-    let f5 = f5.clone().with_samples(samples(f5.samples));
+    let f5 = f5.clone().with_samples(samples(f5.samples)).with_shards(shards);
     let f6 = RealfeelConfig::fig6_redhawk_shielded();
-    let f6 = f6.clone().with_samples(samples(f6.samples));
+    let f6 = f6.clone().with_samples(samples(f6.samples)).with_shards(shards);
     let f7 = RcimConfig::fig7_redhawk_shielded();
-    let f7 = f7.clone().with_samples(samples(f7.samples));
+    let f7 = f7.clone().with_samples(samples(f7.samples)).with_shards(shards);
 
-    let det: Mutex<Vec<Option<DeterminismResult>>> = Mutex::new(vec![None, None, None, None]);
-    let mut lat5: Option<RealfeelResult> = None;
-    let mut lat6: Option<RealfeelResult> = None;
-    let mut lat7: Option<RcimResult> = None;
+    let t0 = std::time::Instant::now();
+    let det: Mutex<Vec<Option<(DeterminismResult, f64)>>> =
+        Mutex::new(vec![None, None, None, None]);
+    let mut lat5: Option<(RealfeelResult, f64)> = None;
+    let mut lat6: Option<(RealfeelResult, f64)> = None;
+    let mut lat7: Option<(RcimResult, f64)> = None;
 
     crossbeam::scope(|scope| {
         for (i, cfg) in d_cfgs.iter().enumerate() {
             let det = &det;
             scope.spawn(move |_| {
+                let t = std::time::Instant::now();
                 let r = run_determinism(cfg);
-                det.lock()[i] = Some(r);
+                det.lock()[i] = Some((r, t.elapsed().as_secs_f64() * 1e3));
             });
         }
-        scope.spawn(|_| lat5 = Some(run_realfeel(&f5)));
-        scope.spawn(|_| lat6 = Some(run_realfeel(&f6)));
-        scope.spawn(|_| lat7 = Some(run_rcim(&f7)));
+        scope.spawn(|_| {
+            let t = std::time::Instant::now();
+            let r = run_realfeel(&f5);
+            lat5 = Some((r, t.elapsed().as_secs_f64() * 1e3));
+        });
+        scope.spawn(|_| {
+            let t = std::time::Instant::now();
+            let r = run_realfeel(&f6);
+            lat6 = Some((r, t.elapsed().as_secs_f64() * 1e3));
+        });
+        scope.spawn(|_| {
+            let t = std::time::Instant::now();
+            let r = run_rcim(&f7);
+            lat7 = Some((r, t.elapsed().as_secs_f64() * 1e3));
+        });
     })
     .expect("experiment thread panicked");
 
     let mut det = det.into_inner();
-    FigureSuite {
-        fig1: det[0].take().expect("fig1"),
-        fig2: det[1].take().expect("fig2"),
-        fig3: det[2].take().expect("fig3"),
-        fig4: det[3].take().expect("fig4"),
-        fig5: lat5.expect("fig5"),
-        fig6: lat6.expect("fig6"),
-        fig7: lat7.expect("fig7"),
-    }
+    let [d1, d2, d3, d4] = [
+        det[0].take().expect("fig1"),
+        det[1].take().expect("fig2"),
+        det[2].take().expect("fig3"),
+        det[3].take().expect("fig4"),
+    ];
+    let (lat5, ms5) = lat5.expect("fig5");
+    let (lat6, ms6) = lat6.expect("fig6");
+    let (lat7, ms7) = lat7.expect("fig7");
+    let timings = SuiteTimings {
+        figures: vec![
+            ("fig1".into(), d1.1),
+            ("fig2".into(), d2.1),
+            ("fig3".into(), d3.1),
+            ("fig4".into(), d4.1),
+            ("fig5".into(), ms5),
+            ("fig6".into(), ms6),
+            ("fig7".into(), ms7),
+        ],
+        suite_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    };
+    let suite = FigureSuite {
+        fig1: d1.0,
+        fig2: d2.0,
+        fig3: d3.0,
+        fig4: d4.0,
+        fig5: lat5,
+        fig6: lat6,
+        fig7: lat7,
+    };
+    (suite, timings)
 }

@@ -1,0 +1,52 @@
+//! Determinism contract of sharded latency runs (see `sp_experiments::shard`).
+//!
+//! Each latency experiment must be bit-for-bit reproducible for a given
+//! `(seed, shards)` pair — thread scheduling must not leak into results —
+//! and a sharded run must still deliver the full sample budget.
+
+use sp_experiments::{run_rcim, run_realfeel, RcimConfig, RealfeelConfig};
+
+#[test]
+fn realfeel_is_bit_for_bit_deterministic_for_each_shard_count() {
+    for shards in [1u32, 2, 8] {
+        let cfg = RealfeelConfig::fig6_redhawk_shielded().with_samples(4_000).with_shards(shards);
+        let a = serde_json::to_string(&run_realfeel(&cfg)).unwrap();
+        let b = serde_json::to_string(&run_realfeel(&cfg)).unwrap();
+        assert_eq!(a, b, "non-deterministic output with {shards} shards");
+    }
+}
+
+#[test]
+fn rcim_is_bit_for_bit_deterministic_for_each_shard_count() {
+    for shards in [1u32, 2, 8] {
+        let cfg = RcimConfig::fig7_redhawk_shielded().with_samples(4_000).with_shards(shards);
+        let a = serde_json::to_string(&run_rcim(&cfg)).unwrap();
+        let b = serde_json::to_string(&run_rcim(&cfg)).unwrap();
+        assert_eq!(a, b, "non-deterministic output with {shards} shards");
+    }
+}
+
+#[test]
+fn sharded_runs_deliver_the_full_sample_budget() {
+    let cfg = RcimConfig::fig7_redhawk_shielded().with_samples(5_000).with_shards(4);
+    let r = run_rcim(&cfg);
+    assert!(r.histogram.count() >= 5_000, "only {} samples", r.histogram.count());
+    assert!(r.events > 0);
+    // Sharding changes which draws are sampled but not the distribution:
+    // the shielded guarantee must hold shard-split or not.
+    assert!(r.summary.max < simcore::Nanos::from_us(40), "max {}", r.summary.max);
+}
+
+#[test]
+fn shard_count_roundtrips_through_config_serde_with_default() {
+    let cfg = RealfeelConfig::fig5_vanilla().with_shards(6);
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: RealfeelConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, cfg);
+
+    // Pre-sharding configs (no `shards` field) still deserialize, as 1 shard.
+    let legacy = json.replace(",\"shards\":6", "").replace("\"shards\":6,", "");
+    assert!(!legacy.contains("shards"), "field not stripped: {legacy}");
+    let back: RealfeelConfig = serde_json::from_str(&legacy).unwrap();
+    assert_eq!(back.shards, 1);
+}

@@ -51,7 +51,7 @@ impl MachineConfig {
         if self.logical_cpus() > 64 {
             return Err(format!("at most 64 logical CPUs supported, got {}", self.logical_cpus()));
         }
-        if !(self.clock_ghz > 0.0) {
+        if self.clock_ghz.is_nan() || self.clock_ghz <= 0.0 {
             return Err(format!("clock must be positive, got {}", self.clock_ghz));
         }
         Ok(())

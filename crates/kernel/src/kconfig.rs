@@ -19,7 +19,7 @@ pub enum KernelVariant {
     /// + MontaVista preemption patch only.
     Preempt,
     /// + preemption and low-latency patches (the configuration of
-    /// Clark Williams' 1.2 ms result, reference [5] of the paper).
+    ///   Clark Williams' 1.2 ms result, reference \[5\] of the paper).
     PreemptLowLat,
     /// RedHawk 1.4: all patches plus Concurrent's modifications.
     RedHawk,

@@ -252,7 +252,7 @@ impl Scheduler for O1Scheduler {
                 for (p, q) in array.queues.iter().enumerate() {
                     for &pid in q {
                         if tasks[pid.index()].effective_affinity.contains(cpu)
-                            && best.map_or(true, |(_, bp, _)| (p as u8) < bp)
+                            && best.is_none_or(|(_, bp, _)| (p as u8) < bp)
                         {
                             best = Some((pid, p as u8, other));
                         }

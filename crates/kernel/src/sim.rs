@@ -137,6 +137,16 @@ pub struct Simulator {
     shield: ShieldCtl,
     token_counter: u64,
     started: bool,
+    /// Total events dispatched by [`run_until`], for throughput reporting.
+    ///
+    /// [`run_until`]: Simulator::run_until
+    events_dispatched: u64,
+    // Scratch buffers reused across dispatches so the hot loop stays
+    // allocation-free; contents are only valid while building a `CpuView`
+    // or a waiter snapshot, never across calls.
+    scratch_running: Vec<Option<Pid>>,
+    scratch_idle_since: Vec<u64>,
+    scratch_spinners: Vec<Pid>,
 }
 
 impl Simulator {
@@ -166,6 +176,10 @@ impl Simulator {
             shield: ShieldCtl::NONE,
             token_counter: 0,
             started: false,
+            events_dispatched: 0,
+            scratch_running: Vec::with_capacity(n),
+            scratch_idle_since: Vec::with_capacity(n),
+            scratch_spinners: Vec::with_capacity(n),
         }
     }
 
@@ -405,9 +419,16 @@ impl Simulator {
         }
         match self.tasks[pid.index()].state {
             TaskState::Ready => {
-                let running = self.running_view();
-                let idle_since = self.idle_since_view();
-                let view = CpuView { online, running: &running, idle_since: &idle_since };
+                Self::fill_view_scratch(
+                    &self.cpus,
+                    &mut self.scratch_running,
+                    &mut self.scratch_idle_since,
+                );
+                let view = CpuView {
+                    online,
+                    running: &self.scratch_running,
+                    idle_since: &self.scratch_idle_since,
+                };
                 if let Some(target) =
                     self.sched.on_affinity_change(pid, &mut self.tasks, &view)
                 {
@@ -463,9 +484,15 @@ impl Simulator {
             let (at, ev) = self.queue.pop().expect("peeked");
             debug_assert!(at >= self.now, "event from the past");
             self.now = at;
+            self.events_dispatched += 1;
             self.dispatch(ev);
         }
         self.now = self.now.max(t);
+    }
+
+    /// Total events dispatched so far, for events/sec throughput reports.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
     }
 
     /// Advance virtual time by `d`.
@@ -500,8 +527,10 @@ impl Simulator {
     }
 
     fn sample_slowdown(&mut self, cpu: usize) -> f64 {
-        let busy: Vec<bool> = self.cpus.iter().map(|c| c.busy).collect();
-        let ctx = exec_context(&self.machine, CpuId(cpu as u32), |c| busy[c.index()]);
+        // `ExecContext` is computed eagerly and is `Copy`, so the busy
+        // states can be read straight off `self.cpus` — no snapshot needed.
+        let cpus = &self.cpus;
+        let ctx = exec_context(&self.machine, CpuId(cpu as u32), |c| cpus[c.index()].busy);
         self.cfg.contention.sample_slowdown(ctx, &mut self.rng)
     }
 
@@ -568,7 +597,7 @@ impl Simulator {
             if cpu == changed {
                 continue;
             }
-            if self.cpus[cpu].current.as_ref().map_or(true, |a| a.end.is_none()) {
+            if self.cpus[cpu].current.as_ref().is_none_or(|a| a.end.is_none()) {
                 continue;
             }
             if let Some(mut act) = self.checkpoint_current(cpu) {
@@ -721,7 +750,7 @@ impl Simulator {
             .current
             .as_ref()
             .and_then(|a| a.end)
-            .map_or(false, |(_, t)| t == token);
+            .is_some_and(|(_, t)| t == token);
         if !valid {
             debug_assert!(false, "stale SegEnd should have been cancelled");
             return;
@@ -742,22 +771,19 @@ impl Simulator {
                     // Prefer a waiter that is actively spinning right now
                     // (its CPU's current activity is the spin): a waiter
                     // suspended under an interrupt cannot test-and-set.
-                    let actively_spinning: Vec<Pid> = self
-                        .cpus
-                        .iter()
-                        .filter_map(|c| match (&c.current, c.task_ctx) {
-                            (Some(act), Some(p))
-                                if matches!(act.kind, ActKind::SpinWait { .. }) =>
-                            {
-                                Some(p)
+                    self.scratch_spinners.clear();
+                    for c in &self.cpus {
+                        if let (Some(act), Some(p)) = (&c.current, c.task_ctx) {
+                            if matches!(act.kind, ActKind::SpinWait { .. }) {
+                                self.scratch_spinners.push(p);
                             }
-                            _ => None,
-                        })
-                        .collect();
+                        }
+                    }
+                    let spinners = &self.scratch_spinners;
                     let next = self
                         .locks
                         .get_mut(lock)
-                        .release(pid, self.now, |w| actively_spinning.contains(&w));
+                        .release(pid, self.now, |w| spinners.contains(&w));
                     if let Some(next_pid) = next {
                         self.grant_lock(lock, next_pid);
                     }
@@ -825,8 +851,10 @@ impl Simulator {
         }
         // 2. Bottom halves — unless the variant defers them behind a wakeup,
         // or a burst is already on the stack beneath a nested interrupt.
-        let softirq_ok = !(self.cfg.softirq_deferral && self.cpus[cpu].need_resched)
-            && !self.cpus[cpu].suspended.iter().any(|a| matches!(a.kind, ActKind::Softirq));
+        let deferred = self.cfg.softirq_deferral && self.cpus[cpu].need_resched;
+        let nested =
+            self.cpus[cpu].suspended.iter().any(|a| matches!(a.kind, ActKind::Softirq));
+        let softirq_ok = !(deferred || nested);
         if !self.cpus[cpu].pending_softirq.is_empty() && softirq_ok {
             self.begin_softirq_burst(cpu, self.cfg.sections.softirq_burst_cap);
             return;
@@ -1001,22 +1029,29 @@ impl Simulator {
     // Scheduling and switching
     // ------------------------------------------------------------------
 
-    fn running_view(&self) -> Vec<Option<Pid>> {
-        self.cpus.iter().map(|c| c.task_ctx).collect()
-    }
-
-    fn idle_since_view(&self) -> Vec<u64> {
-        self.cpus.iter().map(|c| c.last_busy_at.as_ns()).collect()
+    /// Refill the reusable `CpuView` backing buffers from the current CPU
+    /// states. Kept inline in callers' borrow scope: the scratch fields are
+    /// disjoint from `sched`/`tasks`, so no per-wake allocation is needed.
+    fn fill_view_scratch(cpus: &[CpuSim], running: &mut Vec<Option<Pid>>, idle: &mut Vec<u64>) {
+        running.clear();
+        idle.clear();
+        for c in cpus {
+            running.push(c.task_ctx);
+            idle.push(c.last_busy_at.as_ns());
+        }
     }
 
     fn make_runnable(&mut self, pid: Pid) {
         self.tasks[pid.index()].state = TaskState::Ready;
-        let running = self.running_view();
-        let idle_since = self.idle_since_view();
+        Self::fill_view_scratch(
+            &self.cpus,
+            &mut self.scratch_running,
+            &mut self.scratch_idle_since,
+        );
         let view = CpuView {
             online: self.machine.online_mask(),
-            running: &running,
-            idle_since: &idle_since,
+            running: &self.scratch_running,
+            idle_since: &self.scratch_idle_since,
         };
         if let Some(target) = self.sched.on_wake(pid, &mut self.tasks, &view) {
             self.kick_cpu(target);
@@ -1431,14 +1466,13 @@ impl Simulator {
             steps.push(PlannedStep { work: hold, lock: Some(LockId::BKL), irqs_off: false });
         }
         for i in 0..n_segs {
+            // `syscalls` and `rng` are disjoint fields, so the segment (and
+            // its duration distribution) can be borrowed across the samples
+            // without cloning.
             let seg = &self.syscalls[id.index()].segments[i];
-            let prob = seg.prob;
-            let lock = seg.lock;
-            let irqs_off = seg.irqs_off;
-            let dur = seg.dur.clone();
-            if prob >= 1.0 || self.rng.chance(prob) {
-                let work = dur.sample(&mut self.rng);
-                steps.push(PlannedStep { work, lock, irqs_off });
+            if seg.prob >= 1.0 || self.rng.chance(seg.prob) {
+                let work = seg.dur.sample(&mut self.rng);
+                steps.push(PlannedStep { work, lock: seg.lock, irqs_off: seg.irqs_off });
             }
         }
         if injectable && self.rng.chance(self.cfg.sections.long_section_prob) {

@@ -15,14 +15,17 @@ const NUM_BUCKETS: usize = SUB as usize + OCTAVES * SUB as usize;
 
 #[inline]
 fn value_to_index(v: u64) -> usize {
-    if v < SUB {
-        v as usize
-    } else {
-        let msb = 63 - v.leading_zeros();
-        let octave = (msb - SUB_BITS) as usize;
-        let sub = ((v >> octave) - SUB) as usize;
-        SUB as usize + octave * SUB as usize + sub
-    }
+    // Branch-free form of the log-linear mapping. With
+    // `octave = max(msb(v|1) - SUB_BITS, 0)`:
+    //   v < 64        → octave 0, index = v              (exact buckets)
+    //   v in [64,128) → octave 0, index = v              (same as sub formula)
+    //   v ≥ 128       → index = SUB + (octave-?)·SUB + ((v>>octave) - SUB)
+    // which all collapse to `octave·SUB + (v >> octave)` — identical bucket
+    // boundaries to the branchy version, but `record` compiles to shift/mask
+    // arithmetic with no data-dependent branch.
+    let msb = 63 - (v | 1).leading_zeros();
+    let octave = msb.saturating_sub(SUB_BITS);
+    ((octave as u64 * SUB) + (v >> octave)) as usize
 }
 
 /// Inclusive upper edge of the bucket at `idx`.
@@ -187,6 +190,34 @@ mod tests {
             // relative error bounded by one sub-bucket (1/64 of the octave)
             assert!((upper - v) as f64 <= v as f64 / 32.0 + 1.0, "v={v} upper={upper}");
         }
+    }
+
+    /// The pre-optimisation branchy mapping, kept as a reference model.
+    fn value_to_index_reference(v: u64) -> usize {
+        if v < SUB {
+            v as usize
+        } else {
+            let msb = 63 - v.leading_zeros();
+            let octave = (msb - SUB_BITS) as usize;
+            let sub = ((v >> octave) - SUB) as usize;
+            SUB as usize + octave * SUB as usize + sub
+        }
+    }
+
+    #[test]
+    fn branchless_index_matches_reference() {
+        for v in 0..10_000u64 {
+            assert_eq!(value_to_index(v), value_to_index_reference(v), "v={v}");
+        }
+        for shift in 6..63 {
+            for delta in [0u64, 1, 2, 31, 63, 64, 65] {
+                let v = (1u64 << shift).saturating_add(delta);
+                assert_eq!(value_to_index(v), value_to_index_reference(v), "v={v}");
+                let v = (1u64 << shift).saturating_sub(delta);
+                assert_eq!(value_to_index(v), value_to_index_reference(v), "v={v}");
+            }
+        }
+        assert_eq!(value_to_index(u64::MAX), value_to_index_reference(u64::MAX));
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub fn ascii_histogram(h: &LatencyHistogram, lo: Nanos, hi: Nanos, opts: &PlotOp
     for (i, &count) in bins.iter().enumerate() {
         let bin_lo = Nanos((lo_ns + bin_width * i as f64) as u64);
         let bar_len = ((scale(count) / max_scaled) * opts.width as f64).round() as usize;
-        let bar: String = std::iter::repeat('#').take(bar_len).collect();
+        let bar = "#".repeat(bar_len);
         let _ = writeln!(out, "{:>12} | {:<w$} {}", bin_lo.to_string(), bar, count, w = opts.width);
     }
     out

@@ -1,58 +1,85 @@
 //! The simulation event queue.
 //!
-//! A min-heap keyed on `(Instant, seq)`. The monotonically increasing sequence
-//! number makes event ordering total and *stable*: two events scheduled for
-//! the same instant fire in the order they were scheduled, which keeps the
-//! whole simulation deterministic for a given seed.
+//! An *indexed* 4-ary min-heap keyed on `(Instant, seq)`. The monotonically
+//! increasing sequence number makes event ordering total and *stable*: two
+//! events scheduled for the same instant fire in the order they were
+//! scheduled, which keeps the whole simulation deterministic for a given
+//! seed.
 //!
-//! Events can be cancelled lazily through the [`EventKey`] returned at push
-//! time (used for timers that get rearmed or torn down): cancelled entries are
-//! skipped when they surface at the top of the heap.
+//! Every scheduled event owns a slot in an arena; the heap stores
+//! `(at, seq, slot)` entries — the ordering key inline, so sifting never
+//! leaves the heap array — and each slot tracks its heap position, so
+//! [`EventQueue::cancel`] removes the entry in O(log n) instead of leaving a
+//! tombstone to be skipped later. Slots are recycled through a free list and
+//! carry a generation counter, so a stale [`EventKey`] (for an event that
+//! already fired or was cancelled) can never affect a recycled slot.
+//!
+//! This replaces the earlier `BinaryHeap` + `HashSet` tombstone scheme: the
+//! hot `push`/`pop` path no longer touches hash tables at all, `peek_time`
+//! is a non-mutating array read, and cancelled timers (rearmed tick timers,
+//! torn-down device timers) stop costing heap space until they surface.
 
 use crate::time::Instant;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
 
 /// Opaque handle identifying a scheduled event, used for cancellation.
+///
+/// Packs the arena slot index (high 32 bits) and the slot's generation at
+/// push time (low 32 bits).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventKey(u64);
 
-struct Entry<E> {
+impl EventKey {
+    fn new(slot: u32, generation: u32) -> Self {
+        EventKey((slot as u64) << 32 | generation as u64)
+    }
+
+    fn slot(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    fn generation(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+/// Heap position marker for slots that are not currently queued.
+const FREE: u32 = u32::MAX;
+
+/// Heap arity. Four children per node keeps the tree shallow and the child
+/// scan within one cache line of slot indices.
+const D: usize = 4;
+
+struct Slot<E> {
+    /// Bumped every time the slot is released, invalidating old keys.
+    generation: u32,
+    /// Index into `EventQueue::heap`, or [`FREE`] when not queued.
+    heap_pos: u32,
+    event: Option<E>,
+}
+
+/// One heap node. The ordering key lives here, inline, so sift comparisons
+/// stay within the heap array instead of chasing slot-arena pointers.
+#[derive(Clone, Copy)]
+struct HeapEntry {
     at: Instant,
     seq: u64,
-    event: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl HeapEntry {
+    #[inline]
+    fn before(&self, other: &HeapEntry) -> bool {
+        (self.at, self.seq) < (other.at, other.seq)
     }
 }
 
 /// Deterministic future-event list.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    /// Seqs of events that are in the heap and have not been cancelled.
-    pending: HashSet<u64>,
-    /// Seqs of events that are in the heap but were cancelled (tombstones).
-    cancelled: HashSet<u64>,
+    slots: Vec<Slot<E>>,
+    /// Min-heap ordered by `(at, seq)`.
+    heap: Vec<HeapEntry>,
+    /// Released slots available for reuse.
+    free: Vec<u32>,
     next_seq: u64,
 }
 
@@ -65,9 +92,18 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
+            slots: Vec::new(),
+            heap: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue {
+            slots: Vec::with_capacity(n),
+            heap: Vec::with_capacity(n),
+            free: Vec::new(),
             next_seq: 0,
         }
     }
@@ -78,56 +114,157 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: Instant, event: E) -> EventKey {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
-        self.pending.insert(seq);
-        EventKey(seq)
+        let pos = self.heap.len() as u32;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                s.heap_pos = pos;
+                s.event = Some(event);
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Slot { generation: 0, heap_pos: pos, event: Some(event) });
+                slot
+            }
+        };
+        self.heap.push(HeapEntry { at, seq, slot });
+        self.sift_up(pos as usize);
+        EventKey::new(slot, self.slots[slot as usize].generation)
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event was
     /// still pending (i.e. had not fired and was not already cancelled).
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if self.pending.remove(&key.0) {
-            self.cancelled.insert(key.0);
-            true
-        } else {
-            false
+        let slot = key.slot() as usize;
+        let Some(s) = self.slots.get(slot) else {
+            return false;
+        };
+        if s.generation != key.generation() || s.heap_pos == FREE {
+            return false;
         }
+        let pos = s.heap_pos as usize;
+        self.remove_at(pos);
+        self.release(slot as u32);
+        true
     }
 
     /// Remove and return the earliest live event.
     pub fn pop(&mut self) -> Option<(Instant, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
-            }
-            self.pending.remove(&entry.seq);
-            return Some((entry.at, entry.event));
-        }
-        None
+        let &HeapEntry { at, slot, .. } = self.heap.first()?;
+        self.remove_at(0);
+        let s = &mut self.slots[slot as usize];
+        let event = s.event.take().expect("queued slot holds an event");
+        s.generation = s.generation.wrapping_add(1);
+        s.heap_pos = FREE;
+        self.free.push(slot);
+        Some((at, event))
     }
 
     /// The instant of the earliest live event, if any.
-    pub fn peek_time(&mut self) -> Option<Instant> {
-        // Drain cancelled tombstones off the top so peek is accurate.
-        while let Some(top) = self.heap.peek() {
-            if self.cancelled.contains(&top.seq) {
-                let seq = top.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-            } else {
-                return Some(top.at);
-            }
-        }
-        None
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.first().map(|e| e.at)
     }
 
     /// Number of live (non-cancelled, not yet fired) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.heap.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.heap.is_empty()
+    }
+
+    /// Release a slot back to the free list, invalidating outstanding keys.
+    fn release(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.event = None;
+        s.generation = s.generation.wrapping_add(1);
+        s.heap_pos = FREE;
+        self.free.push(slot);
+    }
+
+    /// Detach the heap entry at `pos`, restoring the heap property.
+    fn remove_at(&mut self, pos: usize) {
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        self.slots[self.heap[pos].slot as usize].heap_pos = pos as u32;
+        self.heap.pop();
+        if pos < self.heap.len() {
+            // The swapped-in entry may need to move either way; at most one
+            // of these does any work.
+            self.sift_down(pos);
+            self.sift_up(pos);
+        }
+    }
+
+    /// Hole-based sift: shift larger parents down, write the entry once.
+    fn sift_up(&mut self, mut pos: usize) {
+        let entry = self.heap[pos];
+        while pos > 0 {
+            let parent = (pos - 1) / D;
+            let p = self.heap[parent];
+            if entry.before(&p) {
+                self.heap[pos] = p;
+                self.slots[p.slot as usize].heap_pos = pos as u32;
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+        self.heap[pos] = entry;
+        self.slots[entry.slot as usize].heap_pos = pos as u32;
+    }
+
+    /// Hole-based sift: shift the smallest child up, write the entry once.
+    fn sift_down(&mut self, mut pos: usize) {
+        let len = self.heap.len();
+        let entry = self.heap[pos];
+        loop {
+            let first_child = pos * D + 1;
+            if first_child >= len {
+                break;
+            }
+            let child_end = (first_child + D).min(len);
+            let mut best = first_child;
+            let mut best_entry = self.heap[first_child];
+            for child in first_child + 1..child_end {
+                let c = self.heap[child];
+                if c.before(&best_entry) {
+                    best = child;
+                    best_entry = c;
+                }
+            }
+            if best_entry.before(&entry) {
+                self.heap[pos] = best_entry;
+                self.slots[best_entry.slot as usize].heap_pos = pos as u32;
+                pos = best;
+            } else {
+                break;
+            }
+        }
+        self.heap[pos] = entry;
+        self.slots[entry.slot as usize].heap_pos = pos as u32;
+    }
+
+    /// Debug check: every heap entry's slot points back at its position and
+    /// every parent orders before its children.
+    #[cfg(test)]
+    fn assert_invariants(&self) {
+        for (pos, e) in self.heap.iter().enumerate() {
+            assert_eq!(self.slots[e.slot as usize].heap_pos as usize, pos);
+            assert!(self.slots[e.slot as usize].event.is_some());
+            if pos > 0 {
+                let parent = (pos - 1) / D;
+                assert!(!e.before(&self.heap[parent]), "heap property violated at {pos}");
+            }
+        }
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.heap_pos == FREE {
+                assert!(s.event.is_none());
+                assert!(self.free.contains(&(i as u32)));
+            }
+        }
     }
 }
 
@@ -178,7 +315,7 @@ mod tests {
         let a = q.push(Instant(1), "a");
         assert_eq!(q.pop(), Some((Instant(1), "a")));
         assert!(!q.cancel(a));
-        // A later push must still work and not be eaten by a stale tombstone.
+        // A later push must still work and not be eaten by a stale key.
         q.push(Instant(2), "b");
         assert_eq!(q.pop(), Some((Instant(2), "b")));
     }
@@ -209,5 +346,59 @@ mod tests {
     fn cancel_bogus_key_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventKey(42)));
+    }
+
+    #[test]
+    fn stale_key_for_recycled_slot_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.push(Instant(1), "a");
+        assert_eq!(q.pop(), Some((Instant(1), "a")));
+        // "b" reuses slot 0; the stale key for "a" must not cancel it.
+        q.push(Instant(2), "b");
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Instant(2), "b")));
+    }
+
+    #[test]
+    fn peek_time_is_non_mutating_and_accurate() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Instant(7), "x");
+        let q_ref: &EventQueue<&str> = &q;
+        assert_eq!(q_ref.peek_time(), Some(Instant(7)));
+        assert_eq!(q_ref.peek_time(), Some(Instant(7)));
+    }
+
+    #[test]
+    fn interleaved_ops_keep_heap_invariants() {
+        let mut q = EventQueue::new();
+        let mut keys = Vec::new();
+        for round in 0..50u64 {
+            for i in 0..20u64 {
+                // Deliberately non-monotone times with plenty of ties.
+                keys.push(q.push(Instant((i * 7 + round * 3) % 40), (round, i)));
+            }
+            q.assert_invariants();
+            for (n, key) in keys.iter().enumerate() {
+                if n % 3 == 0 {
+                    q.cancel(*key);
+                }
+            }
+            q.assert_invariants();
+            let mut last = None;
+            for _ in 0..10 {
+                if let Some((at, _)) = q.pop() {
+                    if let Some(prev) = last {
+                        assert!(at >= prev);
+                    }
+                    last = Some(at);
+                }
+            }
+            q.assert_invariants();
+            keys.clear();
+        }
+        while q.pop().is_some() {}
+        assert!(q.is_empty());
     }
 }

@@ -70,6 +70,63 @@ proptest! {
         }
     }
 
+    /// Random push/cancel/pop sequences behave exactly like a sorted-vec
+    /// reference model: pops come out in `(time, insertion order)` order and
+    /// cancel succeeds iff the event is still pending.
+    #[test]
+    fn queue_matches_sorted_vec_reference(
+        ops in proptest::collection::vec((0u8..4, 0u64..5_000), 1..400),
+    ) {
+        let mut q = EventQueue::new();
+        // Reference model: (time, seq) pairs still pending, plus every key
+        // ever issued so cancels can target fired/cancelled events too.
+        let mut pending: Vec<(u64, usize)> = Vec::new();
+        let mut keys = Vec::new();
+        for (op, val) in ops {
+            match op {
+                // Push twice as often as the other ops so the queue grows.
+                0 | 1 => {
+                    let seq = keys.len();
+                    keys.push(q.push(Instant(val), seq));
+                    pending.push((val, seq));
+                }
+                2 => {
+                    if keys.is_empty() {
+                        continue;
+                    }
+                    let target = val as usize % keys.len();
+                    let model_hit = pending.iter().position(|&(_, s)| s == target);
+                    prop_assert_eq!(q.cancel(keys[target]), model_hit.is_some());
+                    if let Some(i) = model_hit {
+                        pending.remove(i);
+                    }
+                }
+                _ => {
+                    let expect = pending
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &(t, s))| (t, s))
+                        .map(|(i, _)| i);
+                    match expect {
+                        Some(i) => {
+                            let (t, s) = pending.remove(i);
+                            prop_assert_eq!(q.pop(), Some((Instant(t), s)));
+                        }
+                        None => prop_assert_eq!(q.pop(), None),
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), pending.len());
+            prop_assert_eq!(q.peek_time(), pending.iter().map(|&(t, _)| t).min().map(Instant));
+        }
+        // Drain: the remaining pops must replay the model in sorted order.
+        pending.sort_unstable();
+        for (t, s) in pending {
+            prop_assert_eq!(q.pop(), Some((Instant(t), s)));
+        }
+        prop_assert_eq!(q.pop(), None);
+    }
+
     /// Every distribution respects its reported bounds.
     #[test]
     fn distributions_respect_bounds(seed in 0u64..10_000, pick in 0u8..5) {

@@ -1,0 +1,228 @@
+//! Offline stand-in for `criterion`: a timing-only benchmark harness with
+//! the API surface the workspace's benches use (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `iter`, `iter_batched`,
+//! `criterion_group!`/`criterion_main!`).
+//!
+//! Each benchmark is warmed up briefly, then timed over enough iterations
+//! to fill a fixed measurement window; the median of several samples is
+//! reported as ns/iter on stdout. If `CRITERION_JSON` is set, one JSON line
+//! per benchmark (`{"name": ..., "ns_per_iter": ...}`) is appended to that
+//! file so results can be collected into BENCH_simulator.json.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const SAMPLES: usize = 11;
+const WARMUP: Duration = Duration::from_millis(120);
+const SAMPLE_WINDOW: Duration = Duration::from_millis(60);
+
+/// How batches are sized in `iter_batched`, matching criterion's enum.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark identifier built from a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// The timing context handed to each benchmark closure.
+pub struct Bencher {
+    /// Iterations to run in the current timed sample.
+    iters: u64,
+    /// Measured duration of the last timed sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark(name: &str, mut routine: impl FnMut(&mut Bencher)) {
+    // Warm up while estimating the per-iteration cost.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < WARMUP {
+        routine(&mut b);
+        per_iter = (b.elapsed / b.iters.max(1) as u32).max(Duration::from_nanos(1));
+        let target_iters = SAMPLE_WINDOW.as_nanos() / per_iter.as_nanos().max(1);
+        b.iters = target_iters.clamp(1, 1_000_000_000) as u64;
+    }
+    // Timed samples; report the median. Routines slower than the sample
+    // window get a reduced schedule so whole-figure benches stay tractable.
+    let n_samples = if per_iter >= SAMPLE_WINDOW { 3 } else { SAMPLES };
+    let mut samples: Vec<f64> = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        routine(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    println!("{name:<52} time: {median:>12.1} ns/iter");
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        use std::io::Write as _;
+        if let Ok(mut f) =
+            std::fs::OpenOptions::new().create(true).append(true).open(&path)
+        {
+            let _ = writeln!(f, "{{\"name\": \"{name}\", \"ns_per_iter\": {median:.1}}}");
+        }
+    }
+}
+
+/// The benchmark manager, matching `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into() }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-count hint; the stub uses a fixed schedule, so this is a no-op.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.into_id()), f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Accepts both `&str` names and `BenchmarkId`s, like criterion.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Re-export spot for `criterion::black_box` users.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("pick", 32).id, "pick/32");
+    }
+}

@@ -1,0 +1,82 @@
+//! Offline stand-in for `crossbeam`'s scoped threads, backed by
+//! `std::thread::scope`.
+//!
+//! Matches the `crossbeam::scope(|s| { s.spawn(|_| ...); })` shape used by
+//! the workspace. Like crossbeam, `scope` returns `Err` if any spawned (and
+//! un-joined) thread panicked.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod thread {
+    use super::*;
+
+    /// A scope handle matching `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        pub(crate) inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle matching `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope itself so
+        /// nested spawns work, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+}
+
+/// Create a scope for spawning scoped threads.
+///
+/// Returns `Err` with the panic payload if the closure or any un-joined
+/// spawned thread panicked, mirroring crossbeam's contract.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&thread::Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&thread::Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawns_and_joins() {
+        let mut results = vec![0u64; 4];
+        scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 * 10);
+            }
+        })
+        .unwrap();
+        assert_eq!(results, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn propagates_panics_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

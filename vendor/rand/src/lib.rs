@@ -1,0 +1,45 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace only uses `rand::RngCore` as an interoperability trait for
+//! [`simcore::SimRng`]; the build environment has no network access to the
+//! crates.io registry, so this vendored crate provides exactly that surface.
+
+/// A random number generator core, matching `rand_core::RngCore` 0.9.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        R::next_u32(self)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        R::fill_bytes(self, dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        R::next_u32(self)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        R::fill_bytes(self, dest)
+    }
+}

@@ -1,0 +1,629 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde subset.
+//!
+//! The build environment has no crates.io access, so this macro is written
+//! against `proc_macro` directly (no syn/quote). It supports exactly the
+//! shapes used in this workspace:
+//!
+//! - named structs, unit structs, newtype/tuple structs, one optional
+//!   unbounded type parameter (`Replicated<T>`);
+//! - enums with unit, tuple, and struct variants, externally tagged by
+//!   default (`"Unit"` / `{"Variant": ...}`) or internally tagged with
+//!   `#[serde(tag = "...")]`;
+//! - field attributes `#[serde(default)]` and `#[serde(default = "path")]`.
+//!
+//! Unsupported serde attributes are a hard compile error rather than being
+//! silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+// ---------------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    /// Generic parameters in declaration order (lifetimes keep their tick).
+    params: Vec<Param>,
+    /// `#[serde(tag = "...")]` on the container, if any.
+    tag: Option<String>,
+    data: Data,
+}
+
+struct Param {
+    name: String,
+    is_lifetime: bool,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+enum FieldDefault {
+    Required,
+    Std,
+    Path(String),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tt: &TokenTree, name: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == name)
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Attributes recognised inside `#[serde(...)]`.
+#[derive(Default)]
+struct SerdeAttrs {
+    tag: Option<String>,
+    default: Option<FieldDefault>,
+}
+
+/// Consume one `#[...]` attribute (the leading `#` is already consumed) and
+/// fold any `serde(...)` contents into `attrs`.
+fn consume_attr(iter: &mut Tokens, attrs: &mut SerdeAttrs) {
+    let Some(TokenTree::Group(g)) = iter.next() else {
+        panic!("serde_derive: expected [...] after # in attribute");
+    };
+    let mut inner = g.stream().into_iter().peekable();
+    let Some(first) = inner.next() else { return };
+    if !is_ident(&first, "serde") {
+        return; // #[doc], #[derive(...)], #[cfg...], etc.
+    }
+    let Some(TokenTree::Group(args)) = inner.next() else { return };
+    let mut a = args.stream().into_iter().peekable();
+    while let Some(tt) = a.next() {
+        let TokenTree::Ident(key) = &tt else {
+            if is_punct(&tt, ',') {
+                continue;
+            }
+            panic!("serde_derive: unexpected token in #[serde(...)]: {tt}");
+        };
+        let key = key.to_string();
+        let value = if matches!(a.peek(), Some(t) if is_punct(t, '=')) {
+            a.next();
+            match a.next() {
+                Some(TokenTree::Literal(l)) => Some(strip_quotes(&l.to_string())),
+                other => panic!("serde_derive: expected literal after {key} =, got {other:?}"),
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("tag", Some(t)) => attrs.tag = Some(t),
+            ("default", Some(path)) => attrs.default = Some(FieldDefault::Path(path)),
+            ("default", None) => attrs.default = Some(FieldDefault::Std),
+            (other, _) => panic!(
+                "serde_derive (vendored): unsupported serde attribute `{other}`; \
+                 supported: tag, default"
+            ),
+        }
+    }
+}
+
+/// Skip leading attributes, folding serde ones into the returned set.
+fn consume_attrs(iter: &mut Tokens) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while matches!(iter.peek(), Some(t) if is_punct(t, '#')) {
+        iter.next();
+        consume_attr(iter, &mut attrs);
+    }
+    attrs
+}
+
+/// Skip a `pub` / `pub(crate)` visibility marker if present.
+fn consume_vis(iter: &mut Tokens) {
+    if matches!(iter.peek(), Some(t) if is_ident(t, "pub")) {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Parse `<...>` generics if present; returns declared parameters.
+fn consume_generics(iter: &mut Tokens) -> Vec<Param> {
+    let mut params = Vec::new();
+    if !matches!(iter.peek(), Some(t) if is_punct(t, '<')) {
+        return params;
+    }
+    iter.next();
+    let mut depth = 1usize;
+    let mut expecting_param = true;
+    let mut lifetime_tick = false;
+    for tt in iter.by_ref() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expecting_param = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expecting_param => {
+                lifetime_tick = true;
+            }
+            TokenTree::Ident(i) if depth == 1 && expecting_param => {
+                params.push(Param {
+                    name: i.to_string(),
+                    is_lifetime: lifetime_tick,
+                });
+                expecting_param = false;
+                lifetime_tick = false;
+            }
+            _ => {}
+        }
+        let _ = tt;
+    }
+    params
+}
+
+/// Count tuple fields in a parenthesised group (angle-bracket aware).
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    for tt in group {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+/// Parse the contents of a `{ ... }` named-field group.
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut iter: Tokens = group.into_iter().peekable();
+    let mut fields = Vec::new();
+    while iter.peek().is_some() {
+        let attrs = consume_attrs(&mut iter);
+        consume_vis(&mut iter);
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            panic!("serde_derive: expected field name");
+        };
+        match iter.next() {
+            Some(t) if is_punct(&t, ':') => {}
+            other => panic!("serde_derive: expected : after field name, got {other:?}"),
+        }
+        // Skip the type: everything up to a comma at angle depth 0.
+        let mut depth = 0usize;
+        while let Some(tt) = iter.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                _ => {}
+            }
+            iter.next();
+        }
+        fields.push(Field {
+            name: name.to_string(),
+            default: attrs.default.unwrap_or(FieldDefault::Required),
+        });
+    }
+    fields
+}
+
+/// Parse the contents of an enum's `{ ... }` body.
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut iter: Tokens = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    while iter.peek().is_some() {
+        let _attrs = consume_attrs(&mut iter);
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            panic!("serde_derive: expected variant name");
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(iter.peek(), Some(t) if is_punct(t, ',')) {
+            iter.next();
+        }
+        variants.push(Variant { name: name.to_string(), kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter: Tokens = input.into_iter().peekable();
+    let attrs = consume_attrs(&mut iter);
+    consume_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(i)) if i.to_string() == "enum" => "enum",
+        other => panic!("serde_derive: expected struct or enum, got {other:?}"),
+    };
+    let Some(TokenTree::Ident(name)) = iter.next() else {
+        panic!("serde_derive: expected type name");
+    };
+    let params = consume_generics(&mut iter);
+    let data = if kind == "enum" {
+        let Some(TokenTree::Group(g)) = iter.next() else {
+            panic!("serde_derive: expected enum body");
+        };
+        Data::Enum(parse_variants(g.stream()))
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(t) if is_punct(&t, ';') => Data::UnitStruct,
+            other => panic!("serde_derive: expected struct body, got {other:?}"),
+        }
+    };
+    Input { name: name.to_string(), params, tag: attrs.tag, data }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<T: ::serde::Serialize> Trait for Name<T>` pieces.
+fn generics(input: &Input, bound: &str) -> (String, String) {
+    if input.params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let decls: Vec<String> = input
+        .params
+        .iter()
+        .map(|p| {
+            if p.is_lifetime {
+                format!("'{}", p.name)
+            } else {
+                format!("{}: {bound}", p.name)
+            }
+        })
+        .collect();
+    let args: Vec<String> = input
+        .params
+        .iter()
+        .map(|p| if p.is_lifetime { format!("'{}", p.name) } else { p.name.clone() })
+        .collect();
+    (format!("<{}>", decls.join(", ")), format!("<{}>", args.join(", ")))
+}
+
+fn push_named_fields_ser(out: &mut String, fields: &[Field], accessor: &dyn Fn(&str) -> String) {
+    out.push_str("let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields {
+        out.push_str(&format!(
+            "fields.push((String::from(\"{n}\"), ::serde::Serialize::to_value({a})));\n",
+            n = f.name,
+            a = accessor(&f.name),
+        ));
+    }
+}
+
+/// Expression rebuilding one named field from object fields `obj`.
+fn named_field_de(ty_name: &str, f: &Field) -> String {
+    let missing = match &f.default {
+        FieldDefault::Std => "::std::default::Default::default()".to_string(),
+        FieldDefault::Path(p) => format!("{p}()"),
+        FieldDefault::Required => format!(
+            "match ::serde::Deserialize::from_missing_field() {{ \
+                Some(x) => x, \
+                None => return Err(::serde::Error::missing_field(\"{ty_name}\", \"{n}\")) \
+            }}",
+            n = f.name,
+        ),
+    };
+    format!(
+        "{n}: match ::serde::find(obj, \"{n}\") {{ \
+            Some(fv) => ::serde::Deserialize::from_value(fv)?, \
+            None => {missing} \
+        }}",
+        n = f.name,
+    )
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let (decls, args) = generics(input, "::serde::Serialize");
+    let mut body = String::new();
+    match &input.data {
+        Data::UnitStruct => body.push_str("::serde::Value::Null\n"),
+        Data::TupleStruct(1) => body.push_str("::serde::Serialize::to_value(&self.0)\n"),
+        Data::TupleStruct(n) => {
+            body.push_str("::serde::Value::Array(vec![\n");
+            for i in 0..*n {
+                body.push_str(&format!("::serde::Serialize::to_value(&self.{i}),\n"));
+            }
+            body.push_str("])\n");
+        }
+        Data::NamedStruct(fields) => {
+            push_named_fields_ser(&mut body, fields, &|n| format!("&self.{n}"));
+            body.push_str("::serde::Value::Object(fields)\n");
+        }
+        Data::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match (&v.kind, &input.tag) {
+                    (VariantKind::Unit, None) => body.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    (VariantKind::Unit, Some(tag)) => body.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Object(vec![(String::from(\"{tag}\"), \
+                         ::serde::Value::Str(String::from(\"{vn}\")))]),\n"
+                    )),
+                    (VariantKind::Tuple(n), None) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Array(vec![{}])",
+                                binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        body.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    (VariantKind::Tuple(_), Some(_)) => panic!(
+                        "serde_derive: tuple variants are not representable with #[serde(tag)]"
+                    ),
+                    (VariantKind::Named(fields), tag) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        body.push_str(&format!("{name}::{vn} {{ {} }} => {{\n", binds.join(", ")));
+                        match tag {
+                            None => {
+                                push_named_fields_ser(&mut body, fields, &|n| n.to_string());
+                                body.push_str(&format!(
+                                    "::serde::Value::Object(vec![(String::from(\"{vn}\"), \
+                                     ::serde::Value::Object(fields))])\n"
+                                ));
+                            }
+                            Some(tag) => {
+                                body.push_str(&format!(
+                                    "let mut fields: Vec<(String, ::serde::Value)> = \
+                                     vec![(String::from(\"{tag}\"), \
+                                     ::serde::Value::Str(String::from(\"{vn}\")))];\n"
+                                ));
+                                for f in fields {
+                                    body.push_str(&format!(
+                                        "fields.push((String::from(\"{n}\"), \
+                                         ::serde::Serialize::to_value({n})));\n",
+                                        n = f.name
+                                    ));
+                                }
+                                body.push_str("::serde::Value::Object(fields)\n");
+                            }
+                        }
+                        body.push_str("}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl{decls} ::serde::Serialize for {name}{args} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let (decls, args) = generics(input, "::serde::Deserialize");
+    let mut body = String::new();
+    match &input.data {
+        Data::UnitStruct => body.push_str(&format!("let _ = v; Ok({name})\n")),
+        Data::TupleStruct(1) => body.push_str(&format!(
+            "Ok({name}(::serde::Deserialize::from_value(v)?))\n"
+        )),
+        Data::TupleStruct(n) => {
+            body.push_str(&format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", v))?;\n\
+                 if arr.len() != {n} {{ \
+                    return Err(::serde::Error::custom(format!(\
+                        \"expected {n} elements for {name}, found {{}}\", arr.len()))); \
+                 }}\n\
+                 Ok({name}(\n"
+            ));
+            for i in 0..*n {
+                body.push_str(&format!("::serde::Deserialize::from_value(&arr[{i}])?,\n"));
+            }
+            body.push_str("))\n");
+        }
+        Data::NamedStruct(fields) => {
+            body.push_str(
+                "let obj = v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", v))?;\n",
+            );
+            body.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                body.push_str(&named_field_de(name, f));
+                body.push_str(",\n");
+            }
+            body.push_str("})\n");
+        }
+        Data::Enum(variants) => match &input.tag {
+            Some(tag) => {
+                body.push_str(&format!(
+                    "let obj = v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", v))?;\n\
+                     let tag = ::serde::find(obj, \"{tag}\")\
+                         .and_then(|t| t.as_str())\
+                         .ok_or_else(|| ::serde::Error::missing_field(\"{name}\", \"{tag}\"))?;\n\
+                     match tag {{\n"
+                ));
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            body.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                        }
+                        VariantKind::Named(fields) => {
+                            body.push_str(&format!("\"{vn}\" => Ok({name}::{vn} {{\n"));
+                            for f in fields {
+                                body.push_str(&named_field_de(name, f));
+                                body.push_str(",\n");
+                            }
+                            body.push_str("}),\n");
+                        }
+                        VariantKind::Tuple(_) => panic!(
+                            "serde_derive: tuple variants are not representable with #[serde(tag)]"
+                        ),
+                    }
+                }
+                body.push_str(&format!(
+                    "other => Err(::serde::Error::unknown_variant(\"{name}\", other)),\n}}\n"
+                ));
+            }
+            None => {
+                body.push_str("match v {\n::serde::Value::Str(s) => match s.as_str() {\n");
+                for v in variants {
+                    if matches!(v.kind, VariantKind::Unit) {
+                        let vn = &v.name;
+                        body.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                }
+                body.push_str(&format!(
+                    "other => Err(::serde::Error::unknown_variant(\"{name}\", other)),\n}},\n"
+                ));
+                body.push_str(
+                    "::serde::Value::Object(o) if o.len() == 1 => {\n\
+                     let (k, inner) = &o[0];\n\
+                     match k.as_str() {\n",
+                );
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {}
+                        VariantKind::Tuple(1) => body.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            body.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let arr = inner.as_array()\
+                                     .ok_or_else(|| ::serde::Error::expected(\"array\", inner))?;\n\
+                                 if arr.len() != {n} {{ \
+                                     return Err(::serde::Error::custom(format!(\
+                                         \"expected {n} elements for {name}::{vn}, found {{}}\", \
+                                         arr.len()))); \
+                                 }}\n\
+                                 Ok({name}::{vn}(\n"
+                            ));
+                            for i in 0..*n {
+                                body.push_str(&format!(
+                                    "::serde::Deserialize::from_value(&arr[{i}])?,\n"
+                                ));
+                            }
+                            body.push_str("))\n},\n");
+                        }
+                        VariantKind::Named(fields) => {
+                            body.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let obj = inner.as_object()\
+                                     .ok_or_else(|| ::serde::Error::expected(\"object\", inner))?;\n\
+                                 Ok({name}::{vn} {{\n"
+                            ));
+                            for f in fields {
+                                body.push_str(&named_field_de(name, f));
+                                body.push_str(",\n");
+                            }
+                            body.push_str("})\n},\n");
+                        }
+                    }
+                }
+                body.push_str(&format!(
+                    "other => Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+                     }}\n}},\n\
+                     other => Err(::serde::Error::expected(\"string or single-key object\", other)),\n\
+                     }}\n"
+                ));
+            }
+        },
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl{decls} ::serde::Deserialize for {name}{args} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
