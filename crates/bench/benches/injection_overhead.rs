@@ -1,0 +1,84 @@
+//! Criterion bench for the `sp-inject` zero-cost-disarmed contract: the
+//! simulator hot loop with every fault preset registered (but never armed)
+//! must run at the same ns/event as a loop with no injection subsystem at
+//! all. A disarmed `StormDevice` schedules nothing in `start()`, so the only
+//! conceivable cost is the extra device slots — which the event loop never
+//! visits.
+//!
+//! The same comparison is self-timed on every `reproduce_all` run and
+//! recorded in `BENCH_simulator.json` (`sim_event_baseline_ns` vs
+//! `sim_event_disarmed_injector_ns`); this bench is the higher-precision
+//! criterion version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcore::Nanos;
+use sp_devices::{DiskDevice, NicDevice, OnOffPoisson, RtcDevice};
+use sp_hw::MachineConfig;
+use sp_inject::{matrix_presets, Armory};
+use sp_kernel::{KernelConfig, Op, Program, SchedPolicy, Simulator, TaskSpec, WaitApi};
+use sp_workloads::{stress_kernel, StressDevices};
+use std::hint::black_box;
+
+/// One fig-6-style simulation slice: RTC waiter + stress load, 200 ms of
+/// simulated time, with or without the disarmed injector armory.
+fn run_slice(seed: u64, disarmed_injectors: bool) -> u64 {
+    let mut sim = Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::redhawk(), seed);
+    let rtc = sim.add_device(Box::new(RtcDevice::new(2048)));
+    let nic = sim
+        .add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(Nanos::from_ms(20))))));
+    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    stress_kernel(&mut sim, StressDevices { nic, disk });
+    if disarmed_injectors {
+        let mut armory = Armory::new();
+        for spec in matrix_presets() {
+            armory.register(&mut sim, &spec).expect("register preset");
+        }
+    }
+    let prog = Program::forever(vec![Op::WaitIrq { device: rtc, api: WaitApi::ReadDevice }]);
+    let pid = sim.spawn(TaskSpec::new("waiter", SchedPolicy::fifo(90), prog).mlockall());
+    sim.watch_latency(pid);
+    sim.start();
+    sim.run_for(Nanos::from_ms(200));
+    sim.events_dispatched()
+}
+
+fn bench_injection_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("injection_overhead");
+    group.sample_size(10);
+
+    // Registering devices forks the simulator RNG, so the two slices draw
+    // different samples of the same workload — counts match statistically,
+    // not bit-for-bit. The disarmed armory itself contributes zero events.
+    let base_events = run_slice(1, false) as f64;
+    let armed_events = run_slice(1, true) as f64;
+    eprintln!(
+        "[disarmed-injector contract] events without armory {base_events}, with {armed_events}"
+    );
+    let drift = (armed_events - base_events).abs() / base_events;
+    assert!(
+        drift < 0.05,
+        "disarmed injectors changed the event count by {:.1}% — they are \
+         supposed to schedule nothing",
+        drift * 100.0
+    );
+
+    group.bench_function("hot_loop_no_injectors", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_slice(seed, false))
+        });
+    });
+    group.bench_function("hot_loop_disarmed_injectors", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_slice(seed, true))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_injection_overhead);
+criterion_main!(benches);

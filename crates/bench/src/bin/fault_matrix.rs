@@ -1,0 +1,78 @@
+//! Shield-robustness fault matrix: re-run the fig-6 (realfeel/RTC read) and
+//! fig-7 (RCIM BKL-free ioctl) measured tasks under every `sp-inject` fault,
+//! shielded and unshielded, plus the mid-run reshield transient.
+//!
+//! Arguments (all optional):
+//!   <scale>          per-cell sample scale factor, default 1.0 (or `SP_SCALE`)
+//!   --shards <n>     shards per matrix cell, default 1 (or `SP_SHARDS`);
+//!                    the reshield transient is always single-simulation
+//!   --strict         exit non-zero on any band violation
+//!
+//! Writes the matrix into `BENCH_simulator.json` under a `"fault_matrix"`
+//! key (merged into the existing report if one is present).
+
+use sp_bench::{scale_from_args, shards_from_args};
+use sp_experiments::{run_fault_matrix, FaultMatrixConfig, FaultMatrixReport};
+
+fn main() {
+    let scale = scale_from_args();
+    let shards = shards_from_args(1);
+    let strict = std::env::args().any(|a| a == "--strict");
+
+    let cfg = FaultMatrixConfig::scaled(scale).with_shards(shards);
+    eprintln!(
+        "fault matrix: {} samples/cell, {} shard(s) per cell...",
+        cfg.samples_per_cell, cfg.shards
+    );
+    let t0 = std::time::Instant::now();
+    let report = run_fault_matrix(&cfg);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!("matrix finished in {:.1}s", wall_ms / 1e3);
+
+    print!("{}", report.markdown());
+
+    if let Err(e) = merge_bench_report(&report, wall_ms) {
+        eprintln!("note: could not update BENCH_simulator.json: {e}");
+    } else {
+        eprintln!("fault matrix merged into BENCH_simulator.json");
+    }
+
+    if report.violations.is_empty() {
+        println!("\nall bands hold: shielded worst stays in bound under every fault");
+    } else {
+        println!("\nband violations:");
+        for v in &report.violations {
+            println!("  - {v}");
+        }
+        if strict {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Merge a `"fault_matrix"` section into `BENCH_simulator.json`, preserving
+/// whatever `reproduce_all` last wrote there.
+fn merge_bench_report(report: &FaultMatrixReport, wall_ms: f64) -> std::io::Result<()> {
+    const PATH: &str = "BENCH_simulator.json";
+    let mut root: serde::Value = match std::fs::read_to_string(PATH) {
+        Ok(text) => serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::other(format!("existing {PATH} unreadable: {e}")))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => serde::Value::Object(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let serde::Value::Object(fields) = &mut root else {
+        return Err(std::io::Error::other(format!("{PATH} is not a JSON object")));
+    };
+    let mut section =
+        serde_json::to_value(report).map_err(|e| std::io::Error::other(e.to_string()))?;
+    if let serde::Value::Object(section_fields) = &mut section {
+        section_fields.push(("wall_ms".into(), serde::Value::F64(wall_ms)));
+    }
+    match fields.iter_mut().find(|(key, _)| key == "fault_matrix") {
+        Some((_, slot)) => *slot = section,
+        None => fields.push(("fault_matrix".into(), section)),
+    }
+    let json =
+        serde_json::to_string_pretty(&root).map_err(|e| std::io::Error::other(e.to_string()))?;
+    std::fs::write(PATH, json)
+}

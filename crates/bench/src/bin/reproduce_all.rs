@@ -37,6 +37,11 @@ struct Microbench {
     tombstone_baseline_push_pop_ns: f64,
     tombstone_baseline_cancel_ns: f64,
     histogram_record_ns: f64,
+    /// Simulator hot loop with no injection subsystem present…
+    sim_event_baseline_ns: f64,
+    /// …and with every `sp-inject` preset registered but disarmed; the
+    /// subsystem's zero-cost-disarmed contract says these two match.
+    sim_event_disarmed_injector_ns: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -189,6 +194,8 @@ fn write_bench_report(
             tombstone_baseline_push_pop_ns: microbench::tombstone_push_pop_ns(),
             tombstone_baseline_cancel_ns: microbench::tombstone_cancel_ns(),
             histogram_record_ns: microbench::histogram_record_ns(),
+            sim_event_baseline_ns: microbench::sim_event_baseline_ns(),
+            sim_event_disarmed_injector_ns: microbench::sim_event_disarmed_injector_ns(),
         },
     };
     let json = serde_json::to_string_pretty(&report)

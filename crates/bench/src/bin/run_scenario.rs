@@ -3,21 +3,44 @@
 //! ```bash
 //! cargo run --release -p sp-bench --bin run_scenario -- examples/scenarios/fig7.json
 //! cargo run --release -p sp-bench --bin run_scenario -- --emit-fig7   # print the reference spec
+//! cargo run --release -p sp-bench --bin run_scenario -- --emit-irq-storm
+//! cargo run --release -p sp-bench --bin run_scenario -- --emit-reshield
 //! ```
+//!
+//! Scenarios are single-simulation: a mid-run timeline is ordered against
+//! one simulated clock, so `--shards N` with N > 1 is rejected.
 
-use sp_experiments::scenario::{fig7_scenario, run_scenario, MeasuredResult, ScenarioSpec};
+use sp_experiments::scenario::{
+    fig7_scenario, irq_storm_scenario, reshield_transient_scenario, run_scenario_sharded,
+    MeasuredResult, ScenarioSpec,
+};
 use sp_metrics::Table;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_default();
-    if arg == "--emit-fig7" {
-        println!("{}", serde_json::to_string_pretty(&fig7_scenario()).expect("serialize"));
-        return;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec_path = None;
+    let mut shards = 1u32;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--emit-fig7" => return emit(&fig7_scenario()),
+            "--emit-irq-storm" => return emit(&irq_storm_scenario()),
+            "--emit-reshield" => return emit(&reshield_transient_scenario()),
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--shards needs a number"));
+            }
+            path if spec_path.is_none() => spec_path = Some(path.to_string()),
+            other => usage(&format!("unexpected argument '{other}'")),
+        }
+        i += 1;
     }
-    if arg.is_empty() {
-        eprintln!("usage: run_scenario <spec.json> | --emit-fig7");
-        std::process::exit(2);
-    }
+    let Some(arg) = spec_path else {
+        usage("missing spec path");
+    };
     let text = std::fs::read_to_string(&arg).unwrap_or_else(|e| {
         eprintln!("cannot read {arg}: {e}");
         std::process::exit(2);
@@ -26,7 +49,7 @@ fn main() {
         eprintln!("cannot parse {arg}: {e}");
         std::process::exit(2);
     });
-    let report = run_scenario(&spec).unwrap_or_else(|e| {
+    let report = run_scenario_sharded(&spec, shards).unwrap_or_else(|e| {
         eprintln!("scenario failed: {e}");
         std::process::exit(1);
     });
@@ -65,4 +88,34 @@ fn main() {
         "\ninterrupts per cpu: {:?}",
         report.irqs_per_cpu
     );
+    if let Some(rec) = &report.recovery {
+        println!(
+            "recovery of '{}' to {} µs after t={}s: {} (out-of-bound before: {}, worst after: {})",
+            rec.task,
+            rec.bound_us,
+            rec.from_secs,
+            match rec.recovery_secs {
+                Some(s) => format!("{:.1} ms", s * 1e3),
+                None => "never".into(),
+            },
+            rec.out_of_bound_before,
+            match rec.worst_after_us {
+                Some(w) => format!("{w:.1} µs"),
+                None => "n/a".into(),
+            },
+        );
+    }
+}
+
+fn emit(spec: &ScenarioSpec) {
+    println!("{}", serde_json::to_string_pretty(spec).expect("serialize"));
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: run_scenario [--shards N] <spec.json> | --emit-fig7 | --emit-irq-storm | \
+         --emit-reshield"
+    );
+    std::process::exit(2);
 }

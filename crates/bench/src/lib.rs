@@ -202,6 +202,68 @@ pub mod microbench {
         median_ns(runs)
     }
 
+    /// Build the fig-6-style scenario slice used by the injection-overhead
+    /// microbenchmark, optionally with every `sp-inject` matrix preset
+    /// registered (but never armed), and run it for `sim_ms` of simulated
+    /// time. Returns (wall seconds, events dispatched).
+    fn injection_probe(seed: u64, sim_ms: u64, disarmed_injectors: bool) -> (f64, u64) {
+        use simcore::Nanos;
+        use sp_devices::{DiskDevice, NicDevice, OnOffPoisson, RtcDevice};
+        use sp_hw::MachineConfig;
+        use sp_inject::{matrix_presets, Armory};
+        use sp_kernel::{KernelConfig, Op, Program, SchedPolicy, Simulator, TaskSpec, WaitApi};
+        use sp_workloads::{stress_kernel, StressDevices};
+
+        let mut sim = Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::redhawk(), seed);
+        let rtc = sim.add_device(Box::new(RtcDevice::new(2048)));
+        let nic = sim
+            .add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(Nanos::from_ms(
+                20,
+            ))))));
+        let disk = sim.add_device(Box::new(DiskDevice::new()));
+        stress_kernel(&mut sim, StressDevices { nic, disk });
+        if disarmed_injectors {
+            let mut armory = Armory::new();
+            for spec in matrix_presets() {
+                armory.register(&mut sim, &spec).expect("register preset");
+            }
+        }
+        let prog = Program::forever(vec![Op::WaitIrq { device: rtc, api: WaitApi::ReadDevice }]);
+        let pid = sim.spawn(TaskSpec::new("waiter", SchedPolicy::fifo(90), prog).mlockall());
+        sim.watch_latency(pid);
+        sim.start();
+        let t = std::time::Instant::now();
+        sim.run_for(Nanos::from_ms(sim_ms));
+        (t.elapsed().as_secs_f64(), sim.events_dispatched())
+    }
+
+    /// ns per simulator event on the fig-6 hot loop, with no injection
+    /// subsystem in the picture.
+    pub fn sim_event_baseline_ns() -> f64 {
+        let runs = (0..5u64)
+            .map(|round| {
+                let (wall, events) = injection_probe(0x1D7E + round, 400, false);
+                wall * 1e9 / events.max(1) as f64
+            })
+            .collect();
+        median_ns(runs)
+    }
+
+    /// ns per simulator event on the same loop with every `sp-inject` matrix
+    /// preset registered but disarmed. The subsystem's contract is zero
+    /// hot-loop cost while disarmed (a disarmed `StormDevice` schedules no
+    /// events), so this should match [`sim_event_baseline_ns`] to within
+    /// timer noise.
+    pub fn sim_event_disarmed_injector_ns() -> f64 {
+        let runs = (0..5u64)
+            .map(|round| {
+                let (wall, events) = injection_probe(0x1D7E + round, 400, true);
+                wall * 1e9 / events.max(1) as f64
+            })
+            .collect();
+        median_ns(runs)
+    }
+
     /// ns per `LatencyHistogram::record` across the full magnitude range.
     pub fn histogram_record_ns() -> f64 {
         const OPS: usize = 400_000;

@@ -160,6 +160,63 @@ mod tests {
     }
 
     #[test]
+    fn tx_done_pending_never_leaks_without_a_waiter() {
+        let mut nic = NicDevice::new(None);
+        let mut rng = SimRng::new(7);
+        let mut ctx = DeviceCtx::default();
+        // One real send, but two TX-completion interrupts (a spurious
+        // completion, as real 3c905 rings produce under error paths).
+        nic.submit_io(Pid(9), &mut ctx, &mut rng);
+        nic.on_timer(TAG_TX_DONE, &mut ctx, &mut rng);
+        nic.on_timer(TAG_TX_DONE, &mut ctx, &mut rng);
+        assert_eq!(nic.tx_done_pending, 2);
+
+        // First ISR: matched to the waiter.
+        let out = nic.on_isr(&mut ctx, &mut rng);
+        assert_eq!(out.wake, vec![Pid(9)]);
+        assert_eq!(out.softirq.expect("softirq").0, SoftirqClass::NetTx);
+
+        // Second ISR: no waiter left — the pending count must still drain
+        // (ring cleanup happens, nobody is woken), not stick at 1 forever.
+        let out = nic.on_isr(&mut ctx, &mut rng);
+        assert!(out.wake.is_empty());
+        assert_eq!(out.softirq.expect("softirq").0, SoftirqClass::NetTx);
+        assert_eq!(nic.tx_done_pending, 0, "spurious completion leaked");
+
+        // With the books clean, the next ISR is classified as RX again.
+        let out = nic.on_isr(&mut ctx, &mut rng);
+        assert!(out.wake.is_empty());
+        assert_eq!(out.softirq.expect("softirq").0, SoftirqClass::NetRx);
+    }
+
+    #[test]
+    fn interleaved_rx_isrs_do_not_steal_tx_completions() {
+        let mut nic = NicDevice::new(None);
+        let mut rng = SimRng::new(8);
+        let mut ctx = DeviceCtx::default();
+        nic.submit_io(Pid(1), &mut ctx, &mut rng);
+        nic.submit_io(Pid(2), &mut ctx, &mut rng);
+
+        // An RX interrupt before any completion: nobody may be woken and the
+        // waiter queue must be left alone.
+        let out = nic.on_isr(&mut ctx, &mut rng);
+        assert!(out.wake.is_empty());
+        assert_eq!(out.softirq.expect("softirq").0, SoftirqClass::NetRx);
+        assert_eq!(nic.tx_waiters.len(), 2);
+
+        // Completions then drain strictly FIFO, one per interrupt, with RX
+        // traffic interleaved between them.
+        nic.on_timer(TAG_TX_DONE, &mut ctx, &mut rng);
+        assert_eq!(nic.on_isr(&mut ctx, &mut rng).wake, vec![Pid(1)]);
+        let out = nic.on_isr(&mut ctx, &mut rng);
+        assert!(out.wake.is_empty(), "RX between completions woke {:?}", out.wake);
+        nic.on_timer(TAG_TX_DONE, &mut ctx, &mut rng);
+        assert_eq!(nic.on_isr(&mut ctx, &mut rng).wake, vec![Pid(2)]);
+        assert_eq!(nic.tx_done_pending, 0);
+        assert!(nic.tx_waiters.is_empty());
+    }
+
+    #[test]
     fn every_isr_raises_net_rx_work() {
         let mut nic = NicDevice::new(None);
         let mut rng = SimRng::new(5);

@@ -16,6 +16,7 @@
 //! [`report`] renders paper-style text figures.
 
 pub mod determinism;
+pub mod faultmatrix;
 pub mod rcim;
 pub mod realfeel;
 pub mod replication;
@@ -30,5 +31,9 @@ pub use realfeel::{run_realfeel, RealfeelConfig, RealfeelResult};
 pub use replication::{
     replicate_determinism, replicate_rcim_max, replicate_realfeel_max, Replicated,
 };
+pub use faultmatrix::{run_fault_matrix, FaultMatrixConfig, FaultMatrixReport, MatrixCell};
 pub use runner::{run_all_figures, run_all_figures_with, FigureSuite};
-pub use scenario::{run_scenario, MeasuredResult, ScenarioError, ScenarioReport, ScenarioSpec};
+pub use scenario::{
+    run_scenario, run_scenario_sharded, MeasuredResult, RecoveryReport, ScenarioError,
+    ScenarioReport, ScenarioSpec,
+};

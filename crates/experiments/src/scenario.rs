@@ -5,10 +5,11 @@
 //! with — the `run_scenario` binary in `sp-bench` takes a path to a spec.
 
 use serde::{Deserialize, Serialize};
-use simcore::{DurationDist, Nanos};
-use sp_core::ShieldPlan;
+use simcore::{DurationDist, Instant, Nanos};
+use sp_core::{ProcShield, ShieldFile, ShieldPlan};
 use sp_devices::{DiskDevice, GpuDevice, NicDevice, OnOffPoisson, RcimDevice, RtcDevice};
 use sp_hw::{CpuMask, MachineConfig};
+use sp_inject::{Armory, FaultKind, FaultSpec};
 use sp_kernel::{
     DeviceId, KernelConfig, KernelVariant, Op, Pid, Program, SchedPolicy, Simulator, TaskSpec,
     WaitApi,
@@ -34,6 +35,20 @@ pub struct ScenarioSpec {
     pub measured: Vec<MeasuredSpec>,
     #[serde(default)]
     pub shield: Option<ShieldSpec>,
+    /// Fault injectors available to this run (see [`sp_inject`]). Device
+    /// faults are registered disarmed before start; task faults spawn when a
+    /// timeline action arms them.
+    #[serde(default)]
+    pub faults: Vec<FaultSpec>,
+    /// Mid-run orchestration: timed actions applied at `at_secs` into the
+    /// run, in time order (ties in listed order). Timelines are inherently
+    /// single-simulation — a sharded run cannot honour wall-clock-ordered
+    /// reconfiguration, so `--shards > 1` is rejected for scenarios.
+    #[serde(default)]
+    pub timeline: Vec<TimedAction>,
+    /// Optional recovery-transient measurement over one measured task.
+    #[serde(default)]
+    pub transient: Option<TransientSpec>,
     /// Simulated run length in seconds.
     pub run_secs: f64,
 }
@@ -47,6 +62,10 @@ fn default_seed() -> u64 {
 pub struct DeviceSpec {
     pub name: String,
     pub kind: DeviceKind,
+    /// `/proc/irq/<n>/smp_affinity` for this device's line (hex mask),
+    /// applied at start; default: all online CPUs.
+    #[serde(default)]
+    pub irq_affinity: Option<String>,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -112,6 +131,71 @@ pub struct ShieldSpec {
     pub bind_irqs: Vec<String>,
 }
 
+/// One timed orchestration step.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimedAction {
+    /// Seconds into the run (0 ≤ `at_secs` ≤ `run_secs`).
+    pub at_secs: f64,
+    pub action: ActionKind,
+}
+
+/// What a timeline step does. Shield reconfiguration goes through the same
+/// `/proc/shield` emulation an operator would script (§3 of the paper).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type")]
+pub enum ActionKind {
+    /// Arm a fault from `faults` by name.
+    Arm { fault: String },
+    /// Disarm a fault (device faults stop asserting; task faults demote to
+    /// nice 19 — a held lock cannot be revoked).
+    Disarm { fault: String },
+    /// `echo mask > /proc/shield/{procs,irqs,ltmrs}`.
+    ProcShieldWrite { path: String, mask: String },
+    /// `shield -a mask`: write all three files at once.
+    ShieldAll { mask: String },
+    /// `shield -a 0`: drop every shield.
+    UnshieldAll,
+    /// `echo mask > /proc/irq/<line>/smp_affinity` for a named device.
+    SetIrqAffinity { device: String, mask: String },
+    /// `sched_setaffinity` on a measured task.
+    SetTaskAffinity { task: String, mask: String },
+}
+
+/// Measure how long a measured task takes to get back within a latency bound
+/// after a reconfiguration at `from_secs` (e.g. a mid-run re-shield).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransientSpec {
+    /// Name of a latency-measured (`IrqWait`) task.
+    pub task: String,
+    /// The bound the task must recover to, in microseconds.
+    pub bound_us: u64,
+    /// Run time of the reconfiguration whose transient we measure.
+    pub from_secs: f64,
+    /// Consecutive in-bound samples that count as "recovered".
+    #[serde(default = "default_settle")]
+    pub settle: usize,
+}
+
+fn default_settle() -> usize {
+    50
+}
+
+/// Outcome of a [`TransientSpec`] measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    pub task: String,
+    pub bound_us: u64,
+    pub from_secs: f64,
+    /// Seconds after `from_secs` until `settle` consecutive in-bound samples
+    /// began; `None` means the task never recovered within the run.
+    pub recovery_secs: Option<f64>,
+    /// Worst latency (µs) from the recovery point to the end of the run.
+    pub worst_after_us: Option<f64>,
+    /// Samples over the bound before `from_secs` — evidence the fault was
+    /// actually biting before the reconfiguration.
+    pub out_of_bound_before: u64,
+}
+
 /// Per-measured-task outcome.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum MeasuredResult {
@@ -126,6 +210,9 @@ pub struct ScenarioReport {
     pub results: HashMap<String, MeasuredResult>,
     /// Interrupts handled per CPU.
     pub irqs_per_cpu: Vec<u64>,
+    /// Present when the spec requested a transient measurement.
+    #[serde(default)]
+    pub recovery: Option<RecoveryReport>,
 }
 
 /// Errors building or running a scenario.
@@ -133,9 +220,20 @@ pub struct ScenarioReport {
 pub enum ScenarioError {
     UnknownDevice(String),
     UnknownTask(String),
+    UnknownFault(String),
     BadMask(String),
+    /// A mask names CPUs the machine doesn't have; `what` says whose.
+    OfflineCpus { what: String, mask: String },
+    /// Not a `/proc/shield/{procs,irqs,ltmrs}` path.
+    BadPath(String),
+    /// A timeline/transient time is outside `[0, run_secs]` or not finite.
+    BadTime(String),
     DuplicateName(String),
     Kernel(String),
+    /// Fault registration or arming failed.
+    Inject(String),
+    /// Scenarios are single-simulation; `--shards > 1` was requested.
+    Sharded(u32),
     Empty(&'static str),
 }
 
@@ -144,9 +242,21 @@ impl std::fmt::Display for ScenarioError {
         match self {
             ScenarioError::UnknownDevice(n) => write!(f, "unknown device '{n}'"),
             ScenarioError::UnknownTask(n) => write!(f, "unknown measured task '{n}'"),
+            ScenarioError::UnknownFault(n) => write!(f, "unknown fault '{n}'"),
             ScenarioError::BadMask(m) => write!(f, "bad cpu mask '{m}'"),
+            ScenarioError::OfflineCpus { what, mask } => {
+                write!(f, "{what}: mask '{mask}' names offline CPUs")
+            }
+            ScenarioError::BadPath(p) => write!(f, "'{p}' is not a /proc/shield file"),
+            ScenarioError::BadTime(t) => write!(f, "time {t} outside the run"),
             ScenarioError::DuplicateName(n) => write!(f, "duplicate name '{n}'"),
             ScenarioError::Kernel(e) => write!(f, "{e}"),
+            ScenarioError::Inject(e) => write!(f, "{e}"),
+            ScenarioError::Sharded(k) => write!(
+                f,
+                "scenarios run unsharded (mid-run timeline actions are \
+                 single-simulation by construction); --shards {k} rejected"
+            ),
             ScenarioError::Empty(what) => write!(f, "scenario has no {what}"),
         }
     }
@@ -158,11 +268,117 @@ fn parse_mask(s: &str) -> Result<CpuMask, ScenarioError> {
     s.parse().map_err(|_| ScenarioError::BadMask(s.to_string()))
 }
 
-/// Build and run the scenario to completion.
-pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError> {
+/// Static spec validation, run before any simulation is built. Catches what
+/// used to surface as confusing mid-run errors: affinity masks naming
+/// offline CPUs, dangling fault/device/task names in the timeline, times
+/// outside the run, bad `/proc/shield` paths.
+pub fn validate(spec: &ScenarioSpec) -> Result<(), ScenarioError> {
     if spec.measured.is_empty() {
         return Err(ScenarioError::Empty("measured tasks"));
     }
+    let online = spec.machine.online_mask();
+    let check_online = |what: String, s: &str| -> Result<CpuMask, ScenarioError> {
+        let mask = parse_mask(s)?;
+        if !(mask - online).is_empty() {
+            return Err(ScenarioError::OfflineCpus { what, mask: s.to_string() });
+        }
+        Ok(mask)
+    };
+    let check_time = |t: f64| -> Result<(), ScenarioError> {
+        if !t.is_finite() || t < 0.0 || t > spec.run_secs {
+            return Err(ScenarioError::BadTime(format!("{t}")));
+        }
+        Ok(())
+    };
+
+    for m in &spec.measured {
+        if let Some(pin) = &m.pin {
+            let mask = check_online(format!("measured task '{}'", m.name), pin)?;
+            if mask.is_empty() {
+                return Err(ScenarioError::BadMask(pin.clone()));
+            }
+        }
+    }
+    for d in &spec.devices {
+        if let Some(aff) = &d.irq_affinity {
+            let mask = check_online(format!("device '{}' irq affinity", d.name), aff)?;
+            if mask.is_empty() {
+                return Err(ScenarioError::BadMask(aff.clone()));
+            }
+        }
+    }
+    if let Some(sh) = &spec.shield {
+        check_online("shield".into(), &sh.cpus)?;
+    }
+    let mut fault_names: Vec<&str> = Vec::new();
+    for f in &spec.faults {
+        if fault_names.contains(&f.name.as_str()) {
+            return Err(ScenarioError::DuplicateName(f.name.clone()));
+        }
+        fault_names.push(&f.name);
+        let pin = match &f.kind {
+            FaultKind::LockHolder { pin, .. } | FaultKind::CpuHog { pin, .. } => pin.as_ref(),
+            _ => None,
+        };
+        if let Some(p) = pin {
+            let mask = check_online(format!("fault '{}'", f.name), p)?;
+            if mask.is_empty() {
+                return Err(ScenarioError::BadMask(p.clone()));
+            }
+        }
+    }
+    for ta in &spec.timeline {
+        check_time(ta.at_secs)?;
+        match &ta.action {
+            ActionKind::Arm { fault } | ActionKind::Disarm { fault } => {
+                if !fault_names.contains(&fault.as_str()) {
+                    return Err(ScenarioError::UnknownFault(fault.clone()));
+                }
+            }
+            ActionKind::ProcShieldWrite { path, mask } => {
+                if ShieldFile::from_path(path).is_none() {
+                    return Err(ScenarioError::BadPath(path.clone()));
+                }
+                check_online(format!("shield write '{path}'"), mask)?;
+            }
+            ActionKind::ShieldAll { mask } => {
+                check_online("shield write".into(), mask)?;
+            }
+            ActionKind::UnshieldAll => {}
+            ActionKind::SetIrqAffinity { device, mask } => {
+                if !spec.devices.iter().any(|d| d.name == *device) {
+                    return Err(ScenarioError::UnknownDevice(device.clone()));
+                }
+                let m = check_online(format!("irq affinity of '{device}'"), mask)?;
+                if m.is_empty() {
+                    return Err(ScenarioError::BadMask(mask.clone()));
+                }
+            }
+            ActionKind::SetTaskAffinity { task, mask } => {
+                if !spec.measured.iter().any(|t| t.name == *task) {
+                    return Err(ScenarioError::UnknownTask(task.clone()));
+                }
+                let m = check_online(format!("affinity of '{task}'"), mask)?;
+                if m.is_empty() {
+                    return Err(ScenarioError::BadMask(mask.clone()));
+                }
+            }
+        }
+    }
+    if let Some(t) = &spec.transient {
+        check_time(t.from_secs)?;
+        let found = spec.measured.iter().find(|m| m.name == t.task);
+        match found {
+            Some(m) if matches!(m.kind, MeasuredKind::IrqWait { .. }) => {}
+            _ => return Err(ScenarioError::UnknownTask(t.task.clone())),
+        }
+    }
+    Ok(())
+}
+
+/// Build and run the scenario to completion.
+pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError> {
+    validate(spec)?;
     let kcfg = spec.kernel_overrides.clone().unwrap_or_else(|| KernelConfig::new(spec.kernel));
     let mut sim = Simulator::new(spec.machine.clone(), kcfg, spec.seed);
 
@@ -187,6 +403,13 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError
     let lookup = |devices: &HashMap<String, DeviceId>, name: &str| {
         devices.get(name).copied().ok_or_else(|| ScenarioError::UnknownDevice(name.to_string()))
     };
+
+    // Faults: device injectors register (disarmed) before start; task faults
+    // wait for their arming action.
+    let mut armory = Armory::new();
+    for f in &spec.faults {
+        armory.register(&mut sim, f).map_err(|e| ScenarioError::Inject(e.to_string()))?;
+    }
 
     // Workloads.
     for w in &spec.workloads {
@@ -238,7 +461,13 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError
         }
         let pid = sim.spawn(task);
         match m.kind {
-            MeasuredKind::IrqWait { .. } => sim.watch_latency(pid),
+            MeasuredKind::IrqWait { .. } => {
+                sim.watch_latency(pid);
+                // The transient computation needs each sample's timestamp.
+                if spec.transient.as_ref().is_some_and(|t| t.task == m.name) {
+                    sim.watch_latency_times(pid);
+                }
+            }
             MeasuredKind::Loop { .. } => sim.watch_laps(pid),
         }
         if measured.insert(m.name.clone(), (pid, m.kind.clone())).is_some() {
@@ -247,6 +476,14 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError
     }
 
     sim.start();
+
+    // Per-device IRQ affinity (before the shield plan, which may re-bind).
+    for d in &spec.devices {
+        if let Some(aff) = &d.irq_affinity {
+            sim.set_irq_affinity(devices[&d.name], parse_mask(aff)?)
+                .map_err(ScenarioError::Kernel)?;
+        }
+    }
 
     // Shield.
     if let Some(sh) = &spec.shield {
@@ -266,7 +503,17 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError
         plan.apply(&mut sim).map_err(|e| ScenarioError::Kernel(e.to_string()))?;
     }
 
-    sim.run_for(Nanos::from_secs_f64(spec.run_secs));
+    // Run, pausing at each timeline action (time order; ties in listed
+    // order via stable sort).
+    let t0 = sim.now();
+    let t_end = t0 + Nanos::from_secs_f64(spec.run_secs);
+    let mut actions: Vec<&TimedAction> = spec.timeline.iter().collect();
+    actions.sort_by(|a, b| a.at_secs.partial_cmp(&b.at_secs).expect("validated finite"));
+    for ta in actions {
+        sim.run_until(t0 + Nanos::from_secs_f64(ta.at_secs));
+        apply_action(&mut sim, &mut armory, &devices, &measured, &ta.action)?;
+    }
+    sim.run_until(t_end);
 
     // Collect.
     let mut results = HashMap::new();
@@ -289,11 +536,111 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError
         };
         results.insert(name.clone(), result);
     }
+    let recovery = spec.transient.as_ref().map(|t| {
+        let (pid, _) = measured[&t.task];
+        compute_recovery(t, t0, sim.obs.latencies(pid), sim.obs.latency_times(pid))
+    });
     Ok(ScenarioReport {
         name: spec.name.clone(),
         results,
         irqs_per_cpu: sim.obs.cpu.iter().map(|c| c.irqs).collect(),
+        recovery,
     })
+}
+
+/// Run a scenario with an explicit shard count. Scenarios are
+/// single-simulation by construction — a mid-run timeline is ordered against
+/// one simulated clock, so there is nothing sound to split. Only `shards <=
+/// 1` is accepted; anything else is an explicit error rather than a silently
+/// different experiment.
+pub fn run_scenario_sharded(
+    spec: &ScenarioSpec,
+    shards: u32,
+) -> Result<ScenarioReport, ScenarioError> {
+    if shards > 1 {
+        return Err(ScenarioError::Sharded(shards));
+    }
+    run_scenario(spec)
+}
+
+fn apply_action(
+    sim: &mut Simulator,
+    armory: &mut Armory,
+    devices: &HashMap<String, DeviceId>,
+    measured: &HashMap<String, (Pid, MeasuredKind)>,
+    action: &ActionKind,
+) -> Result<(), ScenarioError> {
+    let inject = |e: sp_inject::InjectError| ScenarioError::Inject(e.to_string());
+    match action {
+        ActionKind::Arm { fault } => armory.arm(sim, fault).map_err(inject),
+        ActionKind::Disarm { fault } => armory.disarm(sim, fault).map_err(inject),
+        ActionKind::ProcShieldWrite { path, mask } => {
+            let file =
+                ShieldFile::from_path(path).ok_or_else(|| ScenarioError::BadPath(path.clone()))?;
+            ProcShield::write(sim, file, mask).map_err(|e| ScenarioError::Kernel(e.to_string()))
+        }
+        ActionKind::ShieldAll { mask } => ProcShield::write_all(sim, parse_mask(mask)?)
+            .map_err(|e| ScenarioError::Kernel(e.to_string())),
+        ActionKind::UnshieldAll => ProcShield::write_all(sim, CpuMask::EMPTY)
+            .map_err(|e| ScenarioError::Kernel(e.to_string())),
+        ActionKind::SetIrqAffinity { device, mask } => {
+            let dev = devices
+                .get(device)
+                .copied()
+                .ok_or_else(|| ScenarioError::UnknownDevice(device.clone()))?;
+            sim.set_irq_affinity(dev, parse_mask(mask)?).map_err(ScenarioError::Kernel)
+        }
+        ActionKind::SetTaskAffinity { task, mask } => {
+            let (pid, _) =
+                measured.get(task).ok_or_else(|| ScenarioError::UnknownTask(task.clone()))?;
+            sim.set_task_affinity(*pid, parse_mask(mask)?).map_err(ScenarioError::Kernel)
+        }
+    }
+}
+
+/// Find the first run of `settle` consecutive in-bound samples at or after
+/// `from_secs` and report how long after the reconfiguration it began.
+fn compute_recovery(
+    spec: &TransientSpec,
+    t0: Instant,
+    lats: &[Nanos],
+    times: &[Instant],
+) -> RecoveryReport {
+    debug_assert_eq!(lats.len(), times.len());
+    let bound = Nanos::from_us(spec.bound_us);
+    let from = t0 + Nanos::from_secs_f64(spec.from_secs);
+    let start = times.partition_point(|&t| t < from);
+    let out_of_bound_before = lats[..start].iter().filter(|&&l| l > bound).count() as u64;
+    let settle = spec.settle.max(1);
+
+    let mut recovered_at = None;
+    let mut run = 0usize;
+    for (i, &lat) in lats.iter().enumerate().skip(start) {
+        if lat <= bound {
+            run += 1;
+            if run == settle {
+                recovered_at = Some(i + 1 - settle);
+                break;
+            }
+        } else {
+            run = 0;
+        }
+    }
+    let (recovery_secs, worst_after_us) = match recovered_at {
+        Some(i) => (
+            Some((times[i] - from).as_secs_f64()),
+            lats[i..].iter().max().map(|m| m.as_us_f64()),
+        ),
+        None => (None, None),
+    };
+    RecoveryReport {
+        task: spec.task.clone(),
+        bound_us: spec.bound_us,
+        from_secs: spec.from_secs,
+        recovery_secs,
+        worst_after_us,
+        out_of_bound_before,
+    }
 }
 
 /// A ready-made spec reproducing the Figure 7 setup — also the reference
@@ -306,15 +653,20 @@ pub fn fig7_scenario() -> ScenarioSpec {
         kernel: KernelVariant::RedHawk,
         kernel_overrides: None,
         devices: vec![
-            DeviceSpec { name: "rcim".into(), kind: DeviceKind::Rcim { period_us: 1_000 } },
+            DeviceSpec {
+                name: "rcim".into(),
+                kind: DeviceKind::Rcim { period_us: 1_000 },
+                irq_affinity: None,
+            },
             DeviceSpec {
                 name: "eth0".into(),
                 kind: DeviceKind::Nic {
                     external: Some(sp_workloads::ttcp_ethernet_profile()),
                 },
+                irq_affinity: None,
             },
-            DeviceSpec { name: "sda".into(), kind: DeviceKind::Disk },
-            DeviceSpec { name: "gpu".into(), kind: DeviceKind::GpuX11perf },
+            DeviceSpec { name: "sda".into(), kind: DeviceKind::Disk, irq_affinity: None },
+            DeviceSpec { name: "gpu".into(), kind: DeviceKind::GpuX11perf, irq_affinity: None },
         ],
         workloads: vec![
             WorkloadSpec::StressKernel { nic: "eth0".into(), disk: "sda".into() },
@@ -335,7 +687,140 @@ pub fn fig7_scenario() -> ScenarioSpec {
             bind_tasks: vec!["rcim-response".into()],
             bind_irqs: vec!["rcim".into()],
         }),
+        faults: vec![],
+        timeline: vec![],
+        transient: None,
         run_secs: 10.0,
+    }
+}
+
+/// An unshielded realfeel-style run whose RTC interrupt and measured task
+/// are bound to CPU 1 while an IRQ storm arms mid-run and disarms later —
+/// the reference example for fault + timeline JSON
+/// (`examples/scenarios/irq_storm.json`).
+pub fn irq_storm_scenario() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "irq-storm-unshielded".into(),
+        seed: 0x57a0_1234,
+        machine: MachineConfig::dual_xeon_p3(),
+        kernel: KernelVariant::RedHawk,
+        kernel_overrides: None,
+        devices: vec![
+            DeviceSpec {
+                name: "rtc".into(),
+                kind: DeviceKind::Rtc { hz: 2048 },
+                irq_affinity: Some("2".into()),
+            },
+            DeviceSpec {
+                name: "eth0".into(),
+                kind: DeviceKind::Nic {
+                    external: Some(OnOffPoisson::continuous(Nanos::from_ms(20))),
+                },
+                irq_affinity: None,
+            },
+            DeviceSpec { name: "sda".into(), kind: DeviceKind::Disk, irq_affinity: None },
+        ],
+        workloads: vec![WorkloadSpec::StressKernel { nic: "eth0".into(), disk: "sda".into() }],
+        measured: vec![MeasuredSpec {
+            name: "realfeel".into(),
+            rt_prio: 90,
+            kind: MeasuredKind::IrqWait { device: "rtc".into(), api: WaitApiSpec::Read },
+            pin: Some("2".into()),
+        }],
+        shield: None,
+        faults: vec![FaultSpec {
+            name: "storm".into(),
+            kind: FaultKind::IrqStorm { line: sp_inject::INJECT_LINE_BASE, rate_hz: 8_000.0 },
+        }],
+        timeline: vec![
+            TimedAction { at_secs: 0.5, action: ActionKind::Arm { fault: "storm".into() } },
+            TimedAction { at_secs: 2.0, action: ActionKind::Disarm { fault: "storm".into() } },
+        ],
+        transient: None,
+        run_secs: 2.5,
+    }
+}
+
+/// The reshield-transient experiment: an RCIM waiter starts *unshielded*
+/// under an IRQ storm, then at t=1s an operator scripts the §3 runbook —
+/// three `/proc/shield` writes shielding CPU 1 — and the transient until the
+/// 30 µs bound holds again is measured
+/// (`examples/scenarios/reshield_transient.json`).
+pub fn reshield_transient_scenario() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "reshield-transient".into(),
+        seed: 0x7e5_111d,
+        machine: MachineConfig::dual_xeon_p4_2ghz(),
+        kernel: KernelVariant::RedHawk,
+        kernel_overrides: None,
+        devices: vec![
+            DeviceSpec {
+                name: "rcim".into(),
+                kind: DeviceKind::Rcim { period_us: 1_000 },
+                // Bound to CPU 1 from the start: a mask fully inside the
+                // later shield is kept, so the measured interrupt keeps
+                // flowing after the reshield.
+                irq_affinity: Some("2".into()),
+            },
+            DeviceSpec {
+                name: "eth0".into(),
+                kind: DeviceKind::Nic {
+                    external: Some(sp_workloads::ttcp_ethernet_profile()),
+                },
+                irq_affinity: None,
+            },
+            DeviceSpec { name: "sda".into(), kind: DeviceKind::Disk, irq_affinity: None },
+            DeviceSpec { name: "gpu".into(), kind: DeviceKind::GpuX11perf, irq_affinity: None },
+        ],
+        workloads: vec![
+            WorkloadSpec::StressKernel { nic: "eth0".into(), disk: "sda".into() },
+            WorkloadSpec::X11perfDriver,
+        ],
+        measured: vec![MeasuredSpec {
+            name: "rcim-response".into(),
+            rt_prio: 90,
+            kind: MeasuredKind::IrqWait {
+                device: "rcim".into(),
+                api: WaitApiSpec::Ioctl { driver_bkl_free: true },
+            },
+            pin: Some("2".into()),
+        }],
+        shield: None,
+        faults: vec![FaultSpec {
+            name: "storm".into(),
+            kind: FaultKind::IrqStorm { line: sp_inject::INJECT_LINE_BASE, rate_hz: 4_000.0 },
+        }],
+        timeline: vec![
+            TimedAction { at_secs: 0.0, action: ActionKind::Arm { fault: "storm".into() } },
+            TimedAction {
+                at_secs: 1.0,
+                action: ActionKind::ProcShieldWrite {
+                    path: "/proc/shield/procs".into(),
+                    mask: "2".into(),
+                },
+            },
+            TimedAction {
+                at_secs: 1.0,
+                action: ActionKind::ProcShieldWrite {
+                    path: "/proc/shield/irqs".into(),
+                    mask: "2".into(),
+                },
+            },
+            TimedAction {
+                at_secs: 1.0,
+                action: ActionKind::ProcShieldWrite {
+                    path: "/proc/shield/ltmrs".into(),
+                    mask: "2".into(),
+                },
+            },
+        ],
+        transient: Some(TransientSpec {
+            task: "rcim-response".into(),
+            bound_us: 30,
+            from_secs: 1.0,
+            settle: 50,
+        }),
+        run_secs: 2.5,
     }
 }
 
@@ -402,7 +887,11 @@ mod tests {
             machine: MachineConfig::dual_xeon_p3(),
             kernel: KernelVariant::RedHawk,
             kernel_overrides: None,
-            devices: vec![DeviceSpec { name: "sda".into(), kind: DeviceKind::Disk }],
+            devices: vec![DeviceSpec {
+                name: "sda".into(),
+                kind: DeviceKind::Disk,
+                irq_affinity: None,
+            }],
             workloads: vec![WorkloadSpec::Disknoise { disk: "sda".into() }],
             measured: vec![MeasuredSpec {
                 name: "loop".into(),
@@ -416,6 +905,9 @@ mod tests {
                 bind_tasks: vec!["loop".into()],
                 bind_irqs: vec![],
             }),
+            faults: vec![],
+            timeline: vec![],
+            transient: None,
             run_secs: 2.0,
         };
         let report = run_scenario(&spec).unwrap();
@@ -424,5 +916,141 @@ mod tests {
         };
         assert!(summary.iterations > 20, "iterations {}", summary.iterations);
         assert!(summary.jitter_pct() < 3.0, "shielded loop: {}", summary.jitter_pct());
+    }
+
+    #[test]
+    fn offline_cpu_masks_are_rejected_up_front() {
+        // fig7's machine has 2 logical CPUs; CPU 2 (mask "4") is offline.
+        let mut spec = fig7_scenario();
+        spec.measured[0].pin = Some("4".into());
+        assert!(matches!(
+            run_scenario(&spec).err(),
+            Some(ScenarioError::OfflineCpus { what, .. }) if what.contains("rcim-response")
+        ));
+
+        let mut spec = fig7_scenario();
+        spec.devices[0].irq_affinity = Some("5".into()); // CPU0 + offline CPU2
+        assert!(matches!(
+            run_scenario(&spec).err(),
+            Some(ScenarioError::OfflineCpus { what, .. }) if what.contains("rcim")
+        ));
+
+        let mut spec = fig7_scenario();
+        spec.shield.as_mut().unwrap().cpus = "6".into();
+        assert!(matches!(
+            run_scenario(&spec).err(),
+            Some(ScenarioError::OfflineCpus { what, .. }) if what == "shield"
+        ));
+    }
+
+    #[test]
+    fn timeline_validation_catches_dangling_names_and_bad_times() {
+        let mut spec = irq_storm_scenario();
+        spec.timeline[0].action = ActionKind::Arm { fault: "ghost".into() };
+        assert_eq!(run_scenario(&spec).err(), Some(ScenarioError::UnknownFault("ghost".into())));
+
+        let mut spec = irq_storm_scenario();
+        spec.timeline[0].at_secs = spec.run_secs + 1.0;
+        assert!(matches!(run_scenario(&spec).err(), Some(ScenarioError::BadTime(_))));
+
+        let mut spec = reshield_transient_scenario();
+        spec.timeline[1].action = ActionKind::ProcShieldWrite {
+            path: "/proc/shield/bogus".into(),
+            mask: "2".into(),
+        };
+        assert_eq!(
+            run_scenario(&spec).err(),
+            Some(ScenarioError::BadPath("/proc/shield/bogus".into()))
+        );
+
+        let mut spec = reshield_transient_scenario();
+        spec.transient.as_mut().unwrap().task = "nobody".into();
+        assert_eq!(run_scenario(&spec).err(), Some(ScenarioError::UnknownTask("nobody".into())));
+    }
+
+    #[test]
+    fn sharded_scenarios_are_rejected() {
+        assert!(run_scenario_sharded(&fig7_scenario_short(), 1).is_ok());
+        assert_eq!(
+            run_scenario_sharded(&reshield_transient_scenario(), 4).err(),
+            Some(ScenarioError::Sharded(4))
+        );
+    }
+
+    fn fig7_scenario_short() -> ScenarioSpec {
+        let mut s = fig7_scenario();
+        s.run_secs = 0.3;
+        s
+    }
+
+    #[test]
+    fn irq_storm_timeline_degrades_the_unshielded_waiter() {
+        let spec = irq_storm_scenario();
+        let report = run_scenario(&spec).unwrap();
+        let MeasuredResult::Latency { summary, .. } = &report.results["realfeel"] else {
+            panic!("wrong result kind");
+        };
+        // While the storm is armed it round-robins onto the measured CPU:
+        // the unshielded worst case blows out far past the shielded band.
+        assert!(summary.max > Nanos::from_us(100), "storm had no effect: max {}", summary.max);
+
+        // Same spec without the fault ever arming: tail collapses.
+        let mut calm = spec.clone();
+        calm.timeline.clear();
+        let calm_report = run_scenario(&calm).unwrap();
+        let MeasuredResult::Latency { summary: calm_summary, .. } =
+            &calm_report.results["realfeel"]
+        else {
+            panic!("wrong result kind");
+        };
+        assert!(
+            summary.max > calm_summary.max * 5,
+            "armed max {} vs calm max {}",
+            summary.max,
+            calm_summary.max
+        );
+    }
+
+    #[test]
+    fn reshield_transient_recovers_the_bound() {
+        let report = run_scenario(&reshield_transient_scenario()).unwrap();
+        let rec = report.recovery.expect("transient requested");
+        assert!(
+            rec.out_of_bound_before > 0,
+            "storm never pushed the unshielded waiter over the bound"
+        );
+        let recovery = rec.recovery_secs.expect("reshield must recover the bound");
+        assert!(recovery < 1.0, "recovery transient too long: {recovery}s");
+        let worst = rec.worst_after_us.expect("recovered runs report a worst case");
+        assert!(worst <= 30.0, "post-recovery worst {worst}µs breaks the bound");
+    }
+
+    #[test]
+    fn timeline_runs_are_deterministic() {
+        let spec = reshield_transient_scenario();
+        let a = serde_json::to_string(&run_scenario(&spec).unwrap()).unwrap();
+        let b = serde_json::to_string(&run_scenario(&spec).unwrap()).unwrap();
+        assert_eq!(a, b, "same seed + timeline must reproduce bit-for-bit");
+    }
+
+    #[test]
+    fn example_scenario_files_match_the_builders() {
+        for (file, spec) in [
+            ("irq_storm.json", irq_storm_scenario()),
+            ("reshield_transient.json", reshield_transient_scenario()),
+        ] {
+            let path =
+                format!("{}/../../examples/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!("cannot read {path}: {e}");
+            });
+            let parsed: ScenarioSpec = serde_json::from_str(&text).expect("example parses");
+            assert_eq!(
+                serde_json::to_value(&parsed).unwrap(),
+                serde_json::to_value(&spec).unwrap(),
+                "{file} drifted from its builder"
+            );
+            validate(&parsed).expect("example validates");
+        }
     }
 }

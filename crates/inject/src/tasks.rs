@@ -1,0 +1,168 @@
+//! Task-based injectors: lock-holder preemption and the rogue SCHED_FIFO hog.
+//!
+//! Both are ordinary simulator tasks built from the `Program`/`SyscallService`
+//! machinery, spawned only when the fault is armed — a disarmed task fault
+//! literally does not exist. "Disarming" one mid-run demotes it to
+//! `SCHED_OTHER nice 19` (you cannot revoke a spinlock from its holder any
+//! more than a real kernel can); residual interference after demotion is
+//! bounded by whatever idle CPU the background load leaves over.
+
+use simcore::{DurationDist, Nanos};
+use sp_hw::CpuMask;
+use sp_kernel::{
+    KernelSegment, LockId, Op, Program, SchedPolicy, Pid, Simulator, SyscallService, TaskSpec,
+};
+
+/// Lock-holder preemption: a SCHED_FIFO task that repeatedly enters the
+/// kernel and holds `lock` with `spin_lock_irqsave` semantics for a
+/// heavy-tailed, bounded stretch, sleeping `gap` in between.
+///
+/// While the lock is held, interrupts routed to the holder's CPU pend and
+/// every other CPU that wants the lock spins — §6.2's stretched-hold
+/// mechanism driven deliberately. On a shielded machine the holder's
+/// floating affinity is stripped to the unshielded CPUs, so a measured task
+/// whose wait path avoids `lock` never feels it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockHolder {
+    pub lock: LockId,
+    /// Hold stretch per acquisition (bounded: a real audited kernel caps its
+    /// hold times; the injector models a pathological but finite driver).
+    pub hold: DurationDist,
+    /// Sleep between holds.
+    pub gap: DurationDist,
+    pub rt_prio: u8,
+    /// Pin mask; `None` floats over all online CPUs.
+    pub pin: Option<CpuMask>,
+}
+
+impl LockHolder {
+    /// Hold `lock` for up to `hold_us` (bounded Pareto from one quarter of
+    /// that), sleeping `gap_us` (exponential) between holds.
+    pub fn new(lock: LockId, hold_us: u64, gap_us: u64, rt_prio: u8) -> Self {
+        let hold_us = hold_us.max(4);
+        LockHolder {
+            lock,
+            hold: DurationDist::bounded_pareto(
+                Nanos::from_us(hold_us / 4),
+                Nanos::from_us(hold_us),
+                1.1,
+            ),
+            gap: DurationDist::exponential(Nanos::from_us(gap_us.max(1))),
+            rt_prio,
+            pin: None,
+        }
+    }
+
+    pub fn pinned(mut self, mask: CpuMask) -> Self {
+        self.pin = Some(mask);
+        self
+    }
+}
+
+/// Spawn the holder task (works before or after `start()`); returns its pid.
+pub fn spawn_lock_holder(sim: &mut Simulator, spec: &LockHolder) -> Pid {
+    let svc = SyscallService::new(format!("inject-hold-{}", spec.lock))
+        .segment(KernelSegment::locked_irqsave(spec.lock, spec.hold.clone()))
+        .not_injectable();
+    let sys = sim.register_syscall(svc);
+    let prog = Program::forever(vec![Op::Syscall(sys), Op::Sleep(spec.gap.clone())]);
+    let mut task = TaskSpec::new(
+        format!("inject-lockholder-{}", spec.lock),
+        SchedPolicy::fifo(spec.rt_prio),
+        prog,
+    )
+    .mlockall();
+    if let Some(pin) = spec.pin {
+        task = task.pinned(pin);
+    }
+    sim.spawn(task)
+}
+
+/// A rogue real-time CPU hog: `burst` of SCHED_FIFO compute at `rt_prio`,
+/// then `idle` of sleep, forever. Duty-cycled so lower-priority tasks (and
+/// the measured sampler on an unshielded machine) starve in stretches rather
+/// than permanently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuHog {
+    pub rt_prio: u8,
+    pub burst: DurationDist,
+    pub idle: DurationDist,
+    pub pin: Option<CpuMask>,
+}
+
+impl CpuHog {
+    pub fn new(rt_prio: u8, burst: Nanos, idle: Nanos) -> Self {
+        CpuHog {
+            rt_prio,
+            burst: DurationDist::constant(burst),
+            idle: DurationDist::constant(idle),
+            pin: None,
+        }
+    }
+
+    pub fn pinned(mut self, mask: CpuMask) -> Self {
+        self.pin = Some(mask);
+        self
+    }
+}
+
+/// Spawn the hog (works before or after `start()`); returns its pid.
+pub fn spawn_cpu_hog(sim: &mut Simulator, spec: &CpuHog) -> Pid {
+    let prog =
+        Program::forever(vec![Op::Compute(spec.burst.clone()), Op::Sleep(spec.idle.clone())]);
+    let mut task =
+        TaskSpec::new("inject-cpu-hog", SchedPolicy::fifo(spec.rt_prio), prog).mlockall();
+    if let Some(pin) = spec.pin {
+        task = task.pinned(pin);
+    }
+    sim.spawn(task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_hw::{CpuId, MachineConfig};
+    use sp_kernel::{KernelConfig, TaskState};
+
+    fn sim() -> Simulator {
+        Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::redhawk(), 0xFA)
+    }
+
+    #[test]
+    fn lock_holder_contends_the_named_lock() {
+        let mut sim = sim();
+        let spec = LockHolder::new(LockId::NET, 500, 100, 80);
+        let pid = spawn_lock_holder(&mut sim, &spec);
+        sim.start();
+        sim.run_for(Nanos::from_ms(200));
+        let net = sim.lock_stats().get(LockId::NET);
+        assert!(net.acquisitions > 50, "holder acquired net_lock {} times", net.acquisitions);
+        assert_ne!(sim.task(pid).state, TaskState::Exited);
+    }
+
+    #[test]
+    fn cpu_hog_burns_rt_time_on_its_pin() {
+        let mut sim = sim();
+        let spec = CpuHog::new(95, Nanos::from_ms(4), Nanos::from_ms(4))
+            .pinned(CpuMask::single(CpuId(0)));
+        spawn_cpu_hog(&mut sim, &spec);
+        sim.start();
+        sim.run_for(Nanos::from_ms(400));
+        let busy = sim.obs.cpu[0].user;
+        // ~50% duty cycle of user-mode compute on CPU 0.
+        assert!(busy > Nanos::from_ms(120), "hog burned only {busy}");
+    }
+
+    #[test]
+    fn mid_run_spawn_wakes_immediately() {
+        let mut sim = sim();
+        sim.start();
+        sim.run_for(Nanos::from_ms(50));
+        let spec = CpuHog::new(90, Nanos::from_ms(2), Nanos::from_ms(2));
+        let pid = spawn_cpu_hog(&mut sim, &spec);
+        sim.run_for(Nanos::from_ms(100));
+        assert_ne!(sim.task(pid).state, TaskState::Exited);
+        let total_user: u64 = sim.obs.cpu.iter().map(|c| c.user.0).sum();
+        assert!(total_user > 0, "mid-run hog never ran");
+    }
+}

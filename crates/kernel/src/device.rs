@@ -110,6 +110,15 @@ pub trait Device: std::fmt::Debug + Send {
     fn reader_exit_work(&self) -> Option<DurationDist> {
         None
     }
+
+    /// Out-of-band control message delivered through
+    /// [`crate::Simulator::device_control`] — the fault-injection arm/disarm
+    /// path. The device may schedule events or assert its IRQ in response,
+    /// exactly as from `on_timer`. Default: ignore. Because injectors drive
+    /// themselves entirely through scheduled events, a device that is never
+    /// sent a control message (or is disarmed) contributes no events and the
+    /// dispatch hot loop pays nothing for the hook's existence.
+    fn control(&mut self, _cmd: u64, _ctx: &mut DeviceCtx, _rng: &mut SimRng) {}
 }
 
 /// Handle the simulator keeps per registered device.

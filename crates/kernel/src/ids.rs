@@ -76,6 +76,12 @@ impl LockId {
         self.0 as usize
     }
 
+    /// Parse a lock name as printed by [`LockId::name`] (scenario specs name
+    /// lock-holder-preemption targets this way).
+    pub fn from_name(name: &str) -> Option<LockId> {
+        (0..Self::COUNT as u32).map(LockId).find(|l| l.name() == name)
+    }
+
     pub const fn name(self) -> &'static str {
         match self.0 {
             0 => "bkl",
@@ -130,6 +136,14 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn lock_names_roundtrip_through_from_name() {
+        for i in 0..LockId::COUNT as u32 {
+            assert_eq!(LockId::from_name(LockId(i).name()), Some(LockId(i)));
+        }
+        assert_eq!(LockId::from_name("spinlock_of_theseus"), None);
     }
 
     #[test]

@@ -69,6 +69,7 @@ impl CpuAccounting {
 #[derive(Debug, Default)]
 pub struct Observations {
     watched_latency: HashMap<Pid, Vec<Nanos>>,
+    watched_latency_times: HashMap<Pid, Vec<Instant>>,
     watched_breakdown: HashMap<Pid, Vec<WakeBreakdown>>,
     watched_laps: HashMap<Pid, Vec<Instant>>,
     pub cpu: Vec<CpuAccounting>,
@@ -81,6 +82,7 @@ impl Observations {
     pub fn new(cpus: usize) -> Self {
         Observations {
             watched_latency: HashMap::new(),
+            watched_latency_times: HashMap::new(),
             watched_breakdown: HashMap::new(),
             watched_laps: HashMap::new(),
             cpu: vec![CpuAccounting::default(); cpus],
@@ -91,6 +93,13 @@ impl Observations {
     /// Start recording wake-to-user latencies for `pid`'s `WaitIrq` ops.
     pub fn watch_latency(&mut self, pid: Pid) {
         self.watched_latency.entry(pid).or_default();
+    }
+
+    /// Also record the completion instant of each latency sample for `pid`
+    /// (index-aligned with [`Observations::latencies`]); used to locate
+    /// samples relative to mid-run reconfiguration actions.
+    pub fn watch_latency_times(&mut self, pid: Pid) {
+        self.watched_latency_times.entry(pid).or_default();
     }
 
     /// Start recording `MarkLap` timestamps for `pid`.
@@ -118,9 +127,12 @@ impl Observations {
         self.watched_breakdown.get(&pid).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    pub(crate) fn record_latency(&mut self, pid: Pid, lat: Nanos) {
+    pub(crate) fn record_latency(&mut self, pid: Pid, lat: Nanos, at: Instant) {
         if let Some(v) = self.watched_latency.get_mut(&pid) {
             v.push(lat);
+        }
+        if let Some(v) = self.watched_latency_times.get_mut(&pid) {
+            v.push(at);
         }
     }
 
@@ -133,6 +145,13 @@ impl Observations {
     /// Recorded latencies for a watched task.
     pub fn latencies(&self, pid: Pid) -> &[Nanos] {
         self.watched_latency.get(&pid).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Completion instants for a task watched with
+    /// [`Observations::watch_latency_times`], index-aligned with
+    /// [`Observations::latencies`].
+    pub fn latency_times(&self, pid: Pid) -> &[Instant] {
+        self.watched_latency_times.get(&pid).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Recorded lap instants for a watched task.
@@ -154,9 +173,10 @@ mod tests {
     #[test]
     fn unwatched_pids_record_nothing() {
         let mut o = Observations::new(2);
-        o.record_latency(Pid(1), Nanos(5));
+        o.record_latency(Pid(1), Nanos(5), Instant(100));
         o.record_lap(Pid(1), Instant(5));
         assert!(o.latencies(Pid(1)).is_empty());
+        assert!(o.latency_times(Pid(1)).is_empty());
         assert!(o.laps(Pid(1)).is_empty());
     }
 
@@ -176,9 +196,22 @@ mod tests {
     fn watched_pids_accumulate() {
         let mut o = Observations::new(1);
         o.watch_latency(Pid(3));
-        o.record_latency(Pid(3), Nanos(10));
-        o.record_latency(Pid(3), Nanos(20));
+        o.record_latency(Pid(3), Nanos(10), Instant(500));
+        o.record_latency(Pid(3), Nanos(20), Instant(900));
         assert_eq!(o.latencies(Pid(3)), &[Nanos(10), Nanos(20)]);
+        // Instants are only kept when explicitly requested.
+        assert!(o.latency_times(Pid(3)).is_empty());
+    }
+
+    #[test]
+    fn latency_times_align_with_latencies() {
+        let mut o = Observations::new(1);
+        o.watch_latency(Pid(4));
+        o.watch_latency_times(Pid(4));
+        o.record_latency(Pid(4), Nanos(10), Instant(500));
+        o.record_latency(Pid(4), Nanos(20), Instant(900));
+        assert_eq!(o.latencies(Pid(4)), &[Nanos(10), Nanos(20)]);
+        assert_eq!(o.latency_times(Pid(4)), &[Instant(500), Instant(900)]);
     }
 
     #[test]

@@ -390,9 +390,32 @@ impl Simulator {
         }
     }
 
+    /// Deliver an out-of-band control message to a device — the
+    /// fault-injection arm/disarm path. The callback runs at the current
+    /// virtual time with the same powers as `on_timer` (it may schedule
+    /// events and assert the IRQ line); devices that don't implement
+    /// [`Device::control`] ignore it. This is a control-plane entry point:
+    /// the event dispatch loop never calls it, so an injector that is
+    /// registered but never armed costs the hot loop nothing.
+    pub fn device_control(&mut self, dev: DeviceId, cmd: u64) {
+        self.with_device(dev, |d, ctx, rng| d.control(cmd, ctx, rng));
+    }
+
+    /// Whether `start()` has run (devices can only be registered before).
+    pub fn started(&self) -> bool {
+        self.started
+    }
+
     /// Record wake-to-user latencies for `pid`'s `WaitIrq` ops.
     pub fn watch_latency(&mut self, pid: Pid) {
         self.obs.watch_latency(pid);
+    }
+
+    /// Additionally record the completion instant of each latency sample for
+    /// `pid` (the time-resolved view used to measure reconfiguration
+    /// transients, e.g. how fast a mid-run re-shield restores the bound).
+    pub fn watch_latency_times(&mut self, pid: Pid) {
+        self.obs.watch_latency_times(pid);
     }
 
     /// Record `MarkLap` timestamps for `pid`.
@@ -1253,7 +1276,7 @@ impl Simulator {
                         PlanEnd::CompleteIrqWait => {
                             if let Some(asserted) = self.tasks[pid.index()].wake_ref.take() {
                                 let lat = self.now.since(asserted);
-                                self.obs.record_latency(pid, lat);
+                                self.obs.record_latency(pid, lat, self.now);
                                 if self.obs.wants_breakdown(pid) {
                                     let t = &self.tasks[pid.index()];
                                     let woken = t.woken_at.unwrap_or(asserted);
