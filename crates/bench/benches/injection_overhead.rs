@@ -23,10 +23,10 @@ use std::hint::black_box;
 /// simulated time, with or without the disarmed injector armory.
 fn run_slice(seed: u64, disarmed_injectors: bool) -> u64 {
     let mut sim = Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::redhawk(), seed);
-    let rtc = sim.add_device(Box::new(RtcDevice::new(2048)));
+    let rtc = sim.add_device(RtcDevice::new(2048));
     let nic = sim
-        .add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(Nanos::from_ms(20))))));
-    let disk = sim.add_device(Box::new(DiskDevice::new()));
+        .add_device(NicDevice::new(Some(OnOffPoisson::continuous(Nanos::from_ms(20)))));
+    let disk = sim.add_device(DiskDevice::new());
     stress_kernel(&mut sim, StressDevices { nic, disk });
     if disarmed_injectors {
         let mut armory = Armory::new();

@@ -23,11 +23,11 @@ fn run(lockfree: bool, exit_lock_prob: f64, seconds: u64) -> LatencySummary {
     // within a bench-sized run (the mechanism, not the rarity, is under test).
     kcfg.sections.read_exit_file_lock_prob = exit_lock_prob;
     let mut sim = Simulator::new(MachineConfig::dual_xeon_p3(), kcfg, 0xFA7E);
-    let rtc = sim.add_device(Box::new(RtcDevice::new(2048)));
-    let nic = sim.add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(
+    let rtc = sim.add_device(RtcDevice::new(2048));
+    let nic = sim.add_device(NicDevice::new(Some(OnOffPoisson::continuous(
         Nanos::from_us(700),
-    )))));
-    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    ))));
+    let disk = sim.add_device(DiskDevice::new());
     stress_kernel(&mut sim, StressDevices { nic, disk });
     let pid = sim.spawn(
         TaskSpec::new(

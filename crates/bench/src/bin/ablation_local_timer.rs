@@ -23,8 +23,8 @@ use sp_workloads::{disknoise, scp_nic_profile, scp_receiver};
 fn base_sim(seed: u64) -> Simulator {
     let mut sim =
         Simulator::new(MachineConfig::dual_xeon_p4(false), KernelConfig::redhawk(), seed);
-    let _nic = sim.add_device(Box::new(NicDevice::new(Some(scp_nic_profile()))));
-    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    let _nic = sim.add_device(NicDevice::new(Some(scp_nic_profile())));
+    let disk = sim.add_device(DiskDevice::new());
     scp_receiver(&mut sim, disk);
     disknoise(&mut sim, disk);
     sim
@@ -33,9 +33,9 @@ fn base_sim(seed: u64) -> Simulator {
 fn latency_run(keep_ltmr: bool, seconds: u64) -> (LatencySummary, u64) {
     let mut sim =
         Simulator::new(MachineConfig::dual_xeon_p4(false), KernelConfig::redhawk(), 0x0A22);
-    let rcim = sim.add_device(Box::new(RcimDevice::new(Nanos::from_us(500))));
-    let _nic = sim.add_device(Box::new(NicDevice::new(Some(scp_nic_profile()))));
-    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    let rcim = sim.add_device(RcimDevice::new(Nanos::from_us(500)));
+    let _nic = sim.add_device(NicDevice::new(Some(scp_nic_profile())));
+    let disk = sim.add_device(DiskDevice::new());
     scp_receiver(&mut sim, disk);
     disknoise(&mut sim, disk);
     let pid = sim.spawn(

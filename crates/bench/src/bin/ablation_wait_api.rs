@@ -28,12 +28,12 @@ fn run(use_rcim: bool, seconds: u64) -> LatencySummary {
     kcfg.sections.read_exit_file_lock_prob = INFLATED_SLOW_PATH;
     let mut sim = Simulator::new(MachineConfig::dual_xeon_p3(), kcfg, 0xA5_A5);
     // Both interrupt sources exist in both runs so the load is identical.
-    let rtc = sim.add_device(Box::new(RtcDevice::new(2048)));
-    let rcim = sim.add_device(Box::new(RcimDevice::new(Nanos::from_us(488))));
-    let nic = sim.add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(
+    let rtc = sim.add_device(RtcDevice::new(2048));
+    let rcim = sim.add_device(RcimDevice::new(Nanos::from_us(488)));
+    let nic = sim.add_device(NicDevice::new(Some(OnOffPoisson::continuous(
         Nanos::from_us(700),
-    )))));
-    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    ))));
+    let disk = sim.add_device(DiskDevice::new());
     stress_kernel(&mut sim, StressDevices { nic, disk });
     // Keep the file-layer lock hot on the unshielded CPU so the inflated
     // slow path actually collides (same producer in both runs).

@@ -20,8 +20,8 @@ const INTERVAL: Nanos = Nanos::from_ms(1);
 fn run(variant: KernelVariant, shield: bool, seconds: u64) -> LatencySummary {
     let mut sim =
         Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::new(variant), 0xCC_11);
-    let _nic = sim.add_device(Box::new(NicDevice::new(Some(scp_nic_profile()))));
-    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    let _nic = sim.add_device(NicDevice::new(Some(scp_nic_profile())));
+    let disk = sim.add_device(DiskDevice::new());
     scp_receiver(&mut sim, disk);
     disknoise(&mut sim, disk);
     let mut spec = TaskSpec::new(

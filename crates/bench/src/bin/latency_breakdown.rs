@@ -36,11 +36,11 @@ fn run(name: &'static str, variant: KernelVariant, shield: bool, seconds: u64) -
         KernelConfig::new(variant),
         0xB4EA_4D07,
     );
-    let rtc = sim.add_device(Box::new(RtcDevice::new(2048)));
-    let nic = sim.add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(
+    let rtc = sim.add_device(RtcDevice::new(2048));
+    let nic = sim.add_device(NicDevice::new(Some(OnOffPoisson::continuous(
         Nanos::from_ms(20),
-    )))));
-    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    ))));
+    let disk = sim.add_device(DiskDevice::new());
     stress_kernel(&mut sim, StressDevices { nic, disk });
     let mut spec = TaskSpec::new(
         "realfeel",

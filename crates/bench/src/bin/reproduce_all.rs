@@ -7,6 +7,7 @@
 //!                    (or `SP_SHARDS`); results are reproducible per (seed, n)
 //!   --json <path>    dump the raw suite as JSON
 //!   --strict         exit non-zero unless all seven verdicts are "in band"
+//!                    and the suite clears the events/sec regression floor
 //!
 //! Every run also writes `BENCH_simulator.json` (per-figure wall-clock,
 //! events/sec, shard count, and data-structure microbenchmarks).
@@ -31,11 +32,18 @@ struct FigureBench {
 
 #[derive(serde::Serialize)]
 struct Microbench {
+    /// Indexed 4-ary heap (`EventQueue`), kept as the overflow structure.
     event_queue_push_pop_ns: f64,
     event_queue_cancel_ns: f64,
+    /// Hierarchical timing wheel (`WheelQueue`), the simulator's live queue.
+    queue_wheel_push_pop_ns: f64,
+    queue_wheel_cancel_ns: f64,
     /// Pre-optimisation baseline: binary heap + tombstone set.
     tombstone_baseline_push_pop_ns: f64,
     tombstone_baseline_cancel_ns: f64,
+    /// ns to checkpoint + restore a warm fig-6-style simulator (the cost a
+    /// forked experiment cell pays instead of re-running the warm-up).
+    checkpoint_fork_ns: f64,
     histogram_record_ns: f64,
     /// Simulator hot loop with no injection subsystem present…
     sim_event_baseline_ns: f64,
@@ -121,7 +129,8 @@ fn main() {
         }
     }
 
-    if let Err(e) = write_bench_report(&suite, &timings, scale, shards) {
+    let report = build_bench_report(&suite, &timings, scale, shards);
+    if let Err(e) = write_bench_report(&report) {
         eprintln!("note: could not write BENCH_simulator.json: {e}");
     } else {
         eprintln!("throughput report written to BENCH_simulator.json");
@@ -144,20 +153,41 @@ fn main() {
             eprintln!("STRICT: figures out of band: {}", out_of_band.join(", "));
             std::process::exit(1);
         }
-        eprintln!("STRICT: all 7 figures in band");
+        if report.events_per_sec < EVENTS_PER_SEC_FLOOR {
+            eprintln!(
+                "STRICT: suite throughput {:.0} events/sec under the {EVENTS_PER_SEC_FLOOR} floor",
+                report.events_per_sec
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "STRICT: all 7 figures in band, {:.0} events/sec clears the floor",
+            report.events_per_sec
+        );
     }
 }
 
-/// Emit `BENCH_simulator.json`: per-figure wall-clock and event throughput,
-/// plus microbenchmarks of the hot-path data structures.
-fn write_bench_report(
+/// Simulator-throughput regression floor enforced by `--strict` (and hence
+/// CI, which runs at scale 0.02 in release mode). The timing-wheel suite
+/// sustains well over a million events/sec there; the floor is a tripwire
+/// for order-of-magnitude regressions, not a tight bound, so modest CI
+/// hardware doesn't flake.
+const EVENTS_PER_SEC_FLOOR: f64 = 100_000.0;
+
+/// Assemble the `BENCH_simulator.json` payload: per-figure wall-clock and
+/// event throughput, plus microbenchmarks of the hot-path data structures.
+fn build_bench_report(
     suite: &sp_experiments::FigureSuite,
     timings: &sp_experiments::runner::SuiteTimings,
     scale: f64,
     shards: u32,
-) -> std::io::Result<()> {
+) -> BenchReport {
     let events = |id: &str| -> Option<u64> {
         match id {
+            "fig1" => Some(suite.fig1.events),
+            "fig2" => Some(suite.fig2.events),
+            "fig3" => Some(suite.fig3.events),
+            "fig4" => Some(suite.fig4.events),
             "fig5" => Some(suite.fig5.events),
             "fig6" => Some(suite.fig6.events),
             "fig7" => Some(suite.fig7.events),
@@ -179,8 +209,14 @@ fn write_bench_report(
             }
         })
         .collect();
-    let total_events = suite.fig5.events + suite.fig6.events + suite.fig7.events;
-    let report = BenchReport {
+    let total_events = suite.fig1.events
+        + suite.fig2.events
+        + suite.fig3.events
+        + suite.fig4.events
+        + suite.fig5.events
+        + suite.fig6.events
+        + suite.fig7.events;
+    BenchReport {
         scale,
         shards,
         hardware_threads: sp_bench::available_threads(),
@@ -191,14 +227,21 @@ fn write_bench_report(
         microbench: Microbench {
             event_queue_push_pop_ns: microbench::event_queue_push_pop_ns(),
             event_queue_cancel_ns: microbench::event_queue_cancel_ns(),
+            queue_wheel_push_pop_ns: microbench::queue_wheel_push_pop_ns(),
+            queue_wheel_cancel_ns: microbench::queue_wheel_cancel_ns(),
             tombstone_baseline_push_pop_ns: microbench::tombstone_push_pop_ns(),
             tombstone_baseline_cancel_ns: microbench::tombstone_cancel_ns(),
+            checkpoint_fork_ns: microbench::checkpoint_fork_ns(),
             histogram_record_ns: microbench::histogram_record_ns(),
             sim_event_baseline_ns: microbench::sim_event_baseline_ns(),
             sim_event_disarmed_injector_ns: microbench::sim_event_disarmed_injector_ns(),
         },
-    };
-    let json = serde_json::to_string_pretty(&report)
+    }
+}
+
+/// Write the report next to the repo root for the CI artifact upload.
+fn write_bench_report(report: &BenchReport) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(report)
         .map_err(|e| std::io::Error::other(e.to_string()))?;
     std::fs::write("BENCH_simulator.json", json)
 }

@@ -18,12 +18,12 @@ use sp_workloads::{stress_kernel, StressDevices};
 fn run(nic_rate_hz: u64, shielded: bool, seconds: u64) -> LatencySummary {
     let mut sim =
         Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::redhawk(), 0x5EEB + nic_rate_hz);
-    let rcim = sim.add_device(Box::new(RcimDevice::new(Nanos::from_ms(1))));
+    let rcim = sim.add_device(RcimDevice::new(Nanos::from_ms(1)));
     let external = 1_000_000_000u64
         .checked_div(nic_rate_hz)
         .map(|period| OnOffPoisson::continuous(Nanos(period)));
-    let nic = sim.add_device(Box::new(NicDevice::new(external)));
-    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    let nic = sim.add_device(NicDevice::new(external));
+    let disk = sim.add_device(DiskDevice::new());
     stress_kernel(&mut sim, StressDevices { nic, disk });
     let mut spec = TaskSpec::new(
         "rt",

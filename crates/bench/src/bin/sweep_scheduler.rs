@@ -18,7 +18,7 @@ use sp_metrics::{LatencyHistogram, LatencySummary, Table};
 fn run(variant: KernelVariant, runnable: u32, seconds: u64) -> LatencySummary {
     let mut sim =
         Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::new(variant), 0x5C_ED);
-    let rcim = sim.add_device(Box::new(RcimDevice::new(Nanos::from_ms(1))));
+    let rcim = sim.add_device(RcimDevice::new(Nanos::from_ms(1)));
     // A crowd of always-runnable timesharing tasks on cpu0 — pure scheduler
     // pressure, negligible kernel-section interference.
     for i in 0..runnable {

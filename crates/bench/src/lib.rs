@@ -45,7 +45,7 @@ pub fn available_threads() -> u32 {
 /// medians — coarser than the criterion benches but dependency-free and cheap
 /// enough to run on every `reproduce_all` invocation.
 pub mod microbench {
-    use simcore::{EventQueue, Instant, SimRng};
+    use simcore::{EventQueue, Instant, SimRng, WheelQueue};
     use sp_metrics::LatencyHistogram;
 
     fn median_ns(mut runs: Vec<f64>) -> f64 {
@@ -53,7 +53,10 @@ pub mod microbench {
         runs[runs.len() / 2]
     }
 
-    /// ns per push+pop over a queue kept at ~4k pending events.
+    /// ns per push+pop over a queue kept at ~4k pending events. Pending
+    /// times spread over ~12 ms with ~4 ms re-arm offsets — the simulator's
+    /// live-timer operating point (ticks, device timers and sleeps land
+    /// µs–ms ahead), which is what the timing wheel's bucket width targets.
     pub fn event_queue_push_pop_ns() -> f64 {
         const LIVE: usize = 4_096;
         const OPS: usize = 200_000;
@@ -62,14 +65,14 @@ pub mod microbench {
                 let mut rng = SimRng::new(0xBEC4 + round);
                 let mut q = EventQueue::new();
                 for _ in 0..LIVE {
-                    q.push(Instant(rng.next_u64() % 1_000_000), 0u32);
+                    q.push(Instant(rng.next_u64() % 12_000_000), 0u32);
                 }
                 let t = std::time::Instant::now();
                 let mut floor = 0;
                 for _ in 0..OPS {
                     let (at, _) = q.pop().expect("queue kept full");
                     floor = floor.max(at.as_ns());
-                    q.push(Instant(floor + rng.next_u64() % 100_000), 0u32);
+                    q.push(Instant(floor + rng.next_u64() % 4_000_000), 0u32);
                 }
                 t.elapsed().as_secs_f64() * 1e9 / OPS as f64
             })
@@ -86,7 +89,58 @@ pub mod microbench {
                 let mut rng = SimRng::new(0xCA9C + round);
                 let mut q = EventQueue::new();
                 let keys: Vec<_> = (0..LIVE)
-                    .map(|_| q.push(Instant(rng.next_u64() % 1_000_000), 0u32))
+                    .map(|_| q.push(Instant(rng.next_u64() % 12_000_000), 0u32))
+                    .collect();
+                let t = std::time::Instant::now();
+                let mut hits = 0usize;
+                for k in keys.iter().step_by(2) {
+                    hits += q.cancel(*k) as usize;
+                }
+                let ns = t.elapsed().as_secs_f64() * 1e9 / (LIVE / 2) as f64;
+                assert_eq!(hits, LIVE / 2);
+                ns
+            })
+            .collect();
+        median_ns(runs)
+    }
+
+    /// ns per push+pop on the hierarchical timing wheel, same workload as
+    /// [`event_queue_push_pop_ns`] so the two numbers are directly
+    /// comparable. The wheel is the simulator's live queue; the 4-ary heap
+    /// survives as its far-future overflow structure.
+    pub fn queue_wheel_push_pop_ns() -> f64 {
+        const LIVE: usize = 4_096;
+        const OPS: usize = 200_000;
+        let runs = (0..5u64)
+            .map(|round| {
+                let mut rng = SimRng::new(0xBEC4 + round);
+                let mut q = WheelQueue::new();
+                for _ in 0..LIVE {
+                    q.push(Instant(rng.next_u64() % 12_000_000), 0u32);
+                }
+                let t = std::time::Instant::now();
+                let mut floor = 0;
+                for _ in 0..OPS {
+                    let (at, _) = q.pop().expect("queue kept full");
+                    floor = floor.max(at.as_ns());
+                    q.push(Instant(floor + rng.next_u64() % 4_000_000), 0u32);
+                }
+                t.elapsed().as_secs_f64() * 1e9 / OPS as f64
+            })
+            .collect();
+        median_ns(runs)
+    }
+
+    /// ns per cancel on the timing wheel, same workload as
+    /// [`event_queue_cancel_ns`].
+    pub fn queue_wheel_cancel_ns() -> f64 {
+        const LIVE: usize = 8_192;
+        let runs = (0..5u64)
+            .map(|round| {
+                let mut rng = SimRng::new(0xCA9C + round);
+                let mut q = WheelQueue::new();
+                let keys: Vec<_> = (0..LIVE)
+                    .map(|_| q.push(Instant(rng.next_u64() % 12_000_000), 0u32))
                     .collect();
                 let t = std::time::Instant::now();
                 let mut hits = 0usize;
@@ -152,14 +206,14 @@ pub mod microbench {
                 let mut rng = SimRng::new(0xBEC4 + round);
                 let mut q = TombstoneQueue::new();
                 for _ in 0..LIVE {
-                    q.push(rng.next_u64() % 1_000_000);
+                    q.push(rng.next_u64() % 12_000_000);
                 }
                 let t = std::time::Instant::now();
                 let mut floor = 0;
                 for _ in 0..OPS {
                     let at = q.pop().expect("queue kept full");
                     floor = floor.max(at);
-                    q.push(floor + rng.next_u64() % 100_000);
+                    q.push(floor + rng.next_u64() % 4_000_000);
                 }
                 t.elapsed().as_secs_f64() * 1e9 / OPS as f64
             })
@@ -176,7 +230,7 @@ pub mod microbench {
             .map(|round| {
                 let mut rng = SimRng::new(0xCA9C + round);
                 let mut q = TombstoneQueue::new();
-                let keys: Vec<u64> = (0..LIVE).map(|_| q.push(rng.next_u64() % 1_000_000)).collect();
+                let keys: Vec<u64> = (0..LIVE).map(|_| q.push(rng.next_u64() % 12_000_000)).collect();
                 let t = std::time::Instant::now();
                 for k in keys.iter().step_by(2) {
                     q.cancel(*k);
@@ -191,7 +245,7 @@ pub mod microbench {
                 // anyway, approximated by popping a same-size clean queue.
                 let mut clean = TombstoneQueue::new();
                 for _ in 0..popped {
-                    clean.push(rng.next_u64() % 1_000_000);
+                    clean.push(rng.next_u64() % 12_000_000);
                 }
                 let t2 = std::time::Instant::now();
                 while clean.pop().is_some() {}
@@ -215,12 +269,12 @@ pub mod microbench {
         use sp_workloads::{stress_kernel, StressDevices};
 
         let mut sim = Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::redhawk(), seed);
-        let rtc = sim.add_device(Box::new(RtcDevice::new(2048)));
+        let rtc = sim.add_device(RtcDevice::new(2048));
         let nic = sim
-            .add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(Nanos::from_ms(
+            .add_device(NicDevice::new(Some(OnOffPoisson::continuous(Nanos::from_ms(
                 20,
-            ))))));
-        let disk = sim.add_device(Box::new(DiskDevice::new()));
+            )))));
+        let disk = sim.add_device(DiskDevice::new());
         stress_kernel(&mut sim, StressDevices { nic, disk });
         if disarmed_injectors {
             let mut armory = Armory::new();
@@ -259,6 +313,50 @@ pub mod microbench {
             .map(|round| {
                 let (wall, events) = injection_probe(0x1D7E + round, 400, true);
                 wall * 1e9 / events.max(1) as f64
+            })
+            .collect();
+        median_ns(runs)
+    }
+
+    /// ns per checkpoint+restore round trip of a warm fig-6-style simulator
+    /// — the price a forked experiment cell pays instead of re-running the
+    /// warm-up from a cold start.
+    pub fn checkpoint_fork_ns() -> f64 {
+        use simcore::Nanos;
+        use sp_devices::{DiskDevice, NicDevice, OnOffPoisson, RtcDevice};
+        use sp_hw::MachineConfig;
+        use sp_kernel::{KernelConfig, Op, Program, SchedPolicy, Simulator, TaskSpec, WaitApi};
+        use sp_workloads::{stress_kernel, StressDevices};
+
+        const OPS: usize = 200;
+        let build = |seed: u64| {
+            let mut sim =
+                Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::redhawk(), seed);
+            let rtc = sim.add_device(RtcDevice::new(2048));
+            let nic = sim.add_device(NicDevice::new(Some(OnOffPoisson::continuous(
+                Nanos::from_ms(20),
+            ))));
+            let disk = sim.add_device(DiskDevice::new());
+            stress_kernel(&mut sim, StressDevices { nic, disk });
+            let prog = Program::forever(vec![Op::WaitIrq { device: rtc, api: WaitApi::ReadDevice }]);
+            let pid = sim.spawn(TaskSpec::new("waiter", SchedPolicy::fifo(90), prog).mlockall());
+            sim.watch_latency(pid);
+            sim.start();
+            sim
+        };
+        let runs = (0..5u64)
+            .map(|round| {
+                let seed = 0xF04C + round;
+                let mut warm = build(seed);
+                warm.run_for(Nanos::from_ms(200));
+                let mut fork = build(seed);
+                let t = std::time::Instant::now();
+                for _ in 0..OPS {
+                    let ck = warm.checkpoint();
+                    fork.restore(&ck);
+                }
+                assert_eq!(fork.now(), warm.now());
+                t.elapsed().as_secs_f64() * 1e9 / OPS as f64
             })
             .collect();
         median_ns(runs)

@@ -47,10 +47,10 @@ mod tests {
 
     fn busy_sim() -> Simulator {
         let mut s = Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::redhawk(), 15);
-        s.add_device(Box::new(RtcDevice::new(256)));
-        s.add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(
+        s.add_device(RtcDevice::new(256));
+        s.add_device(NicDevice::new(Some(OnOffPoisson::continuous(
             Nanos::from_ms(1),
-        )))));
+        ))));
         s
     }
 

@@ -67,7 +67,7 @@ mod tests {
     fn sim_with_rtc() -> Simulator {
         let mut s =
             Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::redhawk(), 5);
-        s.add_device(Box::new(RtcDevice::new(64)));
+        s.add_device(RtcDevice::new(64));
         s
     }
 

@@ -1,0 +1,97 @@
+//! Warm-checkpoint forks and `/proc/shield`: shield state is part of the
+//! snapshot, and reconfiguring the shield *after* the fork point replays
+//! bit-identically — migrations, IRQ rerouting and local-timer switches
+//! included. This is what lets the reshield timeline scenario (and any
+//! future mid-run shield sweep) fork from a warm checkpoint safely.
+
+use simcore::{DurationDist, Instant, Nanos};
+use sp_core::{ProcShield, ShieldFile};
+use sp_devices::{NicDevice, OnOffPoisson, RtcDevice};
+use sp_hw::{CpuId, CpuMask, MachineConfig};
+use sp_kernel::{
+    KernelConfig, Op, Pid, Program, SchedPolicy, Simulator, TaskSpec, WaitApi,
+};
+
+/// RTC waiter on cpu1 plus NIC softirq load and a cpu0 hog — enough traffic
+/// that a shield change mid-run visibly reroutes work.
+fn build(seed: u64) -> (Simulator, Pid) {
+    let mut sim = Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::redhawk(), seed);
+    let rtc = sim.add_device(RtcDevice::new(1024));
+    sim.add_device(NicDevice::new(Some(OnOffPoisson::continuous(Nanos::from_ms(5)))));
+    let waiter = sim.spawn(
+        TaskSpec::new(
+            "waiter",
+            SchedPolicy::fifo(90),
+            Program::forever(vec![Op::WaitIrq { device: rtc, api: WaitApi::ReadDevice }]),
+        )
+        .pinned(CpuMask::single(CpuId(1)))
+        .mlockall(),
+    );
+    sim.watch_latency(waiter);
+    sim.spawn(TaskSpec::new(
+        "hog",
+        SchedPolicy::nice(0),
+        Program::forever(vec![
+            Op::Compute(DurationDist::uniform(Nanos::from_us(40), Nanos::from_us(700))),
+            Op::Sleep(DurationDist::uniform(Nanos::from_us(30), Nanos::from_us(300))),
+        ]),
+    ));
+    sim.start();
+    (sim, waiter)
+}
+
+fn fingerprint(sim: &Simulator, pid: Pid) -> (Instant, u64, Vec<Nanos>, String) {
+    (
+        sim.now(),
+        sim.events_dispatched(),
+        sim.obs.latencies(pid).to_vec(),
+        ProcShield::status(sim),
+    )
+}
+
+/// A shield configured before the snapshot reads back identically after
+/// `restore` — `/proc/shield` contents are checkpoint state.
+#[test]
+fn shield_masks_survive_the_checkpoint() {
+    let (mut warm, _) = build(11);
+    ProcShield::write_all(&mut warm, CpuMask::single(CpuId(1))).unwrap();
+    warm.run_for(Nanos::from_ms(20));
+    let ck = warm.checkpoint();
+
+    let (mut fork, _) = build(11);
+    assert_eq!(ProcShield::read(&fork, ShieldFile::Procs), "0\n");
+    fork.restore(&ck);
+    assert_eq!(ProcShield::status(&fork), ProcShield::status(&warm));
+    assert_eq!(ProcShield::read(&fork, ShieldFile::Procs), "2\n");
+}
+
+/// Shield up mid-run, *after* forking from an unshielded warm checkpoint:
+/// the forked run and the straight run agree bit-for-bit through the write
+/// and beyond, then agree again when the shield is torn down.
+#[test]
+fn mid_run_shield_write_replays_identically_across_the_fork() {
+    let drive = |sim: &mut Simulator| {
+        sim.run_for(Nanos::from_ms(15));
+        ProcShield::write_all(sim, CpuMask::single(CpuId(1))).unwrap();
+        sim.run_for(Nanos::from_ms(25));
+        ProcShield::write(sim, ShieldFile::Procs, "0").unwrap();
+        ProcShield::write(sim, ShieldFile::Irqs, "0").unwrap();
+        ProcShield::write(sim, ShieldFile::Ltmrs, "0").unwrap();
+        sim.run_for(Nanos::from_ms(15));
+    };
+
+    let (mut straight, pid) = build(42);
+    straight.run_for(Nanos::from_ms(30));
+    drive(&mut straight);
+
+    let (mut warm, _) = build(42);
+    warm.run_for(Nanos::from_ms(30));
+    let ck = warm.checkpoint();
+    let (mut fork, fork_pid) = build(42);
+    fork.restore(&ck);
+    drive(&mut fork);
+
+    assert_eq!(fingerprint(&fork, fork_pid), fingerprint(&straight, pid));
+    // The run must have actually sampled across the shielded window.
+    assert!(fork.obs.latencies(fork_pid).len() > 50);
+}

@@ -130,7 +130,7 @@ fn task_bound_inside_shield_is_admitted() {
 #[test]
 fn plan_applies_full_recipe() {
     let mut s = sim();
-    let rcim = s.add_device(Box::new(RcimDevice::new(Nanos::from_ms(1))));
+    let rcim = s.add_device(RcimDevice::new(Nanos::from_ms(1)));
     let waiter = s.spawn(TaskSpec::new(
         "rt",
         SchedPolicy::fifo(90),

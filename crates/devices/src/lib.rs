@@ -12,13 +12,12 @@
 //! * [`GpuDevice`] — the graphics controller under X11perf.
 //!
 //! Plus [`OnOffPoisson`], the bursty arrival process they share.
+//!
+//! The implementations live in [`sp_kernel::devices`] so the simulator can
+//! dispatch to them through the closed [`sp_kernel::AnyDevice`] enum instead
+//! of a vtable; this crate re-exports them under their historical paths.
 
-pub mod disk;
-pub mod gpu;
-pub mod nic;
-pub mod profile;
-pub mod rcim;
-pub mod rtc;
+pub use sp_kernel::devices::{disk, gpu, nic, profile, rcim, rtc};
 
 pub use disk::DiskDevice;
 pub use gpu::GpuDevice;

@@ -14,7 +14,7 @@ fn sim() -> Simulator {
 #[test]
 fn disk_io_blocks_and_completes_end_to_end() {
     let mut s = sim();
-    let disk = s.add_device(Box::new(DiskDevice::new()));
+    let disk = s.add_device(DiskDevice::new());
     let write = s.register_syscall(SyscallService::new("write").blocking_io(disk).not_injectable());
     let writer = s.spawn(TaskSpec::new(
         "writer",
@@ -40,7 +40,7 @@ fn nic_bursts_cluster_interrupts() {
     // 1 kHz while ON, ON 200 ms / OFF 800 ms: interrupt counts over 100 ms
     // windows should be strongly bimodal.
     let profile = OnOffPoisson::bursty(1_000, Nanos::from_ms(200), Nanos::from_ms(800));
-    s.add_device(Box::new(NicDevice::new(Some(profile))));
+    s.add_device(NicDevice::new(Some(profile)));
     s.start();
     let mut counts = Vec::new();
     let mut last = 0u64;
@@ -59,7 +59,7 @@ fn nic_bursts_cluster_interrupts() {
 #[test]
 fn gpu_load_is_pure_softirq_noise() {
     let mut s = sim();
-    s.add_device(Box::new(GpuDevice::x11perf()));
+    s.add_device(GpuDevice::x11perf());
     s.start();
     s.run_for(Nanos::from_secs(3));
     let softirq: Nanos = s.obs.cpu.iter().map(|c| c.softirq).sum();
@@ -73,7 +73,7 @@ fn gpu_load_is_pure_softirq_noise() {
 #[test]
 fn rtc_rate_is_respected_under_subscription() {
     let mut s = sim();
-    let rtc = s.add_device(Box::new(RtcDevice::new(1024)));
+    let rtc = s.add_device(RtcDevice::new(1024));
     let pid = s.spawn(
         TaskSpec::new(
             "reader",
@@ -93,9 +93,9 @@ fn rtc_rate_is_respected_under_subscription() {
 #[test]
 fn nic_tx_and_rx_paths_coexist() {
     let mut s = sim();
-    let nic = s.add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(
+    let nic = s.add_device(NicDevice::new(Some(OnOffPoisson::continuous(
         Nanos::from_ms(2),
-    )))));
+    ))));
     let send = s.register_syscall(SyscallService::new("send").blocking_io(nic).not_injectable());
     let sender = s.spawn(TaskSpec::new(
         "sender",

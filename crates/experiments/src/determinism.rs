@@ -91,6 +91,9 @@ pub struct DeterminismResult {
     pub variance_histogram: LatencyHistogram,
     /// Fraction of the loop CPU's time stolen by interrupt-context work.
     pub steal_fraction: f64,
+    /// Simulator events dispatched (throughput accounting).
+    #[serde(default)]
+    pub events: u64,
 }
 
 /// Run the experiment.
@@ -99,8 +102,8 @@ pub fn run_determinism(cfg: &DeterminismConfig) -> DeterminismResult {
     let mut sim = Simulator::new(machine, KernelConfig::new(cfg.variant), cfg.seed);
 
     // Devices: the NIC carrying the scp traffic, the disk under disknoise.
-    let nic = sim.add_device(Box::new(NicDevice::new(Some(scp_nic_profile()))));
-    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    let nic = sim.add_device(NicDevice::new(Some(scp_nic_profile())));
+    let disk = sim.add_device(DiskDevice::new());
     let _ = nic;
 
     // §5.1 background load.
@@ -152,6 +155,7 @@ pub fn run_determinism(cfg: &DeterminismConfig) -> DeterminismResult {
         summary: series.summary(),
         variance_histogram: series.variance_histogram(),
         steal_fraction,
+        events: sim.events_dispatched(),
     }
 }
 

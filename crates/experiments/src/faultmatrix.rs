@@ -20,7 +20,7 @@
 
 use crate::scenario::{reshield_transient_scenario, run_scenario, RecoveryReport};
 use serde::{Deserialize, Serialize};
-use simcore::{Instant, Nanos};
+use simcore::Nanos;
 use sp_core::ShieldPlan;
 use sp_devices::{DiskDevice, GpuDevice, NicDevice, OnOffPoisson, RcimDevice, RtcDevice};
 use sp_hw::{CpuId, CpuMask, MachineConfig};
@@ -53,11 +53,14 @@ impl FaultMatrixConfig {
         FaultMatrixConfig { samples_per_cell: 40_000, shards: 1, seed: 0xFA17_5EED }
     }
 
-    /// Scale the per-cell sample budget (the bench `scale` argument).
+    /// Scale the per-cell sample budget (the bench `scale` argument). The
+    /// floor keeps enough faulted samples per cell for the heavy-tailed
+    /// injectors (pareto softirq bursts, exponential storm gaps) to express
+    /// their worst case, which the degradation band measures.
     pub fn scaled(scale: f64) -> Self {
         let full = Self::full();
         FaultMatrixConfig {
-            samples_per_cell: ((full.samples_per_cell as f64 * scale) as u64).max(600),
+            samples_per_cell: ((full.samples_per_cell as f64 * scale) as u64).max(4_000),
             ..full
         }
     }
@@ -171,14 +174,19 @@ impl FaultMatrixReport {
     }
 }
 
-/// One independent simulation of one cell.
-fn run_cell_shard(
+/// Build one matrix simulation for a `(path, shielded)` group: full paper
+/// workload, the measured task pinned + watched, shield or IRQ affinity
+/// applied, and **every** matrix fault registered (disarmed). Registering
+/// the whole arsenal in every cell keeps the builds structurally identical —
+/// a warm [`sp_kernel::Checkpoint`] taken in one cell restores into any
+/// sibling cell's simulator — and a disarmed injector costs the hot loop
+/// nothing (its device schedules no events until armed).
+fn build_cell_sim(
     path: MatrixPath,
-    fault: Option<&FaultSpec>,
+    faults: &[FaultSpec],
     shielded: bool,
     seed: u64,
-    samples: u64,
-) -> (LatencyHistogram, u64) {
+) -> (Simulator, Armory, sp_kernel::Pid) {
     let (machine, variant) = match path {
         MatrixPath::Realfeel => (MachineConfig::dual_xeon_p3(), KernelVariant::RedHawk),
         MatrixPath::Rcim => (MachineConfig::dual_xeon_p4_2ghz(), KernelVariant::RedHawk),
@@ -187,29 +195,28 @@ fn run_cell_shard(
 
     let measured_dev = match path {
         MatrixPath::Realfeel => {
-            let rtc = sim.add_device(Box::new(RtcDevice::new(2048)));
-            let nic = sim.add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(
+            let rtc = sim.add_device(RtcDevice::new(2048));
+            let nic = sim.add_device(NicDevice::new(Some(OnOffPoisson::continuous(
                 Nanos::from_ms(20),
-            )))));
-            let disk = sim.add_device(Box::new(DiskDevice::new()));
+            ))));
+            let disk = sim.add_device(DiskDevice::new());
             stress_kernel(&mut sim, StressDevices { nic, disk });
             rtc
         }
         MatrixPath::Rcim => {
-            let rcim = sim.add_device(Box::new(RcimDevice::new(Nanos::from_ms(1))));
-            let nic = sim.add_device(Box::new(NicDevice::new(Some(ttcp_ethernet_profile()))));
-            let disk = sim.add_device(Box::new(DiskDevice::new()));
-            sim.add_device(Box::new(GpuDevice::x11perf()));
+            let rcim = sim.add_device(RcimDevice::new(Nanos::from_ms(1)));
+            let nic = sim.add_device(NicDevice::new(Some(ttcp_ethernet_profile())));
+            let disk = sim.add_device(DiskDevice::new());
+            sim.add_device(GpuDevice::x11perf());
             stress_kernel(&mut sim, StressDevices { nic, disk });
             x11perf_driver(&mut sim);
             rcim
         }
     };
 
-    let fault = fault.map(|f| cell_fault(f, shielded));
     let mut armory = Armory::new();
-    if let Some(f) = &fault {
-        armory.register(&mut sim, f).expect("fault registers");
+    for f in faults {
+        armory.register(&mut sim, &cell_fault(f, shielded)).expect("fault registers");
     }
 
     let api = match path {
@@ -236,30 +243,31 @@ fn run_cell_shard(
         sim.set_irq_affinity(measured_dev, CpuMask::single(MEASURED_CPU))
             .expect("irq affinity");
     }
-    if let Some(f) = &fault {
-        armory.arm(&mut sim, &f.name).expect("arm");
-    }
+    (sim, armory, pid)
+}
 
+/// Advance `sim` until the measured task has `samples` latency samples in
+/// total (warm-up samples restored from a checkpoint count toward the
+/// total). The starvation deadline is relative to the current instant so it
+/// works for both cold starts and mid-run forks; it is generous because
+/// faulted unshielded cells legitimately lose long stretches to the
+/// injector.
+fn collect_cell_samples(sim: &mut Simulator, pid: sp_kernel::Pid, path: MatrixPath, samples: u64) {
     let period = path.period();
-    let chunk = period * 16_384;
-    // Generous starvation deadline: faulted unshielded cells legitimately
-    // lose long stretches to the injector.
-    let deadline = Instant::ZERO + period.scale(64.0 * samples as f64);
-    while (sim.obs.latencies(pid).len() as u64) < samples {
-        assert!(
-            sim.now() < deadline,
-            "{} cell starved: {} samples",
-            path.name(),
-            sim.obs.latencies(pid).len()
-        );
+    let deadline = sim.now() + period.scale(64.0 * samples as f64);
+    loop {
+        let have = sim.obs.latencies(pid).len() as u64;
+        if have >= samples {
+            break;
+        }
+        assert!(sim.now() < deadline, "{} cell starved: {have} samples", path.name());
+        // Chunk size tracks the remaining budget (the healthy waiter samples
+        // about once per period) so small-budget runs don't overshoot by a
+        // whole maximum-size chunk. Chunking cannot affect the trajectory —
+        // it only decides where the event loop pauses.
+        let chunk = period * (samples - have).clamp(512, 16_384);
         sim.run_for(chunk);
     }
-
-    let mut histogram = LatencyHistogram::new();
-    for &l in sim.obs.latencies(pid) {
-        histogram.record(l);
-    }
-    (histogram, sim.events_dispatched())
 }
 
 /// Per-cell fault adaptation: task faults pin onto the measured CPU in the
@@ -280,62 +288,105 @@ fn cell_fault(spec: &FaultSpec, shielded: bool) -> FaultSpec {
     out
 }
 
-/// Deterministic per-cell root seed (cells are independent experiments; each
-/// then applies the PR-1 shard-seed contract internally).
+/// Deterministic per-group root seed (groups are independent experiments;
+/// each then applies the PR-1 shard-seed contract internally).
 fn cell_seed(base: u64, index: u64) -> u64 {
     base ^ (index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
-fn run_cell(
+/// Run all six cells of one `(path, shielded)` group — baseline + every
+/// fault — from shared warm checkpoints.
+///
+/// Per shard, one simulation is built and warmed (fault-free) to a quarter
+/// of the shard budget and checkpointed; every cell then forks from that
+/// checkpoint, arms its fault (baseline arms nothing), and runs on to the
+/// full budget. The warm-up is paid once per shard instead of once per cell,
+/// and all `cells × shards` forks run in parallel threads. Warm-up samples
+/// count toward every cell's histogram; they are drawn under exactly the
+/// cell's no-fault conditions, so the baseline percentiles the bands compare
+/// against are unaffected and the faulted cells' worst cases still come from
+/// their faulted stretches.
+fn run_path_group(
     cfg: &FaultMatrixConfig,
-    index: u64,
+    group_index: u64,
     path: MatrixPath,
-    fault: Option<&FaultSpec>,
+    faults: &[FaultSpec],
     shielded: bool,
-) -> MatrixCell {
-    let seed = cell_seed(cfg.seed, index);
-    let shards = crate::shard::effective_shards(cfg.shards, cfg.samples_per_cell);
-    let outputs: Vec<(LatencyHistogram, u64)> = if shards <= 1 {
-        vec![run_cell_shard(path, fault, shielded, seed, cfg.samples_per_cell)]
-    } else {
-        let seeds = crate::shard::shard_seeds(seed, shards);
-        let budgets = crate::shard::split_samples(cfg.samples_per_cell, shards);
-        crate::shard::run_indexed(shards as usize, |i| {
-            run_cell_shard(path, fault, shielded, seeds[i], budgets[i])
+) -> Vec<MatrixCell> {
+    let group_seed = cell_seed(cfg.seed, group_index);
+    let shards = crate::shard::effective_shards(cfg.shards, cfg.samples_per_cell) as usize;
+    let seeds = crate::shard::shard_seeds(group_seed, shards as u32);
+    let budgets = crate::shard::split_samples(cfg.samples_per_cell, shards as u32);
+
+    let checkpoints: Vec<(sp_kernel::Checkpoint, u64, u64)> = (0..shards)
+        .map(|i| {
+            let (mut sim, _armory, pid) = build_cell_sim(path, faults, shielded, seeds[i]);
+            collect_cell_samples(&mut sim, pid, path, budgets[i] / 4);
+            let warm_len = sim.obs.latencies(pid).len() as u64;
+            (sim.checkpoint(), sim.events_dispatched(), warm_len)
         })
-    };
-    let mut histogram = LatencyHistogram::new();
-    let mut events = 0u64;
-    for (h, e) in &outputs {
-        histogram.merge(h);
-        events += e;
-    }
-    MatrixCell {
-        fault: fault.map_or_else(|| "baseline".into(), |f| f.name.clone()),
-        path: path.name().into(),
-        shielded,
-        summary: LatencySummary::from_histogram(&histogram),
-        events,
-    }
+        .collect();
+
+    let cell_count = faults.len() + 1;
+    let outputs = crate::shard::run_indexed(cell_count * shards, |j| {
+        let cell = j / shards;
+        let shard = j % shards;
+        let fault = if cell == 0 { None } else { Some(&faults[cell - 1]) };
+        let (ck, warm_events, warm_len) = &checkpoints[shard];
+
+        let (mut sim, mut armory, pid) = build_cell_sim(path, faults, shielded, seeds[shard]);
+        sim.restore(ck);
+        if let Some(f) = fault {
+            armory.arm(&mut sim, &f.name).expect("arm");
+        }
+        // Post-fork target: the remaining three quarters of the budget on top
+        // of whatever the warm-up actually collected, so every cell samples
+        // its faulted regime even when the warm-up overshot its quarter.
+        let target = warm_len + (budgets[shard] - budgets[shard] / 4);
+        collect_cell_samples(&mut sim, pid, path, target);
+
+        let mut histogram = LatencyHistogram::new();
+        for &l in sim.obs.latencies(pid) {
+            histogram.record(l);
+        }
+        // The shared warm-up's event work is accounted to the baseline cell
+        // only, so group event totals are not inflated per fork.
+        let events = sim.events_dispatched() - if cell == 0 { 0 } else { *warm_events };
+        (histogram, events)
+    });
+
+    (0..cell_count)
+        .map(|cell| {
+            let mut histogram = LatencyHistogram::new();
+            let mut events = 0u64;
+            for shard in 0..shards {
+                let (h, e) = &outputs[cell * shards + shard];
+                histogram.merge(h);
+                events += e;
+            }
+            MatrixCell {
+                fault: if cell == 0 { "baseline".into() } else { faults[cell - 1].name.clone() },
+                path: path.name().into(),
+                shielded,
+                summary: LatencySummary::from_histogram(&histogram),
+                events,
+            }
+        })
+        .collect()
 }
 
 /// Run the full matrix: `(1 baseline + 5 faults) × 2 paths × 2 shield
 /// states` = 24 cells, plus the reshield-transient scenario, then check
-/// every band.
+/// every band. Each `(path, shielded)` group warms once per shard and forks
+/// its six cells from the shared checkpoint (see [`run_path_group`]).
 pub fn run_fault_matrix(cfg: &FaultMatrixConfig) -> FaultMatrixReport {
     let faults = matrix_presets();
     let mut cells = Vec::new();
-    let mut index = 0u64;
+    let mut group = 0u64;
     for path in MatrixPath::ALL {
         for shielded in [true, false] {
-            cells.push(run_cell(cfg, index, path, None, shielded));
-            index += 1;
-        }
-        for f in &faults {
-            for shielded in [true, false] {
-                cells.push(run_cell(cfg, index, path, Some(f), shielded));
-                index += 1;
-            }
+            cells.extend(run_path_group(cfg, group, path, &faults, shielded));
+            group += 1;
         }
     }
 
@@ -420,15 +471,47 @@ mod tests {
         );
     }
 
+    /// The warm-fork group path is deterministic: two runs of the same group
+    /// produce bit-identical summaries and event counts for all six cells.
     #[test]
-    fn sharded_cells_reproduce_unsharded_cells() {
-        let cfg = FaultMatrixConfig { samples_per_cell: 2_000, shards: 1, seed: 0xFA17_5EED };
-        let a = run_cell(&cfg, 3, MatrixPath::Rcim, None, true);
-        let b = run_cell(&cfg, 3, MatrixPath::Rcim, None, true);
+    fn forked_groups_are_deterministic_across_runs() {
+        let cfg = FaultMatrixConfig { samples_per_cell: 1_200, shards: 1, seed: 0xFA17_5EED };
+        let faults = matrix_presets();
+        let a = run_path_group(&cfg, 1, MatrixPath::Rcim, &faults, true);
+        let b = run_path_group(&cfg, 1, MatrixPath::Rcim, &faults, true);
+        assert_eq!(a.len(), faults.len() + 1);
         assert_eq!(
-            serde_json::to_string(&a.summary).unwrap(),
-            serde_json::to_string(&b.summary).unwrap()
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
         );
-        assert_eq!(a.events, b.events);
+    }
+
+    /// Tentpole acceptance: a cell forked from a warm checkpoint — rebuild,
+    /// restore, arm — is bit-identical to continuing the warm simulation and
+    /// arming the same fault there, latencies, clock and event count alike.
+    #[test]
+    fn forked_cell_is_bit_identical_to_continuing_the_warm_sim() {
+        let faults = matrix_presets();
+        let seed = 0xFA17_5EED;
+        let path = MatrixPath::Realfeel;
+
+        let (mut warm, mut warm_armory, pid) = build_cell_sim(path, &faults, false, seed);
+        collect_cell_samples(&mut warm, pid, path, 400);
+        let ck = warm.checkpoint();
+
+        let (mut fork, mut fork_armory, fork_pid) = build_cell_sim(path, &faults, false, seed);
+        fork.restore(&ck);
+        assert_eq!(fork_pid, pid);
+        assert_eq!(fork.now(), warm.now());
+
+        let name = &faults[0].name;
+        warm_armory.arm(&mut warm, name).expect("arm warm");
+        fork_armory.arm(&mut fork, name).expect("arm fork");
+        collect_cell_samples(&mut warm, pid, path, 1_200);
+        collect_cell_samples(&mut fork, fork_pid, path, 1_200);
+
+        assert_eq!(warm.now(), fork.now());
+        assert_eq!(warm.events_dispatched(), fork.events_dispatched());
+        assert_eq!(warm.obs.latencies(pid), fork.obs.latencies(fork_pid));
     }
 }

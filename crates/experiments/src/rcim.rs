@@ -8,7 +8,7 @@
 //! min 11 µs / avg 11.3 µs / max 27 µs over 59 million interrupts.
 
 use serde::{Deserialize, Serialize};
-use simcore::{Instant, Nanos};
+use simcore::Nanos;
 use sp_core::ShieldPlan;
 use sp_devices::{DiskDevice, GpuDevice, NicDevice, RcimDevice};
 use sp_hw::{CpuId, CpuMask, MachineConfig};
@@ -96,16 +96,18 @@ pub struct RcimResult {
     pub events: u64,
 }
 
-/// Run one independent simulation with an explicit seed and sample budget.
-fn run_rcim_shard(cfg: &RcimConfig, seed: u64, samples: u64) -> (LatencyHistogram, u64) {
+/// Build a ready-to-sample RCIM simulation: devices, stress kernel + X11perf,
+/// the measured ioctl waiter, shield applied. Deterministic per `(cfg, seed)`
+/// so warm-checkpoint forks can rebuild an interchangeable simulator.
+fn build_rcim_sim(cfg: &RcimConfig, seed: u64) -> (Simulator, sp_kernel::Pid) {
     let machine = MachineConfig::dual_xeon_p4_2ghz();
     let mut sim = Simulator::new(machine, KernelConfig::new(cfg.variant), seed);
 
-    let rcim = sim.add_device(Box::new(RcimDevice::new(cfg.period)));
+    let rcim = sim.add_device(RcimDevice::new(cfg.period));
     // §6.3 load: ttcp across a real 10BaseT link + graphics.
-    let nic = sim.add_device(Box::new(NicDevice::new(Some(ttcp_ethernet_profile()))));
-    let disk = sim.add_device(Box::new(DiskDevice::new()));
-    sim.add_device(Box::new(GpuDevice::x11perf()));
+    let nic = sim.add_device(NicDevice::new(Some(ttcp_ethernet_profile())));
+    let disk = sim.add_device(DiskDevice::new());
+    sim.add_device(GpuDevice::x11perf());
 
     stress_kernel(&mut sim, StressDevices { nic, disk });
     x11perf_driver(&mut sim);
@@ -129,13 +131,29 @@ fn run_rcim_shard(cfg: &RcimConfig, seed: u64, samples: u64) -> (LatencyHistogra
             .apply(&mut sim)
             .expect("shield plan");
     }
+    (sim, pid)
+}
 
-    let chunk = cfg.period * 16_384;
-    let deadline = Instant::ZERO + cfg.period.scale(4.0 * samples as f64);
-    while (sim.obs.latencies(pid).len() as u64) < samples {
+/// Advance `sim` until `pid` has recorded at least `samples` latency samples.
+fn collect_samples(sim: &mut Simulator, pid: sp_kernel::Pid, period: Nanos, samples: u64) {
+    let deadline = sim.now() + period.scale(4.0 * samples as f64);
+    loop {
+        let have = sim.obs.latencies(pid).len() as u64;
+        if have >= samples {
+            break;
+        }
         assert!(sim.now() < deadline, "rcim waiter starved");
-        sim.run_for(chunk);
+        // Chunk tracks the remaining budget so warm-ups and small runs don't
+        // overshoot by a whole maximum-size chunk; chunking never affects
+        // the trajectory.
+        sim.run_for(period * (samples - have).clamp(1_024, 16_384));
     }
+}
+
+/// Run one independent simulation with an explicit seed and sample budget.
+fn run_rcim_shard(cfg: &RcimConfig, seed: u64, samples: u64) -> (LatencyHistogram, u64) {
+    let (mut sim, pid) = build_rcim_sim(cfg, seed);
+    collect_samples(&mut sim, pid, cfg.period, samples);
 
     let mut histogram = LatencyHistogram::new();
     for &l in sim.obs.latencies(pid) {
@@ -144,22 +162,51 @@ fn run_rcim_shard(cfg: &RcimConfig, seed: u64, samples: u64) -> (LatencyHistogra
     (histogram, sim.events_dispatched())
 }
 
+/// Warm once on `cfg.seed`, checkpoint, fork per shard with a reseeded RNG.
+/// Same scheme as [`crate::realfeel::run_realfeel`]'s fork path: the build +
+/// warm-up cost is paid once, each fork drops the shared warm-up samples and
+/// reports only its own draws, and fork events are counted as deltas with the
+/// warm-up's work accounted once.
+fn run_rcim_forked(cfg: &RcimConfig, shards: u32) -> Vec<(LatencyHistogram, u64)> {
+    let seeds = crate::shard::shard_seeds(cfg.seed, shards);
+    let budgets = crate::shard::split_samples(cfg.samples, shards);
+
+    let (mut warm, pid) = build_rcim_sim(cfg, cfg.seed);
+    let warm_target = (cfg.samples / shards as u64 / 8).clamp(256, 4_096);
+    collect_samples(&mut warm, pid, cfg.period, warm_target);
+    let ck = warm.checkpoint();
+    let warm_events = warm.events_dispatched();
+
+    let mut outputs = crate::shard::run_indexed(shards as usize, |i| {
+        let (mut sim, pid) = build_rcim_sim(cfg, cfg.seed);
+        sim.restore(&ck);
+        sim.reseed(seeds[i]);
+        sim.obs.reset_samples();
+        let fork_events = sim.events_dispatched();
+        collect_samples(&mut sim, pid, cfg.period, budgets[i]);
+
+        let mut histogram = LatencyHistogram::new();
+        for &l in sim.obs.latencies(pid) {
+            histogram.record(l);
+        }
+        (histogram, sim.events_dispatched() - fork_events)
+    });
+    outputs[0].1 += warm_events;
+    outputs
+}
+
 /// Run the experiment.
 ///
 /// Sharding follows the same determinism contract as
 /// [`crate::realfeel::run_realfeel`]: `shards == 1` is the classic
-/// single-simulation path on `cfg.seed`; K > 1 splits the budget across K
-/// forked-seed simulations merged in shard-index order.
+/// single-simulation path on `cfg.seed`; K > 1 warms one simulation,
+/// checkpoints it, and forks K reseeded copies merged in shard-index order.
 pub fn run_rcim(cfg: &RcimConfig) -> RcimResult {
     let shards = crate::shard::effective_shards(cfg.shards, cfg.samples);
     let outputs: Vec<(LatencyHistogram, u64)> = if shards <= 1 {
         vec![run_rcim_shard(cfg, cfg.seed, cfg.samples)]
     } else {
-        let seeds = crate::shard::shard_seeds(cfg.seed, shards);
-        let budgets = crate::shard::split_samples(cfg.samples, shards);
-        crate::shard::run_indexed(shards as usize, |i| {
-            run_rcim_shard(cfg, seeds[i], budgets[i])
-        })
+        run_rcim_forked(cfg, shards)
     };
 
     let mut histogram = LatencyHistogram::new();
@@ -191,8 +238,8 @@ mod tests {
 
     #[test]
     fn bkl_ioctl_path_ruins_the_guarantee() {
-        let free = run_rcim(&RcimConfig::fig7_redhawk_shielded().with_samples(20_000));
-        let bkl = run_rcim(&RcimConfig::fig7_redhawk_shielded().with_bkl().with_samples(20_000));
+        let free = run_rcim(&RcimConfig::fig7_redhawk_shielded().with_samples(33_000));
+        let bkl = run_rcim(&RcimConfig::fig7_redhawk_shielded().with_bkl().with_samples(33_000));
         assert!(
             bkl.summary.max > free.summary.max * 3,
             "BKL max {} vs free max {}",

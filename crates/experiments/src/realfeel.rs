@@ -8,7 +8,7 @@
 //! path's file-layer lock).
 
 use serde::{Deserialize, Serialize};
-use simcore::{Instant, Nanos};
+use simcore::Nanos;
 use sp_core::ShieldPlan;
 use sp_devices::{DiskDevice, NicDevice, OnOffPoisson, RtcDevice};
 use sp_hw::{CpuId, CpuMask, MachineConfig};
@@ -111,18 +111,21 @@ struct ShardOutput {
     events: u64,
 }
 
-/// Run one independent simulation with an explicit seed and sample budget.
-fn run_realfeel_shard(cfg: &RealfeelConfig, seed: u64, samples: u64) -> ShardOutput {
+/// Build a ready-to-sample realfeel simulation: devices, stress kernel, the
+/// measured task, shield applied. Deterministic per `(cfg, seed)`, so two
+/// calls build interchangeable simulators — the property warm-checkpoint
+/// forking relies on.
+fn build_realfeel_sim(cfg: &RealfeelConfig, seed: u64) -> (Simulator, sp_kernel::Pid) {
     let machine = MachineConfig::dual_xeon_p3();
     let mut sim = Simulator::new(machine, KernelConfig::new(cfg.variant), seed);
 
-    let rtc = sim.add_device(Box::new(RtcDevice::new(cfg.rtc_hz)));
+    let rtc = sim.add_device(RtcDevice::new(cfg.rtc_hz));
     // §6.1: no generated Ethernet load, but the box stays on a live network
     // segment handling broadcast traffic.
-    let nic = sim.add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(
+    let nic = sim.add_device(NicDevice::new(Some(OnOffPoisson::continuous(
         Nanos::from_ms(20),
-    )))));
-    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    ))));
+    let disk = sim.add_device(DiskDevice::new());
 
     stress_kernel(&mut sim, StressDevices { nic, disk });
 
@@ -142,14 +145,30 @@ fn run_realfeel_shard(cfg: &RealfeelConfig, seed: u64, samples: u64) -> ShardOut
             .apply(&mut sim)
             .expect("shield plan");
     }
+    (sim, pid)
+}
 
-    let period = Nanos(1_000_000_000 / cfg.rtc_hz as u64);
-    let chunk = period * 32_768;
-    let deadline = Instant::ZERO + period.scale(4.0 * samples as f64);
-    while (sim.obs.latencies(pid).len() as u64) < samples {
-        assert!(sim.now() < deadline, "realfeel starved: {} samples", sim.obs.latencies(pid).len());
-        sim.run_for(chunk);
+/// Advance `sim` until `pid` has recorded at least `samples` latency samples.
+fn collect_samples(sim: &mut Simulator, pid: sp_kernel::Pid, period: Nanos, samples: u64) {
+    let deadline = sim.now() + period.scale(4.0 * samples as f64);
+    loop {
+        let have = sim.obs.latencies(pid).len() as u64;
+        if have >= samples {
+            break;
+        }
+        assert!(sim.now() < deadline, "realfeel starved: {have} samples");
+        // Chunk tracks the remaining budget (realfeel samples about once per
+        // RTC period) so warm-ups and small runs don't overshoot by a whole
+        // maximum-size chunk; chunking never affects the trajectory.
+        sim.run_for(period * (samples - have).clamp(1_024, 32_768));
     }
+}
+
+/// Run one independent simulation with an explicit seed and sample budget.
+fn run_realfeel_shard(cfg: &RealfeelConfig, seed: u64, samples: u64) -> ShardOutput {
+    let (mut sim, pid) = build_realfeel_sim(cfg, seed);
+    let period = Nanos(1_000_000_000 / cfg.rtc_hz as u64);
+    collect_samples(&mut sim, pid, period, samples);
 
     let mut histogram = LatencyHistogram::new();
     for &l in sim.obs.latencies(pid) {
@@ -160,24 +179,60 @@ fn run_realfeel_shard(cfg: &RealfeelConfig, seed: u64, samples: u64) -> ShardOut
     ShardOutput { histogram, overruns, events: sim.events_dispatched() }
 }
 
+/// Warm once, fork per shard. One simulation is built and run to a warm
+/// steady state; its [`Checkpoint`](sp_kernel::Checkpoint) then seeds every
+/// shard, which reseeds its RNG streams with its own shard seed and samples
+/// its budget from there. Shards pay the build + warm-up cost once between
+/// them instead of once each. The warm-up samples were drawn on shared
+/// randomness, so each fork drops them and reports only its own draws.
+fn run_realfeel_forked(cfg: &RealfeelConfig, shards: u32) -> Vec<ShardOutput> {
+    let period = Nanos(1_000_000_000 / cfg.rtc_hz as u64);
+    let seeds = crate::shard::shard_seeds(cfg.seed, shards);
+    let budgets = crate::shard::split_samples(cfg.samples, shards);
+
+    let (mut warm, pid) = build_realfeel_sim(cfg, cfg.seed);
+    let warm_target = (cfg.samples / shards as u64 / 8).clamp(256, 4_096);
+    collect_samples(&mut warm, pid, period, warm_target);
+    let ck = warm.checkpoint();
+    let warm_events = warm.events_dispatched();
+
+    let mut outputs = crate::shard::run_indexed(shards as usize, |i| {
+        let (mut sim, pid) = build_realfeel_sim(cfg, cfg.seed);
+        sim.restore(&ck);
+        sim.reseed(seeds[i]);
+        sim.obs.reset_samples();
+        let forked_at = sim.now();
+        let fork_events = sim.events_dispatched();
+        collect_samples(&mut sim, pid, period, budgets[i]);
+
+        let mut histogram = LatencyHistogram::new();
+        for &l in sim.obs.latencies(pid) {
+            histogram.record(l);
+        }
+        let expected = sim.now().since(forked_at).as_ns() / period.as_ns();
+        let overruns = expected.saturating_sub(histogram.count());
+        ShardOutput { histogram, overruns, events: sim.events_dispatched() - fork_events }
+    });
+    // The shared warm-up's event work is real; account it once.
+    outputs[0].events += warm_events;
+    outputs
+}
+
 /// Run the experiment.
 ///
 /// With `cfg.shards == 1` this is the classic single-simulation path seeded
-/// with `cfg.seed`. With `shards = K > 1` the sample budget is split across K
-/// independent simulations whose seeds are forked deterministically from
-/// `cfg.seed` (see [`crate::shard::shard_seeds`]); the shards run on threads
-/// and their histograms are merged in shard-index order, so the output is
-/// bit-for-bit reproducible for a given `(seed, K)`.
+/// with `cfg.seed`. With `shards = K > 1` one simulation is warmed up on
+/// `cfg.seed`, checkpointed, and forked K times (see
+/// [`run_realfeel_forked`]); each fork reseeds from a deterministically
+/// forked shard seed (see [`crate::shard::shard_seeds`]), the forks run on
+/// threads, and their histograms are merged in shard-index order, so the
+/// output is bit-for-bit reproducible for a given `(seed, K)`.
 pub fn run_realfeel(cfg: &RealfeelConfig) -> RealfeelResult {
     let shards = crate::shard::effective_shards(cfg.shards, cfg.samples);
     let outputs: Vec<ShardOutput> = if shards <= 1 {
         vec![run_realfeel_shard(cfg, cfg.seed, cfg.samples)]
     } else {
-        let seeds = crate::shard::shard_seeds(cfg.seed, shards);
-        let budgets = crate::shard::split_samples(cfg.samples, shards);
-        crate::shard::run_indexed(shards as usize, |i| {
-            run_realfeel_shard(cfg, seeds[i], budgets[i])
-        })
+        run_realfeel_forked(cfg, shards)
     };
 
     let mut histogram = LatencyHistogram::new();
@@ -224,21 +279,20 @@ mod tests {
         assert_eq!(via_public.events, direct.events);
     }
 
-    /// The merged result is exactly the shard-wise sum: histogram counts,
-    /// overruns and event totals all add up.
+    /// The merged fork-based result is exactly the shard-wise sum and is
+    /// bit-for-bit reproducible across runs.
     #[test]
     fn merged_totals_equal_sum_of_shard_totals() {
         let cfg = RealfeelConfig::fig6_redhawk_shielded().with_samples(6_000).with_shards(3);
         let merged = run_realfeel(&cfg);
 
-        let seeds = crate::shard::shard_seeds(cfg.seed, 3);
-        let budgets = crate::shard::split_samples(cfg.samples, 3);
+        let outputs = run_realfeel_forked(&cfg, 3);
+        assert_eq!(outputs.len(), 3);
         let mut count = 0u64;
         let mut overruns = 0u64;
         let mut events = 0u64;
         let mut reference = LatencyHistogram::new();
-        for i in 0..3 {
-            let out = run_realfeel_shard(&cfg, seeds[i], budgets[i]);
+        for out in &outputs {
             count += out.histogram.count();
             overruns += out.overruns;
             events += out.events;
@@ -252,6 +306,38 @@ mod tests {
             serde_json::to_string(&merged.histogram).unwrap(),
             serde_json::to_string(&reference).unwrap()
         );
+        // Fork seeds differ from the warm seed, so each shard really sampled
+        // its own randomness rather than replaying the warm stream.
+        assert_ne!(
+            serde_json::to_string(&outputs[0].histogram).unwrap(),
+            serde_json::to_string(&outputs[1].histogram).unwrap()
+        );
+    }
+
+    /// Tentpole acceptance: a fork restored from a warm checkpoint and run
+    /// forward (same RNG streams) is bit-identical to just continuing the
+    /// warm simulation — the full fig-6 workload round-trips through
+    /// `checkpoint()`/`restore()` without observable drift.
+    #[test]
+    fn forked_run_is_bit_identical_to_continuing_the_warm_sim() {
+        let cfg = RealfeelConfig::fig6_redhawk_shielded().with_samples(4_000);
+        let period = Nanos(1_000_000_000 / cfg.rtc_hz as u64);
+
+        let (mut warm, pid) = build_realfeel_sim(&cfg, cfg.seed);
+        collect_samples(&mut warm, pid, period, 1_000);
+        let ck = warm.checkpoint();
+
+        let (mut fork, fork_pid) = build_realfeel_sim(&cfg, cfg.seed);
+        fork.restore(&ck);
+        assert_eq!(fork_pid, pid);
+        assert_eq!(fork.now(), warm.now());
+
+        collect_samples(&mut warm, pid, period, cfg.samples);
+        collect_samples(&mut fork, fork_pid, period, cfg.samples);
+
+        assert_eq!(warm.now(), fork.now());
+        assert_eq!(warm.events_dispatched(), fork.events_dispatched());
+        assert_eq!(warm.obs.latencies(pid), fork.obs.latencies(fork_pid));
     }
 
     #[test]

@@ -386,15 +386,15 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError
     let mut devices: HashMap<String, DeviceId> = HashMap::new();
     for d in &spec.devices {
         let id = match &d.kind {
-            DeviceKind::Rtc { hz } => sim.add_device(Box::new(RtcDevice::new(*hz))),
+            DeviceKind::Rtc { hz } => sim.add_device(RtcDevice::new(*hz)),
             DeviceKind::Rcim { period_us } => {
-                sim.add_device(Box::new(RcimDevice::new(Nanos::from_us(*period_us))))
+                sim.add_device(RcimDevice::new(Nanos::from_us(*period_us)))
             }
             DeviceKind::Nic { external } => {
-                sim.add_device(Box::new(NicDevice::new(external.clone())))
+                sim.add_device(NicDevice::new(external.clone()))
             }
-            DeviceKind::Disk => sim.add_device(Box::new(DiskDevice::new())),
-            DeviceKind::GpuX11perf => sim.add_device(Box::new(GpuDevice::x11perf())),
+            DeviceKind::Disk => sim.add_device(DiskDevice::new()),
+            DeviceKind::GpuX11perf => sim.add_device(GpuDevice::x11perf()),
         };
         if devices.insert(d.name.clone(), id).is_some() {
             return Err(ScenarioError::DuplicateName(d.name.clone()));

@@ -135,7 +135,7 @@ impl Armory {
         if sim.device_by_line(line).is_some() {
             return Err(InjectError::LineInUse(line.0));
         }
-        Ok(sim.add_device(Box::new(dev)))
+        Ok(sim.add_device(dev))
     }
 
     /// Arm a registered fault. Device faults start asserting; task faults

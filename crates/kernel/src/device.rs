@@ -4,11 +4,14 @@
 //! (timer expiries, packet arrivals, I/O completions), (b) assert their IRQ
 //! line, and (c) tell the kernel what their ISR found: which sleeping tasks
 //! to wake and how much bottom-half work to raise. Concrete devices (RTC,
-//! RCIM, NIC, disk, GPU) live in the `sp-devices` crate.
+//! RCIM, NIC, disk, GPU, fault injectors) live in [`crate::devices`] and are
+//! dispatched through the closed [`crate::devices::AnyDevice`] enum; foreign
+//! implementations ride along in its `Custom` variant.
 
 use crate::ids::{Pid, SoftirqClass};
 use simcore::{DurationDist, Instant, Nanos, SimRng};
 use sp_hw::IrqLine;
+use std::collections::VecDeque;
 
 /// Deferred commands a device issues during a callback; the simulator
 /// executes them when the callback returns (the device is temporarily
@@ -28,8 +31,17 @@ pub(crate) enum DeviceCmd {
 }
 
 impl DeviceCtx {
-    pub(crate) fn new(now: Instant) -> Self {
-        DeviceCtx { now, commands: Vec::new() }
+    /// Build a context around a recycled command buffer so the dispatch hot
+    /// loop doesn't allocate a fresh `Vec` per device callback. The buffer
+    /// is handed back (drained) via [`DeviceCtx::recycle`].
+    pub(crate) fn with_buffer(now: Instant, mut buf: Vec<DeviceCmd>) -> Self {
+        buf.clear();
+        DeviceCtx { now, commands: buf }
+    }
+
+    /// Take the (already drained) buffer back for reuse.
+    pub(crate) fn recycle(self) -> Vec<DeviceCmd> {
+        self.commands
     }
 
     /// Current virtual time.
@@ -77,6 +89,70 @@ impl IsrOutcome {
     }
 }
 
+/// Serialized mutable device state, captured by [`Device::snapshot`] and
+/// re-applied by [`Device::restore`] — the device half of a simulator
+/// [`crate::Checkpoint`].
+///
+/// The format is a flat word stream: each device pushes its mutable fields
+/// in a fixed order and reads them back in the same order. Immutable
+/// configuration (periods, distributions, lines) is *not* captured — a
+/// checkpoint is only ever restored into a simulator built from the same
+/// configuration, so only the evolving state needs to travel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceState {
+    words: Vec<u64>,
+}
+
+impl DeviceState {
+    pub fn push(&mut self, w: u64) {
+        self.words.push(w);
+    }
+
+    pub fn push_bool(&mut self, b: bool) {
+        self.words.push(b as u64);
+    }
+
+    /// Length-prefixed pid sequence (order-preserving).
+    pub fn push_pids<'a>(&mut self, pids: impl ExactSizeIterator<Item = &'a Pid>) {
+        self.words.push(pids.len() as u64);
+        for p in pids {
+            self.words.push(p.0 as u64);
+        }
+    }
+
+    pub fn reader(&self) -> DeviceStateReader<'_> {
+        DeviceStateReader { words: &self.words, pos: 0 }
+    }
+}
+
+/// Cursor over a [`DeviceState`] word stream; reads must mirror the pushes.
+pub struct DeviceStateReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl DeviceStateReader<'_> {
+    pub fn next_u64(&mut self) -> u64 {
+        let w = self.words[self.pos];
+        self.pos += 1;
+        w
+    }
+
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() != 0
+    }
+
+    pub fn next_pids(&mut self) -> Vec<Pid> {
+        let n = self.next_u64() as usize;
+        (0..n).map(|_| Pid(self.next_u64() as u32)).collect()
+    }
+
+    pub fn next_pid_queue(&mut self) -> VecDeque<Pid> {
+        let n = self.next_u64() as usize;
+        (0..n).map(|_| Pid(self.next_u64() as u32)).collect()
+    }
+}
+
 /// A simulated interrupt-driven device.
 pub trait Device: std::fmt::Debug + Send {
     fn name(&self) -> &str;
@@ -119,13 +195,29 @@ pub trait Device: std::fmt::Debug + Send {
     /// sent a control message (or is disarmed) contributes no events and the
     /// dispatch hot loop pays nothing for the hook's existence.
     fn control(&mut self, _cmd: u64, _ctx: &mut DeviceCtx, _rng: &mut SimRng) {}
+
+    /// Capture all mutable device state for a simulator checkpoint. The
+    /// default (empty) snapshot is only correct for stateless devices;
+    /// devices with counters, queues or phase state must override both this
+    /// and [`Device::restore`] or a restored run will diverge.
+    fn snapshot(&self) -> DeviceState {
+        DeviceState::default()
+    }
+
+    /// Re-apply state captured by [`Device::snapshot`] on an identically
+    /// configured device.
+    fn restore(&mut self, _state: &DeviceState) {}
 }
 
 /// Handle the simulator keeps per registered device.
 #[derive(Debug)]
 pub(crate) struct DeviceSlot {
     /// `None` only while a callback is in flight (re-entrancy guard).
-    pub dev: Option<Box<dyn Device>>,
+    pub dev: Option<crate::devices::AnyDevice>,
     /// Private random stream so one device's draws don't perturb another's.
     pub rng: SimRng,
+    /// [`Device::reader_exit_work`] cached at registration, so the wake path
+    /// doesn't clone a `DurationDist` (mix/shifted variants heap-allocate)
+    /// on every subscriber wake.
+    pub exit_work: Option<DurationDist>,
 }

@@ -2,9 +2,10 @@
 //! syscalls (`IoSpec`), the controller interrupts on each completion, and the
 //! ISR raises a small block bottom half (request-queue maintenance).
 
+use crate::device::{Device, DeviceCtx, DeviceState, IsrOutcome};
+use crate::ids::{Pid, SoftirqClass};
 use simcore::{DurationDist, Nanos, SimRng};
 use sp_hw::IrqLine;
-use sp_kernel::{Device, DeviceCtx, IsrOutcome, Pid, SoftirqClass};
 use std::collections::VecDeque;
 
 const TAG_COMPLETE: u64 = 0;
@@ -94,6 +95,21 @@ impl Device for DiskDevice {
         }
         out.with_softirq(SoftirqClass::Block, self.bh.sample(rng))
     }
+
+    fn snapshot(&self) -> DeviceState {
+        let mut s = DeviceState::default();
+        s.push_pids(self.queue.iter());
+        s.push_bool(self.busy);
+        s.push(self.completions);
+        s
+    }
+
+    fn restore(&mut self, state: &DeviceState) {
+        let mut r = state.reader();
+        self.queue = r.next_pid_queue();
+        self.busy = r.next_bool();
+        self.completions = r.next_u64();
+    }
 }
 
 #[cfg(test)]
@@ -124,5 +140,21 @@ mod tests {
         let mut ctx = DeviceCtx::default();
         let out = disk.on_isr(&mut ctx, &mut rng);
         assert_eq!(out.softirq.unwrap().0, SoftirqClass::Block);
+    }
+
+    #[test]
+    fn snapshot_round_trips_queue() {
+        let mut disk = DiskDevice::new();
+        let mut rng = SimRng::new(9);
+        let mut ctx = DeviceCtx::default();
+        disk.submit_io(Pid(4), &mut ctx, &mut rng);
+        disk.submit_io(Pid(5), &mut ctx, &mut rng);
+        let snap = disk.snapshot();
+
+        let mut other = DiskDevice::new();
+        other.restore(&snap);
+        assert!(other.busy);
+        assert_eq!(other.on_isr(&mut ctx, &mut rng).wake, vec![Pid(4)]);
+        assert_eq!(other.on_isr(&mut ctx, &mut rng).wake, vec![Pid(5)]);
     }
 }

@@ -9,10 +9,11 @@
 //! * **local I/O** — tasks that block in `send()` are completed by a later
 //!   TX interrupt.
 
-use crate::profile::{OnOffPoisson, OnOffState};
+use super::profile::{OnOffPoisson, OnOffState};
+use crate::device::{Device, DeviceCtx, DeviceState, IsrOutcome};
+use crate::ids::{Pid, SoftirqClass};
 use simcore::{DurationDist, Nanos, SimRng};
 use sp_hw::IrqLine;
-use sp_kernel::{Device, DeviceCtx, IsrOutcome, Pid, SoftirqClass};
 use std::collections::VecDeque;
 
 const TAG_PHASE: u64 = 0;
@@ -138,6 +139,25 @@ impl Device for NicDevice {
         // RX: protocol processing for the coalesced batch.
         out.with_softirq(SoftirqClass::NetRx, self.rx_softirq.sample(rng))
     }
+
+    fn snapshot(&self) -> DeviceState {
+        let mut s = DeviceState::default();
+        s.push_bool(self.state.on);
+        s.push_pids(self.tx_waiters.iter());
+        s.push(self.tx_done_pending as u64);
+        s.push(self.rx_irqs);
+        s.push(self.tx_irqs);
+        s
+    }
+
+    fn restore(&mut self, state: &DeviceState) {
+        let mut r = state.reader();
+        self.state.on = r.next_bool();
+        self.tx_waiters = r.next_pid_queue();
+        self.tx_done_pending = r.next_u64() as u32;
+        self.rx_irqs = r.next_u64();
+        self.tx_irqs = r.next_u64();
+    }
 }
 
 #[cfg(test)]
@@ -238,5 +258,24 @@ mod tests {
             .unwrap();
         assert!(max > Nanos::from_ms(1), "tail burst: {max}");
         assert!(max <= Nanos::from_ms(3));
+    }
+
+    #[test]
+    fn snapshot_round_trips_waiters_and_phase() {
+        let mut nic = NicDevice::new(Some(OnOffPoisson::continuous(Nanos::from_ms(1))));
+        let mut rng = SimRng::new(9);
+        let mut ctx = DeviceCtx::default();
+        nic.on_timer(TAG_PHASE, &mut ctx, &mut rng); // flips ON
+        nic.submit_io(Pid(1), &mut ctx, &mut rng);
+        nic.submit_io(Pid(2), &mut ctx, &mut rng);
+        nic.on_timer(TAG_TX_DONE, &mut ctx, &mut rng);
+        let snap = nic.snapshot();
+
+        let mut other = NicDevice::new(Some(OnOffPoisson::continuous(Nanos::from_ms(1))));
+        other.restore(&snap);
+        assert!(other.state.on);
+        assert_eq!(other.tx_done_pending, 1);
+        assert_eq!(other.on_isr(&mut ctx, &mut rng).wake, vec![Pid(1)]);
+        assert_eq!(other.tx_waiters, VecDeque::from([Pid(2)]));
     }
 }

@@ -14,7 +14,7 @@ use simcore::{DurationDist, Nanos, SimRng};
 ///
 /// ```
 /// use simcore::{Nanos, SimRng};
-/// use sp_devices::OnOffPoisson;
+/// use sp_kernel::devices::OnOffPoisson;
 ///
 /// // ~2 kHz while a copy is in flight, quiet between copies.
 /// let scp_like = OnOffPoisson::bursty(2_000, Nanos::from_secs(2), Nanos::from_secs(1));

@@ -8,9 +8,11 @@
 //! part of the measured path: we model it (plus the driver's return path) as
 //! [`Device::reader_exit_work`].
 
+use super::profile::{OnOffPoisson, OnOffState};
+use crate::device::{Device, DeviceCtx, DeviceState, IsrOutcome};
+use crate::ids::Pid;
 use simcore::{DurationDist, Nanos, SimRng};
 use sp_hw::IrqLine;
-use sp_kernel::{Device, DeviceCtx, IsrOutcome, Pid};
 
 const TAG_PERIOD: u64 = 0;
 
@@ -96,6 +98,21 @@ impl Device for RcimDevice {
     fn reader_exit_work(&self) -> Option<DurationDist> {
         Some(self.exit_work.clone())
     }
+
+    fn snapshot(&self) -> DeviceState {
+        let mut s = DeviceState::default();
+        s.push_pids(self.subscribers.iter());
+        s.push(self.fired);
+        s.push(self.missed);
+        s
+    }
+
+    fn restore(&mut self, state: &DeviceState) {
+        let mut r = state.reader();
+        self.subscribers = r.next_pids();
+        self.fired = r.next_u64();
+        self.missed = r.next_u64();
+    }
 }
 
 /// The RCIM's second function (§4): external edge-triggered interrupt
@@ -105,8 +122,8 @@ impl Device for RcimDevice {
 #[derive(Debug)]
 pub struct RcimExternalInput {
     line: IrqLine,
-    edges: crate::profile::OnOffPoisson,
-    state: crate::profile::OnOffState,
+    edges: OnOffPoisson,
+    state: OnOffState,
     subscribers: Vec<Pid>,
     isr: DurationDist,
     exit_work: DurationDist,
@@ -120,11 +137,11 @@ const EXT_TAG_EDGE: u64 = 11;
 impl RcimExternalInput {
     /// An input on its own RCIM line (the card exposes several; pick a
     /// distinct line per input).
-    pub fn new(line: IrqLine, edges: crate::profile::OnOffPoisson) -> Self {
+    pub fn new(line: IrqLine, edges: OnOffPoisson) -> Self {
         RcimExternalInput {
             line,
             edges,
-            state: crate::profile::OnOffState::default(),
+            state: OnOffState::default(),
             subscribers: Vec::new(),
             isr: DurationDist::shifted(
                 Nanos::from_ns(4_000),
@@ -199,6 +216,23 @@ impl Device for RcimExternalInput {
     fn reader_exit_work(&self) -> Option<DurationDist> {
         Some(self.exit_work.clone())
     }
+
+    fn snapshot(&self) -> DeviceState {
+        let mut s = DeviceState::default();
+        s.push_bool(self.state.on);
+        s.push_pids(self.subscribers.iter());
+        s.push(self.edges_seen);
+        s.push(self.missed);
+        s
+    }
+
+    fn restore(&mut self, state: &DeviceState) {
+        let mut r = state.reader();
+        self.state.on = r.next_bool();
+        self.subscribers = r.next_pids();
+        self.edges_seen = r.next_u64();
+        self.missed = r.next_u64();
+    }
 }
 
 #[cfg(test)]
@@ -236,7 +270,6 @@ mod tests {
 
     #[test]
     fn external_input_counts_edges_and_misses() {
-        use crate::profile::OnOffPoisson;
         let mut dev =
             RcimExternalInput::new(IrqLine(21), OnOffPoisson::continuous(Nanos::from_ms(1)));
         let mut rng = SimRng::new(3);
@@ -246,5 +279,27 @@ mod tests {
         assert_eq!(out.wake, vec![Pid(4)]);
         assert!(dev.on_isr(&mut ctx, &mut rng).wake.is_empty());
         assert_eq!(dev.missed, 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_both_rcim_shapes() {
+        let mut timer = RcimDevice::new(Nanos::from_ms(1));
+        timer.subscribe(Pid(2));
+        timer.fired = 7;
+        let mut other = RcimDevice::new(Nanos::from_ms(1));
+        other.restore(&timer.snapshot());
+        assert_eq!(other.fired, 7);
+
+        let mut ext =
+            RcimExternalInput::new(IrqLine(21), OnOffPoisson::continuous(Nanos::from_ms(1)));
+        ext.state.on = true;
+        ext.edges_seen = 3;
+        ext.subscribe(Pid(9));
+        let mut other =
+            RcimExternalInput::new(IrqLine(21), OnOffPoisson::continuous(Nanos::from_ms(1)));
+        other.restore(&ext.snapshot());
+        assert!(other.state.on);
+        assert_eq!(other.edges_seen, 3);
+        assert_eq!(other.subscribers, vec![Pid(9)]);
     }
 }

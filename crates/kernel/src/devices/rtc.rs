@@ -2,8 +2,9 @@
 //! benchmark (§6.1): programmed for periodic interrupts at 2048 Hz, consumed
 //! through `read()` on `/dev/rtc`.
 
+use crate::device::{Device, DeviceCtx, DeviceState, IsrOutcome};
+use crate::ids::Pid;
 use simcore::{DurationDist, Nanos, SimRng};
-use sp_kernel::{Device, DeviceCtx, IsrOutcome, Pid};
 use sp_hw::IrqLine;
 
 const TAG_PERIOD: u64 = 0;
@@ -81,6 +82,21 @@ impl Device for RtcDevice {
         }
         IsrOutcome { wake: std::mem::take(&mut self.subscribers), softirq: None }
     }
+
+    fn snapshot(&self) -> DeviceState {
+        let mut s = DeviceState::default();
+        s.push_pids(self.subscribers.iter());
+        s.push(self.fired);
+        s.push(self.missed);
+        s
+    }
+
+    fn restore(&mut self, state: &DeviceState) {
+        let mut r = state.reader();
+        self.subscribers = r.next_pids();
+        self.fired = r.next_u64();
+        self.missed = r.next_u64();
+    }
 }
 
 #[cfg(test)]
@@ -121,5 +137,23 @@ mod tests {
             let c = rtc.isr_cost(&mut rng);
             assert!(c >= Nanos(1_900) && c <= Nanos(4_800), "{c}");
         }
+    }
+
+    #[test]
+    fn snapshot_round_trips_counters_and_subscribers() {
+        let mut rtc = RtcDevice::new(2048);
+        let mut rng = SimRng::new(3);
+        let mut ctx = DeviceCtx::default();
+        rtc.subscribe(Pid(3));
+        rtc.subscribe(Pid(7));
+        rtc.on_timer(TAG_PERIOD, &mut ctx, &mut rng);
+        let snap = rtc.snapshot();
+
+        let mut other = RtcDevice::new(2048);
+        other.restore(&snap);
+        assert_eq!(other.fired, 1);
+        assert_eq!(other.missed, 0);
+        let out = other.on_isr(&mut ctx, &mut rng);
+        assert_eq!(out.wake, vec![Pid(3), Pid(7)]);
     }
 }

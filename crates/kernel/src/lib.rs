@@ -14,10 +14,11 @@
 //! * the in-kernel shielding mechanism ([`shieldctl`]).
 //!
 //! The user-facing shield interface (`/proc/shield`) lives in `sp-core`;
-//! concrete devices live in `sp-devices`; workload generators in
-//! `sp-workloads`.
+//! concrete devices live in [`devices`] (re-exported by `sp-devices`);
+//! workload generators in `sp-workloads`.
 
 pub mod device;
+pub mod devices;
 pub mod ids;
 pub mod kconfig;
 pub mod lock;
@@ -30,13 +31,15 @@ pub mod sim;
 pub mod syscall;
 pub mod task;
 
-pub use device::{Device, DeviceCtx, IsrOutcome};
+pub use device::{Device, DeviceCtx, DeviceState, IsrOutcome};
+pub use devices::AnyDevice;
 pub use ids::{DeviceId, LockId, Pid, SoftirqClass, SyscallId};
 pub use kconfig::{KernelConfig, KernelVariant};
 pub use observe::{CpuAccounting, Observations, WakeBreakdown};
 pub use params::{KernelCosts, SectionProfile};
 pub use program::{Op, Program, WaitApi};
+pub use sched::SchedulerKind;
 pub use shieldctl::{effective_mask, ShieldCtl};
-pub use sim::{IrqInfo, Simulator};
+pub use sim::{Checkpoint, IrqInfo, Simulator};
 pub use syscall::{IoSpec, KernelSegment, SyscallService};
 pub use task::{SchedPolicy, TaskSpec, TaskState};

@@ -66,7 +66,7 @@ impl CpuAccounting {
 }
 
 /// All collectors for one simulation run.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Observations {
     watched_latency: HashMap<Pid, Vec<Nanos>>,
     watched_latency_times: HashMap<Pid, Vec<Instant>>,
@@ -110,6 +110,26 @@ impl Observations {
     /// Start recording per-sample latency breakdowns for `pid`.
     pub fn watch_breakdown(&mut self, pid: Pid) {
         self.watched_breakdown.entry(pid).or_default();
+    }
+
+    /// Drop every recorded sample while keeping the watch registrations.
+    ///
+    /// Used by warm-checkpoint forks that warmed up on shared randomness:
+    /// the fork discards the warm-up samples so only its own (reseeded)
+    /// draws are reported.
+    pub fn reset_samples(&mut self) {
+        for v in self.watched_latency.values_mut() {
+            v.clear();
+        }
+        for v in self.watched_latency_times.values_mut() {
+            v.clear();
+        }
+        for v in self.watched_breakdown.values_mut() {
+            v.clear();
+        }
+        for v in self.watched_laps.values_mut() {
+            v.clear();
+        }
     }
 
     pub(crate) fn wants_breakdown(&self, pid: Pid) -> bool {

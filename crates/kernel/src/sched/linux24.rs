@@ -16,7 +16,7 @@ use simcore::{Nanos, SimRng};
 use sp_hw::CpuId;
 use std::collections::VecDeque;
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Linux24Scheduler {
     /// Queued runnable tasks (global, unordered: order only breaks goodness
     /// ties, where FIFO insertion order applies).

@@ -81,12 +81,89 @@ pub trait Scheduler: std::fmt::Debug + Send {
     fn queued_count(&self) -> usize;
 }
 
+/// The closed set of scheduler implementations. The simulator used to hold a
+/// `Box<dyn Scheduler>`; every wake/pick/tick in the event hot loop then
+/// paid a vtable call. This enum dispatches with a two-way match the
+/// compiler can inline, and is `Clone` so a [`crate::Checkpoint`] can carry
+/// the full run-queue state.
+#[derive(Debug, Clone)]
+pub enum SchedulerKind {
+    Linux24(Linux24Scheduler),
+    O1(O1Scheduler),
+}
+
+macro_rules! sched_dispatch {
+    ($self:ident, $method:ident ( $($arg:expr),* )) => {
+        match $self {
+            SchedulerKind::Linux24(s) => s.$method($($arg),*),
+            SchedulerKind::O1(s) => s.$method($($arg),*),
+        }
+    };
+}
+
+impl Scheduler for SchedulerKind {
+    #[inline]
+    fn on_wake(&mut self, pid: Pid, tasks: &mut [Task], view: &CpuView<'_>) -> Option<CpuId> {
+        sched_dispatch!(self, on_wake(pid, tasks, view))
+    }
+
+    #[inline]
+    fn on_preempt(&mut self, pid: Pid, tasks: &[Task]) {
+        sched_dispatch!(self, on_preempt(pid, tasks))
+    }
+
+    #[inline]
+    fn on_yield(&mut self, pid: Pid, tasks: &[Task]) {
+        sched_dispatch!(self, on_yield(pid, tasks))
+    }
+
+    #[inline]
+    fn on_block(&mut self, pid: Pid) {
+        sched_dispatch!(self, on_block(pid))
+    }
+
+    #[inline]
+    fn pick(&mut self, cpu: CpuId, tasks: &mut [Task]) -> Option<Pid> {
+        sched_dispatch!(self, pick(cpu, tasks))
+    }
+
+    #[inline]
+    fn pick_cost(&self, costs: &KernelCosts, rng: &mut SimRng) -> Nanos {
+        sched_dispatch!(self, pick_cost(costs, rng))
+    }
+
+    #[inline]
+    fn preempts(&self, cand: Pid, cur: Pid, tasks: &[Task]) -> bool {
+        sched_dispatch!(self, preempts(cand, cur, tasks))
+    }
+
+    #[inline]
+    fn on_tick(&mut self, cpu: CpuId, running: Pid, tasks: &mut [Task]) -> bool {
+        sched_dispatch!(self, on_tick(cpu, running, tasks))
+    }
+
+    #[inline]
+    fn on_affinity_change(
+        &mut self,
+        pid: Pid,
+        tasks: &mut [Task],
+        view: &CpuView<'_>,
+    ) -> Option<CpuId> {
+        sched_dispatch!(self, on_affinity_change(pid, tasks, view))
+    }
+
+    #[inline]
+    fn queued_count(&self) -> usize {
+        sched_dispatch!(self, queued_count())
+    }
+}
+
 /// Build the scheduler named by the kernel configuration.
-pub fn build_scheduler(o1: bool, cpus: u32) -> Box<dyn Scheduler> {
+pub fn build_scheduler(o1: bool, cpus: u32) -> SchedulerKind {
     if o1 {
-        Box::new(O1Scheduler::new(cpus))
+        SchedulerKind::O1(O1Scheduler::new(cpus))
     } else {
-        Box::new(Linux24Scheduler::new())
+        SchedulerKind::Linux24(Linux24Scheduler::new())
     }
 }
 

@@ -15,7 +15,7 @@ use sp_hw::CpuId;
 
 const NUM_PRIOS: usize = 140;
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct PrioArray {
     bitmap: [u64; 3],
     queues: Vec<std::collections::VecDeque<Pid>>,
@@ -80,7 +80,7 @@ impl PrioArray {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Runqueue {
     active: PrioArray,
     expired: PrioArray,
@@ -104,7 +104,7 @@ struct Slot {
     expired: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct O1Scheduler {
     rqs: Vec<Runqueue>,
     /// pid -> queue slot, for O(1) removal. Dense by pid.

@@ -10,19 +10,20 @@
 //!
 //! Everything is event-driven and deterministic for a given seed.
 
-use crate::device::{Device, DeviceCmd, DeviceCtx, DeviceSlot};
+use crate::device::{Device, DeviceCmd, DeviceCtx, DeviceSlot, DeviceState};
+use crate::devices::AnyDevice;
 use crate::ids::{DeviceId, LockId, Pid, SoftirqClass, SyscallId};
 use crate::kconfig::KernelConfig;
 use crate::lock::{AcquireResult, LockTable};
 use crate::observe::Observations;
 use crate::program::{Op, WaitApi};
-use crate::sched::{build_scheduler, CpuView, Scheduler};
+use crate::sched::{build_scheduler, CpuView, Scheduler, SchedulerKind};
 use crate::shieldctl::{effective_mask, ShieldCtl};
 use crate::syscall::SyscallService;
 use crate::task::{
     BlockReason, KernelPlan, Phase, PlanEnd, PlannedStep, Task, TaskSpec, TaskState,
 };
-use simcore::{EventKey, EventQueue, Instant, Nanos, SimRng, TraceKind, Tracer};
+use simcore::{EventKey, Instant, Nanos, SimRng, TraceKind, Tracer, WheelQueue};
 use sp_hw::{exec_context, CpuId, CpuMask, IrqRouting, MachineConfig};
 use std::collections::{HashMap, VecDeque};
 
@@ -49,7 +50,7 @@ enum ActKind {
     Switch { to: Pid },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Activity {
     kind: ActKind,
     remaining: Nanos,
@@ -64,7 +65,7 @@ struct PendingIrq {
     asserted: Instant,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CpuSim {
     current: Option<Activity>,
     /// Interrupted activities (task at the bottom, then softirq, then...).
@@ -119,11 +120,11 @@ pub struct Simulator {
     machine: MachineConfig,
     cfg: KernelConfig,
     now: Instant,
-    queue: EventQueue<Ev>,
+    queue: WheelQueue<Ev>,
     rng: SimRng,
     tasks: Vec<Task>,
     cpus: Vec<CpuSim>,
-    sched: Box<dyn Scheduler>,
+    sched: SchedulerKind,
     locks: LockTable,
     devices: Vec<DeviceSlot>,
     line_to_dev: HashMap<u32, DeviceId>,
@@ -147,6 +148,7 @@ pub struct Simulator {
     scratch_running: Vec<Option<Pid>>,
     scratch_idle_since: Vec<u64>,
     scratch_spinners: Vec<Pid>,
+    scratch_cmds: Vec<DeviceCmd>,
 }
 
 impl Simulator {
@@ -159,7 +161,7 @@ impl Simulator {
             machine,
             cfg,
             now: Instant::ZERO,
-            queue: EventQueue::new(),
+            queue: WheelQueue::new(),
             rng: SimRng::new(seed),
             tasks: Vec::new(),
             cpus: (0..n).map(|_| CpuSim::new()).collect(),
@@ -180,6 +182,7 @@ impl Simulator {
             scratch_running: Vec::with_capacity(n),
             scratch_idle_since: Vec::with_capacity(n),
             scratch_spinners: Vec::with_capacity(n),
+            scratch_cmds: Vec::new(),
         }
     }
 
@@ -188,8 +191,13 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     /// Register a device; its IRQ line starts with an all-CPUs affinity.
-    pub fn add_device(&mut self, dev: Box<dyn Device>) -> DeviceId {
+    ///
+    /// Concrete device types convert into [`AnyDevice`] variants whose
+    /// hot-path dispatch is a match, not a vtable call; mock or third-party
+    /// devices go through [`AnyDevice::custom`].
+    pub fn add_device(&mut self, dev: impl Into<AnyDevice>) -> DeviceId {
         assert!(!self.started, "devices must be registered before start()");
+        let dev = dev.into();
         let id = DeviceId(self.devices.len() as u32);
         let line = dev.line();
         assert!(
@@ -205,7 +213,10 @@ impl Simulator {
         ));
         let rng = self.rng.fork(0x1000 + id.0 as u64);
         self.irq_counts.push(vec![0; self.cpus.len()]);
-        self.devices.push(DeviceSlot { dev: Some(dev), rng });
+        // Cached here so every wake-exit plan doesn't re-query (and clone a
+        // distribution out of) the device.
+        let exit_work = dev.reader_exit_work();
+        self.devices.push(DeviceSlot { dev: Some(dev), rng, exit_work });
         id
     }
 
@@ -720,29 +731,35 @@ impl Simulator {
     }
 
     /// Run a device callback with the device detached, then apply commands.
+    /// The command buffer is recycled across callbacks (dispatch stays
+    /// allocation-free).
     fn with_device(
         &mut self,
         dev: DeviceId,
-        f: impl FnOnce(&mut dyn Device, &mut DeviceCtx, &mut SimRng),
+        f: impl FnOnce(&mut AnyDevice, &mut DeviceCtx, &mut SimRng),
     ) {
-        let mut boxed = self.devices[dev.index()].dev.take().expect("device reentrancy");
+        let mut taken = self.devices[dev.index()].dev.take().expect("device reentrancy");
         let mut rng = self.devices[dev.index()].rng.clone();
-        let mut ctx = DeviceCtx::new(self.now);
-        f(boxed.as_mut(), &mut ctx, &mut rng);
-        self.devices[dev.index()].dev = Some(boxed);
+        let mut ctx = DeviceCtx::with_buffer(self.now, std::mem::take(&mut self.scratch_cmds));
+        f(&mut taken, &mut ctx, &mut rng);
+        self.devices[dev.index()].dev = Some(taken);
         self.devices[dev.index()].rng = rng;
-        self.apply_device_commands(dev, ctx);
+        self.apply_device_commands(dev, &mut ctx);
+        self.scratch_cmds = ctx.recycle();
     }
 
-    fn apply_device_commands(&mut self, dev: DeviceId, ctx: DeviceCtx) {
-        for cmd in ctx.commands {
-            match cmd {
+    fn apply_device_commands(&mut self, dev: DeviceId, ctx: &mut DeviceCtx) {
+        // Indexed loop: `assert_irq` re-borrows self mutably, so the buffer
+        // can't be iterated by reference (commands are `Copy`).
+        for i in 0..ctx.commands.len() {
+            match ctx.commands[i] {
                 DeviceCmd::Schedule { delay, tag } => {
                     self.queue.push(self.now + delay, Ev::Device { dev: dev.0, tag });
                 }
                 DeviceCmd::AssertIrq => self.assert_irq(dev),
             }
         }
+        ctx.commands.clear();
     }
 
     fn handle_tick(&mut self, cpu: usize) {
@@ -840,13 +857,14 @@ impl Simulator {
 
     fn finish_isr(&mut self, cpu: usize, dev: DeviceId, asserted: Instant) {
         // ISR body: ask the device what this interrupt meant.
-        let mut boxed = self.devices[dev.index()].dev.take().expect("device reentrancy");
+        let mut taken = self.devices[dev.index()].dev.take().expect("device reentrancy");
         let mut rng = self.devices[dev.index()].rng.clone();
-        let mut ctx = DeviceCtx::new(self.now);
-        let outcome = boxed.on_isr(&mut ctx, &mut rng);
-        self.devices[dev.index()].dev = Some(boxed);
+        let mut ctx = DeviceCtx::with_buffer(self.now, std::mem::take(&mut self.scratch_cmds));
+        let outcome = taken.on_isr(&mut ctx, &mut rng);
+        self.devices[dev.index()].dev = Some(taken);
         self.devices[dev.index()].rng = rng;
-        self.apply_device_commands(dev, ctx);
+        self.apply_device_commands(dev, &mut ctx);
+        self.scratch_cmds = ctx.recycle();
 
         if let Some((class, work)) = outcome.softirq {
             let c = &mut self.cpus[cpu];
@@ -1572,17 +1590,132 @@ impl Simulator {
                 }
             }
         }
-        if let Some(extra) = self.devices[dev.index()]
-            .dev
-            .as_ref()
-            .and_then(|d| d.reader_exit_work())
-        {
+        if let Some(extra) = &self.devices[dev.index()].exit_work {
             let work = extra.sample(&mut self.rng);
             steps.push(PlannedStep { work, lock: None, irqs_off: false });
         }
         steps.push(PlannedStep { work: exit, lock: None, irqs_off: false });
         KernelPlan { syscall: None, steps, cur: 0, then: PlanEnd::CompleteIrqWait }
     }
+
+    // ------------------------------------------------------------------
+    // Warm checkpointing
+    // ------------------------------------------------------------------
+
+    /// Re-fork every RNG stream (main + per-device) from `label`.
+    ///
+    /// Used when forking replication shards from one shared warm
+    /// [`Checkpoint`]: each fork reseeds with its own shard label so the
+    /// forks sample independent draws of the same stationary process
+    /// instead of replaying identical randomness. Deterministic — the same
+    /// label always produces the same streams.
+    pub fn reseed(&mut self, label: u64) {
+        self.rng = SimRng::new(label);
+        for (i, slot) in self.devices.iter_mut().enumerate() {
+            slot.rng = self.rng.fork(0x1000 + i as u64);
+        }
+    }
+
+    /// Freeze the complete mutable state of a started simulation.
+    ///
+    /// The checkpoint captures everything `run_until` can change: virtual
+    /// time, the event queue (with live [`EventKey`]s, so armed timer and
+    /// segment-end handles stay valid), the RNG streams (main + per-device),
+    /// task and CPU state, the scheduler's queues, lock/softirq state, IRQ
+    /// routing and counters, device-internal state (via
+    /// [`Device::snapshot`]), the shield masks, and the collectors in
+    /// [`Simulator::obs`]. It does *not* capture configuration
+    /// (machine/kernel config, registered devices/tasks/syscalls, watch
+    /// lists, tracer): [`Simulator::restore`] therefore requires a simulator
+    /// built by the same registration sequence.
+    ///
+    /// Checkpoints are `Clone + Send`: warm up one simulator per
+    /// configuration, snapshot it, and fork every experiment cell from the
+    /// shared checkpoint across threads. Restoring and running is
+    /// bit-identical to having run the original simulator straight through.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            now: self.now,
+            queue: self.queue.clone(),
+            rng: self.rng.clone(),
+            tasks: self.tasks.clone(),
+            cpus: self.cpus.clone(),
+            sched: self.sched.clone(),
+            locks: self.locks.clone(),
+            devices: self
+                .devices
+                .iter()
+                .map(|s| (s.dev.as_ref().expect("device reentrancy").snapshot(), s.rng.clone()))
+                .collect(),
+            irq_routes: self.irq_routes.clone(),
+            irq_requested: self.irq_requested.clone(),
+            irq_counts: self.irq_counts.clone(),
+            obs: self.obs.clone(),
+            shield: self.shield,
+            token_counter: self.token_counter,
+            started: self.started,
+            events_dispatched: self.events_dispatched,
+        }
+    }
+
+    /// Reset this simulator to a state previously frozen with
+    /// [`Simulator::checkpoint`].
+    ///
+    /// `self` must have been built by the same registration sequence (same
+    /// machine and kernel config, same devices in the same order, same
+    /// tasks, same syscall profiles) as the simulator the checkpoint came
+    /// from — typically by re-running the scenario builder, or by reusing
+    /// the warmed simulator itself. Watch lists and the tracer are left
+    /// as-is so a fork can observe different tasks than the parent did.
+    pub fn restore(&mut self, ck: &Checkpoint) {
+        assert_eq!(self.devices.len(), ck.devices.len(), "checkpoint device set mismatch");
+        assert_eq!(self.tasks.len(), ck.tasks.len(), "checkpoint task set mismatch");
+        assert_eq!(self.cpus.len(), ck.cpus.len(), "checkpoint cpu count mismatch");
+        self.now = ck.now;
+        self.queue = ck.queue.clone();
+        self.rng = ck.rng.clone();
+        self.tasks.clone_from(&ck.tasks);
+        self.cpus.clone_from(&ck.cpus);
+        self.sched = ck.sched.clone();
+        self.locks = ck.locks.clone();
+        for (slot, (state, rng)) in self.devices.iter_mut().zip(&ck.devices) {
+            slot.dev.as_mut().expect("device reentrancy").restore(state);
+            slot.rng = rng.clone();
+        }
+        self.irq_routes.clone_from(&ck.irq_routes);
+        self.irq_requested.clone_from(&ck.irq_requested);
+        self.irq_counts.clone_from(&ck.irq_counts);
+        self.obs = ck.obs.clone();
+        self.shield = ck.shield;
+        self.token_counter = ck.token_counter;
+        self.started = ck.started;
+        self.events_dispatched = ck.events_dispatched;
+    }
+}
+
+/// A frozen copy of a [`Simulator`]'s mutable state — see
+/// [`Simulator::checkpoint`]. `Clone + Send`, so one warm checkpoint can
+/// seed many forked runs in parallel.
+#[derive(Clone)]
+pub struct Checkpoint {
+    now: Instant,
+    queue: WheelQueue<Ev>,
+    rng: SimRng,
+    tasks: Vec<Task>,
+    cpus: Vec<CpuSim>,
+    sched: SchedulerKind,
+    locks: LockTable,
+    /// Per-device `(internal state, RNG stream)`, index-aligned with the
+    /// simulator's registration order.
+    devices: Vec<(DeviceState, SimRng)>,
+    irq_routes: Vec<IrqRouting>,
+    irq_requested: Vec<CpuMask>,
+    irq_counts: Vec<Vec<u64>>,
+    obs: Observations,
+    shield: ShieldCtl,
+    token_counter: u64,
+    started: bool,
+    events_dispatched: u64,
 }
 
 /// One row of the simulator's interrupt inventory.

@@ -3,7 +3,7 @@
 
 use simcore::{DurationDist, Nanos};
 use sp_hw::{CpuId, CpuMask, IrqLine, MachineConfig};
-use sp_kernel::{KernelConfig, Op, Program, SchedPolicy, ShieldCtl, Simulator, TaskSpec};
+use sp_kernel::{AnyDevice, KernelConfig, Op, Program, SchedPolicy, ShieldCtl, Simulator, TaskSpec};
 
 fn machine() -> MachineConfig {
     MachineConfig::dual_xeon_p3()
@@ -61,8 +61,8 @@ fn duplicate_irq_line_rejected() {
         }
     }
     let mut sim = Simulator::new(machine(), KernelConfig::redhawk(), 1);
-    sim.add_device(Box::new(Dummy));
-    sim.add_device(Box::new(Dummy));
+    sim.add_device(AnyDevice::custom(Dummy));
+    sim.add_device(AnyDevice::custom(Dummy));
 }
 
 #[test]

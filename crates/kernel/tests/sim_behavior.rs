@@ -7,8 +7,8 @@ use sp_kernel::ids::Pid;
 use sp_kernel::shieldctl::ShieldCtl;
 use sp_kernel::task::TaskState;
 use sp_kernel::{
-    KernelConfig, KernelSegment, KernelVariant, LockId, Op, Program, SchedPolicy, Simulator,
-    SyscallService, TaskSpec, WaitApi,
+    AnyDevice, KernelConfig, KernelSegment, KernelVariant, LockId, Op, Program, SchedPolicy,
+    Simulator, SyscallService, TaskSpec, WaitApi,
 };
 
 /// A bare periodic interrupt source for tests.
@@ -126,7 +126,7 @@ fn higher_priority_fifo_preempts_lower() {
 #[test]
 fn irq_wait_latency_is_recorded_and_small_when_idle() {
     let mut sim = Simulator::new(machine(), KernelConfig::redhawk(), 4);
-    let dev = sim.add_device(Box::new(TestTimer::new(Nanos::from_ms(1))));
+    let dev = sim.add_device(AnyDevice::custom(TestTimer::new(Nanos::from_ms(1))));
     let prog = Program::forever(vec![Op::WaitIrq {
         device: dev,
         api: WaitApi::IoctlWait { driver_bkl_free: true },
@@ -151,7 +151,7 @@ fn vanilla_kernel_delays_wakeups_behind_syscalls() {
         [(KernelVariant::Vanilla24, true), (KernelVariant::RedHawk, false)]
     {
         let mut sim = Simulator::new(machine(), KernelConfig::new(variant), 5);
-        let dev = sim.add_device(Box::new(TestTimer::new(Nanos::from_ms(2))));
+        let dev = sim.add_device(AnyDevice::custom(TestTimer::new(Nanos::from_ms(2))));
         let one_cpu = CpuMask::single(CpuId(0));
         // Background task doing fat 1 ms syscalls back to back on cpu0.
         let fat = sim.register_syscall(
@@ -225,7 +225,7 @@ fn contended_lock_serializes_critical_sections() {
 #[test]
 fn shield_migrates_tasks_and_irqs() {
     let mut sim = Simulator::new(machine(), KernelConfig::redhawk(), 7);
-    let dev = sim.add_device(Box::new(TestTimer::new(Nanos::from_ms(5))));
+    let dev = sim.add_device(AnyDevice::custom(TestTimer::new(Nanos::from_ms(5))));
     let floaters: Vec<Pid> = (0..4)
         .map(|i| {
             sim.spawn(TaskSpec::new(
@@ -266,7 +266,7 @@ fn shield_migrates_tasks_and_irqs() {
 fn same_seed_same_trajectory() {
     let run = |seed: u64| {
         let mut sim = Simulator::new(machine(), KernelConfig::vanilla(), seed);
-        let dev = sim.add_device(Box::new(TestTimer::new(Nanos::from_ms(1))));
+        let dev = sim.add_device(AnyDevice::custom(TestTimer::new(Nanos::from_ms(1))));
         let prog = Program::forever(vec![Op::WaitIrq {
             device: dev,
             api: WaitApi::ReadDevice,

@@ -7,8 +7,8 @@ use sp_kernel::ids::Pid;
 use sp_kernel::shieldctl::ShieldCtl;
 use sp_kernel::task::TaskState;
 use sp_kernel::{
-    KernelConfig, KernelSegment, LockId, Op, Program, SchedPolicy, Simulator, SoftirqClass,
-    SyscallService, TaskSpec, WaitApi,
+    AnyDevice, KernelConfig, KernelSegment, LockId, Op, Program, SchedPolicy, Simulator,
+    SoftirqClass, SyscallService, TaskSpec, WaitApi,
 };
 
 /// Periodic interrupt source with configurable softirq payload.
@@ -85,7 +85,7 @@ fn machine() -> MachineConfig {
 #[test]
 fn pending_irq_drains_when_irqs_reenable() {
     let mut sim = Simulator::new(machine(), KernelConfig::redhawk(), 40);
-    let dev = sim.add_device(Box::new(Timer::new(Nanos::from_ms(1))));
+    let dev = sim.add_device(AnyDevice::custom(Timer::new(Nanos::from_ms(1))));
     // A task that spends essentially all its time inside an irqs-off section
     // on cpu0, so most asserts land in the masked window.
     let irqsoff = sim.register_syscall(
@@ -208,7 +208,7 @@ fn spawn_after_start_works() {
 #[test]
 fn all_subscribers_wake_together() {
     let mut sim = Simulator::new(machine(), KernelConfig::redhawk(), 45);
-    let dev = sim.add_device(Box::new(Timer::new(Nanos::from_ms(5))));
+    let dev = sim.add_device(AnyDevice::custom(Timer::new(Nanos::from_ms(5))));
     let mut pids = Vec::new();
     for i in 0..3 {
         let pid = sim.spawn(
@@ -241,7 +241,7 @@ fn softirq_deferral_protects_rt_wakeups() {
         let mut sim = Simulator::new(machine(), cfg, 46);
         // Interrupts carrying 500 µs of bottom-half work each.
         let dev = sim
-            .add_device(Box::new(Timer::new(Nanos::from_ms(2)).with_softirq(Nanos::from_us(500))));
+            .add_device(AnyDevice::custom(Timer::new(Nanos::from_ms(2)).with_softirq(Nanos::from_us(500))));
         let waiter = sim.spawn(
             TaskSpec::new(
                 "rt",
@@ -303,7 +303,7 @@ fn mlock_suppresses_page_faults() {
 #[test]
 fn tracer_records_activity() {
     let mut sim = Simulator::new(machine(), KernelConfig::redhawk(), 48);
-    let dev = sim.add_device(Box::new(Timer::new(Nanos::from_ms(1))));
+    let dev = sim.add_device(AnyDevice::custom(Timer::new(Nanos::from_ms(1))));
     let pid = sim.spawn(TaskSpec::new(
         "w",
         SchedPolicy::fifo(60),
@@ -329,8 +329,8 @@ fn tracer_records_activity() {
 #[test]
 fn multiple_devices_coexist() {
     let mut sim = Simulator::new(machine(), KernelConfig::redhawk(), 49);
-    let fast = sim.add_device(Box::new(Timer::new(Nanos::from_ms(1)).on_line(50)));
-    let slow = sim.add_device(Box::new(Timer::new(Nanos::from_ms(7)).on_line(51)));
+    let fast = sim.add_device(AnyDevice::custom(Timer::new(Nanos::from_ms(1)).on_line(50)));
+    let slow = sim.add_device(AnyDevice::custom(Timer::new(Nanos::from_ms(7)).on_line(51)));
     let wf = sim.spawn(TaskSpec::new(
         "wf",
         SchedPolicy::fifo(70),
@@ -394,7 +394,7 @@ fn policy_change_takes_effect_live() {
 #[test]
 fn breakdown_components_sum_to_latency() {
     let mut sim = Simulator::new(machine(), KernelConfig::redhawk(), 50);
-    let dev = sim.add_device(Box::new(Timer::new(Nanos::from_ms(1))));
+    let dev = sim.add_device(AnyDevice::custom(Timer::new(Nanos::from_ms(1))));
     let pid = sim.spawn(
         TaskSpec::new(
             "w",

@@ -5,9 +5,66 @@
 //! samples into [`Nanos`]; parameters are expressed in nanoseconds so model
 //! constants read directly against the paper's numbers.
 
+use crate::fastmath::round_ns;
 use crate::rng::SimRng;
 use crate::time::Nanos;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+/// Per-thread memo for bounded-Pareto constants.
+///
+/// `lo^-α`, `hi^-α` and `-1/α` depend only on the distribution's parameters,
+/// but `sample(&self)` cannot store them in the enum, so hot loops would pay
+/// two constant `powf` calls (roughly two thirds of the draw) per sample.
+/// The table is direct-mapped and recomputes on miss or collision: entries
+/// are pure functions of the key, so eviction can only cost time, never
+/// change a sample — determinism across threads and checkpoint forks holds
+/// regardless of cache state.
+const PARETO_WAYS: usize = 64;
+
+#[derive(Clone, Copy)]
+struct ParetoEntry {
+    /// `lo == 0` marks an empty slot; valid bounded Paretos require `lo > 0`.
+    lo: u64,
+    hi: u64,
+    alpha_bits: u64,
+    la: f64,
+    ha: f64,
+    neg_inv_alpha: f64,
+}
+
+const EMPTY_PARETO: ParetoEntry =
+    ParetoEntry { lo: 0, hi: 0, alpha_bits: 0, la: 0.0, ha: 0.0, neg_inv_alpha: 0.0 };
+
+thread_local! {
+    static PARETO_MEMO: RefCell<[ParetoEntry; PARETO_WAYS]> =
+        const { RefCell::new([EMPTY_PARETO; PARETO_WAYS]) };
+}
+
+/// `(lo^-α, hi^-α, -1/α)` for a bounded Pareto, memoized per thread.
+#[inline]
+fn pareto_constants(lo: u64, hi: u64, alpha: f64) -> (f64, f64, f64) {
+    let alpha_bits = alpha.to_bits();
+    let slot = ((lo ^ hi.rotate_left(27) ^ alpha_bits.rotate_left(49))
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        >> 58) as usize
+        & (PARETO_WAYS - 1);
+    PARETO_MEMO.with(|memo| {
+        let mut memo = memo.borrow_mut();
+        let e = &mut memo[slot];
+        if e.lo != lo || e.hi != hi || e.alpha_bits != alpha_bits {
+            *e = ParetoEntry {
+                lo,
+                hi,
+                alpha_bits,
+                la: (lo as f64).powf(-alpha),
+                ha: (hi as f64).powf(-alpha),
+                neg_inv_alpha: -1.0 / alpha,
+            };
+        }
+        (e.la, e.ha, e.neg_inv_alpha)
+    })
+}
 
 /// A distribution over time spans.
 ///
@@ -89,22 +146,19 @@ impl DurationDist {
             DurationDist::Uniform { lo, hi } => Nanos(rng.range_inclusive(*lo, *hi)),
             DurationDist::Exponential { mean } => {
                 let u = rng.f64_open0();
-                Nanos((-(u.ln()) * *mean as f64).round() as u64)
+                Nanos(round_ns(-(u.ln()) * *mean as f64))
             }
             DurationDist::LogNormal { median, sigma } => {
                 let z = sample_standard_normal(rng);
-                Nanos((*median as f64 * (sigma * z).exp()).round() as u64)
+                Nanos(round_ns(*median as f64 * (sigma * z).exp()))
             }
             DurationDist::BoundedPareto { lo, hi, alpha } => {
-                // Inverse CDF of the bounded Pareto on [lo, hi].
-                let l = *lo as f64;
-                let h = *hi as f64;
-                let a = *alpha;
+                // Inverse CDF of the bounded Pareto on [lo, hi]:
+                // x = ((1−u)·lo^−α + u·hi^−α)^(−1/α).
+                let (la, ha, neg_inv_alpha) = pareto_constants(*lo, *hi, *alpha);
                 let u = rng.f64();
-                let la = l.powf(a);
-                let ha = h.powf(a);
-                let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / a);
-                Nanos(x.round().clamp(l, h) as u64)
+                let x = ((1.0 - u) * la + u * ha).powf(neg_inv_alpha);
+                Nanos(round_ns(x.clamp(*lo as f64, *hi as f64)))
             }
             DurationDist::Mix(branches) => {
                 let total: f64 = branches.iter().map(|(w, _)| w).sum();

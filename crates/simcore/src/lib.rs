@@ -10,13 +10,14 @@
 //! and configuration, a run is bit-for-bit reproducible.
 
 pub mod dist;
+pub mod fastmath;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use dist::DurationDist;
-pub use queue::{EventKey, EventQueue};
+pub use queue::{EventKey, EventQueue, WheelQueue};
 pub use rng::SimRng;
 pub use time::{Instant, Nanos};
 pub use trace::{TraceKind, TraceRecord, Tracer};

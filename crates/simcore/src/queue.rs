@@ -49,10 +49,13 @@ const FREE: u32 = u32::MAX;
 /// scan within one cache line of slot indices.
 const D: usize = 4;
 
+#[derive(Clone)]
 struct Slot<E> {
     /// Bumped every time the slot is released, invalidating old keys.
     generation: u32,
     /// Index into `EventQueue::heap`, or [`FREE`] when not queued.
+    /// [`WheelQueue`] reuses this field as a location word: heap position,
+    /// or `WHEEL_LOC | bucket` for events resident in a wheel bucket.
     heap_pos: u32,
     event: Option<E>,
 }
@@ -74,6 +77,7 @@ impl HeapEntry {
 }
 
 /// Deterministic future-event list.
+#[derive(Clone)]
 pub struct EventQueue<E> {
     slots: Vec<Slot<E>>,
     /// Min-heap ordered by `(at, seq)`.
@@ -268,6 +272,381 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// Wheel bucket granularity: 2^14 ns ≈ 16.4 µs per bucket.
+const WHEEL_SHIFT: u32 = 14;
+/// Number of wheel buckets; horizon = `WHEEL_BUCKETS << WHEEL_SHIFT` ≈ 16.8 ms.
+const WHEEL_BUCKETS: usize = 1024;
+/// Location-word tag marking a slot as resident in a wheel bucket (low bits
+/// then hold the bucket index). Heap positions never reach this bit.
+const WHEEL_LOC: u32 = 1 << 31;
+
+/// One wheel-bucket entry; same inline ordering key as [`HeapEntry`].
+#[derive(Clone, Copy)]
+struct WheelEntry {
+    at: Instant,
+    seq: u64,
+    slot: u32,
+}
+
+/// A hierarchical timing-wheel event queue: a single-level wheel of
+/// [`WHEEL_BUCKETS`] buckets covering the near future (dense timer/IRQ/seg
+/// traffic), backed by the indexed 4-ary heap of [`EventQueue`] as overflow
+/// for events beyond the horizon. Events migrate heap → wheel as the wheel's
+/// base time advances past their window.
+///
+/// The contract is *exact* equivalence with [`EventQueue`]: pops come out in
+/// `(at, seq)` order, globally — bucket granularity only changes where an
+/// event is stored, never when it fires relative to its peers. Buckets
+/// partition time, so every event in an earlier bucket precedes every event
+/// in a later one; within the first non-empty bucket a linear `(at, seq)`
+/// min-scan (buckets are small by construction) selects the global minimum;
+/// and overflow-heap events all lie beyond the horizon, hence after every
+/// wheel event. The shared monotone `seq` preserves FIFO ordering of ties
+/// across both halves.
+///
+/// Keys are interchangeable with [`EventQueue`]'s: same slot-arena,
+/// generation and free-list discipline, so a stale [`EventKey`] can never
+/// touch a recycled slot.
+pub struct WheelQueue<E> {
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    next_seq: u64,
+    /// Ring of near-future buckets; `buckets[cursor]` covers
+    /// `[base, base + G)`.
+    buckets: Vec<Vec<WheelEntry>>,
+    /// Bitmap of non-empty buckets (absolute indices).
+    occupied: [u64; WHEEL_BUCKETS / 64],
+    /// Start of `buckets[cursor]`'s window, in ns, multiple of the
+    /// granularity. Monotone.
+    base: u64,
+    cursor: usize,
+    /// Live events resident in wheel buckets.
+    wheel_len: usize,
+    /// Overflow min-heap ordered by `(at, seq)`, for events at or beyond
+    /// `base + horizon`.
+    heap: Vec<HeapEntry>,
+}
+
+impl<E> Default for WheelQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Clone> Clone for WheelQueue<E> {
+    fn clone(&self) -> Self {
+        WheelQueue {
+            slots: self.slots.clone(),
+            free: self.free.clone(),
+            next_seq: self.next_seq,
+            buckets: self.buckets.clone(),
+            occupied: self.occupied,
+            base: self.base,
+            cursor: self.cursor,
+            wheel_len: self.wheel_len,
+            heap: self.heap.clone(),
+        }
+    }
+}
+
+impl<E> WheelQueue<E> {
+    const HORIZON: u64 = (WHEEL_BUCKETS as u64) << WHEEL_SHIFT;
+
+    pub fn new() -> Self {
+        WheelQueue {
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            buckets: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; WHEEL_BUCKETS / 64],
+            base: 0,
+            cursor: 0,
+            wheel_len: 0,
+            heap: Vec::new(),
+        }
+    }
+
+    /// Schedule `event` to fire at `at`. Returns a key usable with
+    /// [`WheelQueue::cancel`].
+    pub fn push(&mut self, at: Instant, event: E) -> EventKey {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                s.event = Some(event);
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Slot { generation: 0, heap_pos: FREE, event: Some(event) });
+                slot
+            }
+        };
+        let ns = at.as_ns();
+        if ns >= self.base + Self::HORIZON {
+            // Beyond the horizon: overflow heap.
+            let pos = self.heap.len();
+            self.slots[slot as usize].heap_pos = pos as u32;
+            self.heap.push(HeapEntry { at, seq, slot });
+            self.heap_sift_up(pos);
+        } else {
+            // In (or before — clamped to the current bucket) the window.
+            let off = (ns.max(self.base) - self.base) >> WHEEL_SHIFT;
+            let idx = (self.cursor + off as usize) % WHEEL_BUCKETS;
+            self.buckets[idx].push(WheelEntry { at, seq, slot });
+            self.occupied[idx / 64] |= 1 << (idx % 64);
+            self.wheel_len += 1;
+            self.slots[slot as usize].heap_pos = WHEEL_LOC | idx as u32;
+        }
+        EventKey::new(slot, self.slots[slot as usize].generation)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        let slot = key.slot() as usize;
+        let Some(s) = self.slots.get(slot) else {
+            return false;
+        };
+        if s.generation != key.generation() || s.heap_pos == FREE {
+            return false;
+        }
+        let loc = s.heap_pos;
+        if loc & WHEEL_LOC != 0 {
+            let idx = (loc & !WHEEL_LOC) as usize;
+            let bucket = &mut self.buckets[idx];
+            let pos = bucket
+                .iter()
+                .position(|e| e.slot == slot as u32)
+                .expect("wheel location word points at a bucket holding the slot");
+            bucket.swap_remove(pos);
+            if bucket.is_empty() {
+                self.occupied[idx / 64] &= !(1 << (idx % 64));
+            }
+            self.wheel_len -= 1;
+        } else {
+            self.heap_remove_at(loc as usize);
+        }
+        self.release(slot as u32);
+        true
+    }
+
+    /// Remove and return the earliest live event.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        self.settle();
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let bucket = &mut self.buckets[self.cursor];
+        let mut best = 0;
+        for (i, e) in bucket.iter().enumerate().skip(1) {
+            if (e.at, e.seq) < (bucket[best].at, bucket[best].seq) {
+                best = i;
+            }
+        }
+        let WheelEntry { at, slot, .. } = bucket.swap_remove(best);
+        if bucket.is_empty() {
+            self.occupied[self.cursor / 64] &= !(1 << (self.cursor % 64));
+        }
+        self.wheel_len -= 1;
+        let s = &mut self.slots[slot as usize];
+        let event = s.event.take().expect("queued slot holds an event");
+        s.generation = s.generation.wrapping_add(1);
+        s.heap_pos = FREE;
+        self.free.push(slot);
+        Some((at, event))
+    }
+
+    /// The instant of the earliest live event, if any. Advances the wheel
+    /// cursor internally (hence `&mut`), which never changes event order.
+    pub fn peek_time(&mut self) -> Option<Instant> {
+        self.settle();
+        if self.wheel_len == 0 {
+            return None;
+        }
+        self.buckets[self.cursor].iter().map(|e| e.at).min()
+    }
+
+    /// Number of live (non-cancelled, not yet fired) events.
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Advance the cursor to the first non-empty bucket, migrating overflow
+    /// events into the wheel as the horizon moves. After this, the earliest
+    /// live event (if any) is in `buckets[cursor]`.
+    fn settle(&mut self) {
+        loop {
+            if self.wheel_len > 0 {
+                let j = self.first_occupied_offset();
+                if j > 0 {
+                    self.base += (j as u64) << WHEEL_SHIFT;
+                    self.cursor = (self.cursor + j) % WHEEL_BUCKETS;
+                    self.migrate();
+                }
+                return;
+            }
+            if self.heap.is_empty() {
+                return;
+            }
+            // Wheel empty: jump the window straight to the overflow minimum.
+            let min_ns = self.heap[0].at.as_ns();
+            self.base = (min_ns >> WHEEL_SHIFT) << WHEEL_SHIFT;
+            self.migrate();
+        }
+    }
+
+    /// Offset (in buckets, from `cursor`) of the first non-empty bucket.
+    /// Caller guarantees `wheel_len > 0`.
+    fn first_occupied_offset(&self) -> usize {
+        let words = WHEEL_BUCKETS / 64;
+        let (start_word, start_bit) = (self.cursor / 64, self.cursor % 64);
+        // First word: mask off bits below the cursor.
+        let w = self.occupied[start_word] & (!0u64 << start_bit);
+        if w != 0 {
+            let idx = start_word * 64 + w.trailing_zeros() as usize;
+            return idx - self.cursor;
+        }
+        for step in 1..=words {
+            let word = (start_word + step) % words;
+            let mut bits = self.occupied[word];
+            if step == words {
+                // Wrapped back to the start word: only bits below the cursor.
+                bits &= !(!0u64 << start_bit);
+            }
+            if bits != 0 {
+                let idx = word * 64 + bits.trailing_zeros() as usize;
+                return (idx + WHEEL_BUCKETS - self.cursor) % WHEEL_BUCKETS;
+            }
+        }
+        unreachable!("wheel_len > 0 but no occupied bucket");
+    }
+
+    /// Move overflow events whose time has fallen under the horizon into
+    /// their wheel buckets. Migrated events always land at or after the
+    /// cursor's bucket, so they can never pre-empt an already-resident event.
+    fn migrate(&mut self) {
+        let horizon = self.base + Self::HORIZON;
+        while let Some(&HeapEntry { at, seq, slot }) = self.heap.first() {
+            if at.as_ns() >= horizon {
+                break;
+            }
+            self.heap_remove_at(0);
+            let off = (at.as_ns().max(self.base) - self.base) >> WHEEL_SHIFT;
+            let idx = (self.cursor + off as usize) % WHEEL_BUCKETS;
+            self.buckets[idx].push(WheelEntry { at, seq, slot });
+            self.occupied[idx / 64] |= 1 << (idx % 64);
+            self.wheel_len += 1;
+            self.slots[slot as usize].heap_pos = WHEEL_LOC | idx as u32;
+        }
+    }
+
+    /// Release a slot back to the free list, invalidating outstanding keys.
+    fn release(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.event = None;
+        s.generation = s.generation.wrapping_add(1);
+        s.heap_pos = FREE;
+        self.free.push(slot);
+    }
+
+    // Overflow-heap maintenance: same indexed 4-ary sifts as [`EventQueue`],
+    // with positions written through the shared slot arena.
+
+    fn heap_remove_at(&mut self, pos: usize) {
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        self.slots[self.heap[pos].slot as usize].heap_pos = pos as u32;
+        self.heap.pop();
+        if pos < self.heap.len() {
+            self.heap_sift_down(pos);
+            self.heap_sift_up(pos);
+        }
+    }
+
+    fn heap_sift_up(&mut self, mut pos: usize) {
+        let entry = self.heap[pos];
+        while pos > 0 {
+            let parent = (pos - 1) / D;
+            let p = self.heap[parent];
+            if entry.before(&p) {
+                self.heap[pos] = p;
+                self.slots[p.slot as usize].heap_pos = pos as u32;
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+        self.heap[pos] = entry;
+        self.slots[entry.slot as usize].heap_pos = pos as u32;
+    }
+
+    fn heap_sift_down(&mut self, mut pos: usize) {
+        let len = self.heap.len();
+        let entry = self.heap[pos];
+        loop {
+            let first_child = pos * D + 1;
+            if first_child >= len {
+                break;
+            }
+            let child_end = (first_child + D).min(len);
+            let mut best = first_child;
+            let mut best_entry = self.heap[first_child];
+            for child in first_child + 1..child_end {
+                let c = self.heap[child];
+                if c.before(&best_entry) {
+                    best = child;
+                    best_entry = c;
+                }
+            }
+            if best_entry.before(&entry) {
+                self.heap[pos] = best_entry;
+                self.slots[best_entry.slot as usize].heap_pos = pos as u32;
+                pos = best;
+            } else {
+                break;
+            }
+        }
+        self.heap[pos] = entry;
+        self.slots[entry.slot as usize].heap_pos = pos as u32;
+    }
+
+    /// Debug check: location words round-trip, bitmap matches bucket
+    /// occupancy, bucket windows are in range, and the overflow heap holds
+    /// the heap property beyond the horizon.
+    #[cfg(test)]
+    fn assert_invariants(&self) {
+        let mut in_wheel = 0usize;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            let bit = self.occupied[idx / 64] & (1 << (idx % 64)) != 0;
+            assert_eq!(bit, !bucket.is_empty(), "bitmap mismatch at bucket {idx}");
+            for e in bucket {
+                in_wheel += 1;
+                let s = &self.slots[e.slot as usize];
+                assert_eq!(s.heap_pos, WHEEL_LOC | idx as u32);
+                assert!(s.event.is_some());
+                // Every wheel event lies under the horizon.
+                assert!(e.at.as_ns() < self.base + Self::HORIZON);
+            }
+        }
+        assert_eq!(in_wheel, self.wheel_len);
+        for (pos, e) in self.heap.iter().enumerate() {
+            assert_eq!(self.slots[e.slot as usize].heap_pos as usize, pos);
+            assert!(self.slots[e.slot as usize].event.is_some());
+            assert!(e.at.as_ns() >= self.base + Self::HORIZON, "heap event under horizon");
+            if pos > 0 {
+                let parent = (pos - 1) / D;
+                assert!(!e.before(&self.heap[parent]), "heap property violated at {pos}");
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +747,146 @@ mod tests {
         let q_ref: &EventQueue<&str> = &q;
         assert_eq!(q_ref.peek_time(), Some(Instant(7)));
         assert_eq!(q_ref.peek_time(), Some(Instant(7)));
+    }
+
+    /// The wheel's determinism contract: for any operation sequence, a
+    /// [`WheelQueue`] and an [`EventQueue`] driven identically produce
+    /// identical pop streams and identical cancel outcomes — bucket
+    /// granularity never reorders events.
+    #[test]
+    fn wheel_matches_heap_on_random_workload() {
+        use crate::rng::SimRng;
+        for seed in 0..8u64 {
+            let mut rng = SimRng::new(0x7EE1 + seed);
+            let mut heap = EventQueue::new();
+            let mut wheel = WheelQueue::new();
+            let mut keys: Vec<(EventKey, EventKey)> = Vec::new();
+            let mut floor = 0u64;
+            let mut next_id = 0u64;
+            for _ in 0..4_000 {
+                match rng.next_u64() % 10 {
+                    // Push: mixed near (same-bucket to a few buckets out) and
+                    // far (beyond the horizon) events, plus exact ties.
+                    0..=4 => {
+                        let at = match rng.next_u64() % 4 {
+                            0 => Instant(floor + rng.next_u64() % 2_000),
+                            1 => Instant(floor + rng.next_u64() % 200_000),
+                            2 => Instant(floor + rng.next_u64() % 40_000_000),
+                            _ => Instant(floor), // tie on the current floor
+                        };
+                        let id = next_id;
+                        next_id += 1;
+                        keys.push((heap.push(at, id), wheel.push(at, id)));
+                    }
+                    5..=7 => {
+                        let h = heap.pop();
+                        let w = wheel.pop();
+                        assert_eq!(h, w, "pop divergence (seed {seed})");
+                        if let Some((at, _)) = h {
+                            floor = floor.max(at.as_ns());
+                        }
+                    }
+                    _ => {
+                        if !keys.is_empty() {
+                            let i = (rng.next_u64() % keys.len() as u64) as usize;
+                            let (hk, wk) = keys.swap_remove(i);
+                            assert_eq!(heap.cancel(hk), wheel.cancel(wk));
+                        }
+                    }
+                }
+                assert_eq!(heap.len(), wheel.len());
+                wheel.assert_invariants();
+            }
+            loop {
+                let h = heap.pop();
+                let w = wheel.pop();
+                assert_eq!(h, w);
+                if h.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wheel_pops_in_time_order_with_stable_ties() {
+        let mut q = WheelQueue::new();
+        q.push(Instant(30), "c");
+        q.push(Instant(10), "a");
+        q.push(Instant(10), "a2");
+        q.push(Instant(20), "b");
+        assert_eq!(q.peek_time(), Some(Instant(10)));
+        assert_eq!(q.pop(), Some((Instant(10), "a")));
+        assert_eq!(q.pop(), Some((Instant(10), "a2")));
+        assert_eq!(q.pop(), Some((Instant(20), "b")));
+        assert_eq!(q.pop(), Some((Instant(30), "c")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn wheel_orders_across_the_horizon() {
+        let mut q = WheelQueue::new();
+        let horizon = (WHEEL_BUCKETS as u64) << WHEEL_SHIFT;
+        // One event far beyond the horizon, one just inside, one in between
+        // pushed after the far one (exercising heap → wheel migration).
+        q.push(Instant(3 * horizon), "far");
+        q.push(Instant(5), "near");
+        q.push(Instant(2 * horizon), "mid");
+        q.assert_invariants();
+        assert_eq!(q.pop(), Some((Instant(5), "near")));
+        assert_eq!(q.pop(), Some((Instant(2 * horizon), "mid")));
+        q.assert_invariants();
+        // Push behind the advanced base: clamps into the current bucket but
+        // still pops by its own (at, seq) key first.
+        q.push(Instant(7), "late");
+        assert_eq!(q.pop(), Some((Instant(7), "late")));
+        assert_eq!(q.pop(), Some((Instant(3 * horizon), "far")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wheel_stale_key_for_recycled_slot_is_false() {
+        let mut q = WheelQueue::new();
+        let a = q.push(Instant(1), "a");
+        assert_eq!(q.pop(), Some((Instant(1), "a")));
+        q.push(Instant(2), "b");
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Instant(2), "b")));
+    }
+
+    #[test]
+    fn wheel_cancel_in_bucket_and_overflow() {
+        let mut q = WheelQueue::new();
+        let horizon = (WHEEL_BUCKETS as u64) << WHEEL_SHIFT;
+        let near = q.push(Instant(100), "near");
+        let far = q.push(Instant(horizon + 100), "far");
+        let keep = q.push(Instant(200), "keep");
+        assert!(q.cancel(near));
+        assert!(!q.cancel(near));
+        assert!(q.cancel(far));
+        q.assert_invariants();
+        assert_eq!(q.pop(), Some((Instant(200), "keep")));
+        assert_eq!(q.pop(), None);
+        let _ = keep;
+    }
+
+    #[test]
+    fn wheel_clone_is_independent_and_identical() {
+        let mut q = WheelQueue::new();
+        for i in 0..50u64 {
+            q.push(Instant(i * 37_000), i);
+        }
+        q.pop();
+        let mut fork = q.clone();
+        // Divergent operations on the fork leave the original untouched.
+        fork.push(Instant(1), 999);
+        assert_eq!(fork.len(), q.len() + 1);
+        let mut a: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| fork.pop()).collect();
+        a.insert(0, (Instant(1), 999));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -81,10 +81,12 @@ impl Nanos {
     }
 
     /// Scale a span by a non-negative factor (e.g. an execution slowdown).
+    /// Rounds to the nearest nanosecond (ties up) without libm — this sits
+    /// on the simulator's per-segment path.
     #[inline]
     pub fn scale(self, factor: f64) -> Nanos {
         debug_assert!(factor >= 0.0, "negative scale factor: {factor}");
-        Nanos((self.0 as f64 * factor).round() as u64)
+        Nanos(crate::fastmath::round_ns(self.0 as f64 * factor))
     }
 
     #[inline]

@@ -208,8 +208,8 @@ mod tests {
     fn stress_kernel_spawns_all_components() {
         let mut sim =
             Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::vanilla(), 1);
-        let nic = sim.add_device(Box::new(NicDevice::new(None)));
-        let disk = sim.add_device(Box::new(DiskDevice::new()));
+        let nic = sim.add_device(NicDevice::new(None));
+        let disk = sim.add_device(DiskDevice::new());
         let sets = stress_kernel(&mut sim, StressDevices { nic, disk });
         assert_eq!(sets.len(), 6);
         let total: usize = sets.iter().map(|s| s.pids.len()).sum();
@@ -227,8 +227,8 @@ mod tests {
     fn stress_kernel_contends_global_locks() {
         let mut sim =
             Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::vanilla(), 2);
-        let nic = sim.add_device(Box::new(NicDevice::new(None)));
-        let disk = sim.add_device(Box::new(DiskDevice::new()));
+        let nic = sim.add_device(NicDevice::new(None));
+        let disk = sim.add_device(DiskDevice::new());
         stress_kernel(&mut sim, StressDevices { nic, disk });
         sim.start();
         sim.run_for(Nanos::from_secs(2));

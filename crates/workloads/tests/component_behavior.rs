@@ -13,8 +13,8 @@ use sp_workloads::{
 
 fn sim_with_devices() -> (Simulator, StressDevices) {
     let mut sim = Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::vanilla(), 0x110);
-    let nic = sim.add_device(Box::new(NicDevice::new(None)));
-    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    let nic = sim.add_device(NicDevice::new(None));
+    let disk = sim.add_device(DiskDevice::new());
     (sim, StressDevices { nic, disk })
 }
 

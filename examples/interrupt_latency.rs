@@ -9,11 +9,11 @@ use sp_workloads::{stress_kernel, StressDevices};
 
 fn main() {
     let mut sim = Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::redhawk(), 21);
-    let rtc = sim.add_device(Box::new(RtcDevice::new(2048)));
-    let nic = sim.add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(
+    let rtc = sim.add_device(RtcDevice::new(2048));
+    let nic = sim.add_device(NicDevice::new(Some(OnOffPoisson::continuous(
         Nanos::from_ms(1),
-    )))));
-    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    ))));
+    let disk = sim.add_device(DiskDevice::new());
     stress_kernel(&mut sim, StressDevices { nic, disk });
 
     // realfeel: read(/dev/rtc) in a loop, pinned where the shield will be.

@@ -12,11 +12,11 @@ fn main() {
     let mut sim = Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::redhawk(), 7);
 
     // Hardware: the RCIM interrupt card plus a NIC and disk for background load.
-    let rcim = sim.add_device(Box::new(RcimDevice::new(Nanos::from_ms(1))));
-    let nic = sim.add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(
+    let rcim = sim.add_device(RcimDevice::new(Nanos::from_ms(1)));
+    let nic = sim.add_device(NicDevice::new(Some(OnOffPoisson::continuous(
         Nanos::from_us(700),
-    )))));
-    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    ))));
+    let disk = sim.add_device(DiskDevice::new());
 
     // Background: the full stress-kernel suite.
     stress_kernel(&mut sim, StressDevices { nic, disk });

@@ -20,11 +20,11 @@ struct Console {
 impl Console {
     fn new() -> Self {
         let mut sim = Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::redhawk(), 3);
-        let rcim = sim.add_device(Box::new(RcimDevice::new(Nanos::from_ms(1))));
-        let nic = sim.add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(
+        let rcim = sim.add_device(RcimDevice::new(Nanos::from_ms(1)));
+        let nic = sim.add_device(NicDevice::new(Some(OnOffPoisson::continuous(
             Nanos::from_ms(1),
-        )))));
-        let disk = sim.add_device(Box::new(DiskDevice::new()));
+        ))));
+        let disk = sim.add_device(DiskDevice::new());
         stress_kernel(&mut sim, StressDevices { nic, disk });
         let rt = sim.spawn(
             TaskSpec::new(

@@ -11,9 +11,9 @@ use sp_workloads::{disknoise, scp_nic_profile, scp_receiver};
 /// Build the standard scenario; returns (sim, rt pid, rcim device).
 fn scenario(seed: u64) -> (Simulator, Pid, DeviceId) {
     let mut sim = Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::redhawk(), seed);
-    let rcim = sim.add_device(Box::new(RcimDevice::new(Nanos::from_ms(2))));
-    let nic = sim.add_device(Box::new(NicDevice::new(Some(scp_nic_profile()))));
-    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    let rcim = sim.add_device(RcimDevice::new(Nanos::from_ms(2)));
+    let nic = sim.add_device(NicDevice::new(Some(scp_nic_profile())));
+    let disk = sim.add_device(DiskDevice::new());
     let _ = nic;
     scp_receiver(&mut sim, disk);
     disknoise(&mut sim, disk);

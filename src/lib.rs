@@ -14,7 +14,7 @@
 //! let mut sim = Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::redhawk(), 42);
 //!
 //! // An interrupt source and a real-time task waiting on it.
-//! let rcim = sim.add_device(Box::new(RcimDevice::new(Nanos::from_ms(1))));
+//! let rcim = sim.add_device(RcimDevice::new(Nanos::from_ms(1)));
 //! let rt = sim.spawn(
 //!     TaskSpec::new(
 //!         "rt-waiter",

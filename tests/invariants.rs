@@ -64,7 +64,7 @@ fn random_sim(
     let machine = MachineConfig::dual_xeon_p4(ht);
     let cfg = if redhawk { KernelConfig::redhawk() } else { KernelConfig::vanilla() };
     let mut sim = Simulator::new(machine, cfg, seed);
-    let rtc = sim.add_device(Box::new(RtcDevice::new(256)));
+    let rtc = sim.add_device(RtcDevice::new(256));
     let mut pids = Vec::new();
     for i in 0..n_tasks {
         let policy = match i % 3 {

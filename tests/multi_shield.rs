@@ -12,15 +12,15 @@ fn quad() -> MachineConfig {
 #[test]
 fn two_shielded_cpus_carry_independent_rt_partitions() {
     let mut sim = Simulator::new(quad(), KernelConfig::redhawk(), 0x4444);
-    let rcim_a = sim.add_device(Box::new(RcimDevice::new(Nanos::from_ms(1))));
-    let rcim_b = sim.add_device(Box::new(sp_devices::rcim::RcimExternalInput::new(
+    let rcim_a = sim.add_device(RcimDevice::new(Nanos::from_ms(1)));
+    let rcim_b = sim.add_device(sp_devices::rcim::RcimExternalInput::new(
         IrqLine(21),
         OnOffPoisson::continuous(Nanos::from_ms(2)),
-    )));
-    let nic = sim.add_device(Box::new(NicDevice::new(Some(OnOffPoisson::continuous(
+    ));
+    let nic = sim.add_device(NicDevice::new(Some(OnOffPoisson::continuous(
         Nanos::from_us(600),
-    )))));
-    let disk = sim.add_device(Box::new(DiskDevice::new()));
+    ))));
+    let disk = sim.add_device(DiskDevice::new());
     stress_kernel(&mut sim, StressDevices { nic, disk });
 
     let waiter = |sim: &mut Simulator, name: &str, dev, cpu: u32| {
