@@ -6,30 +6,56 @@
 //!   <scale>          per-cell sample scale factor, default 1.0 (or `SP_SCALE`)
 //!   --shards <n>     shards per matrix cell, default 1 (or `SP_SHARDS`);
 //!                    the reshield transient is always single-simulation
+//!   --topk <k>       worst windows captured per cell, default 1
+//!                    (or `SP_TRACE_TOPK`); 0 disables capture
 //!   --strict         exit non-zero on any band violation
 //!
 //! Writes the matrix into `BENCH_simulator.json` under a `"fault_matrix"`
-//! key (merged into the existing report if one is present).
+//! key (merged into the existing report if one is present). With capture on,
+//! also writes `worst_case_trace_faultmatrix.json` — the Perfetto trace of
+//! the worst window across the whole matrix (invariably an unshielded
+//! faulted cell) — and prints its cause chain.
 
-use sp_bench::{scale_from_args, shards_from_args};
-use sp_experiments::{run_fault_matrix, FaultMatrixConfig, FaultMatrixReport};
+use sp_bench::{flightout, scale_from_args, shards_from_args, topk_from_args};
+use sp_experiments::{run_fault_matrix_with_flight, FaultMatrixConfig, FaultMatrixReport};
 
 fn main() {
     let scale = scale_from_args();
     let shards = shards_from_args(1);
+    let top_k = topk_from_args(1);
     let strict = std::env::args().any(|a| a == "--strict");
 
     let cfg = FaultMatrixConfig::scaled(scale).with_shards(shards);
     eprintln!(
-        "fault matrix: {} samples/cell, {} shard(s) per cell...",
+        "fault matrix: {} samples/cell, {} shard(s) per cell, top-{top_k} trace capture...",
         cfg.samples_per_cell, cfg.shards
     );
     let t0 = std::time::Instant::now();
-    let report = run_fault_matrix(&cfg);
+    let (report, flights) = run_fault_matrix_with_flight(&cfg, top_k);
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     eprintln!("matrix finished in {:.1}s", wall_ms / 1e3);
 
     print!("{}", report.markdown());
+
+    // The worst captured window across every cell: the matrix's "why was
+    // the max the max" exhibit.
+    let worst_cell = flights
+        .iter()
+        .filter(|f| !f.traces.is_empty())
+        .max_by_key(|f| f.traces[0].latency);
+    if let Some(cell) = worst_cell {
+        let label = format!(
+            "{}/{} ({})",
+            cell.fault,
+            cell.path,
+            if cell.shielded { "shielded" } else { "unshielded" }
+        );
+        match flightout::emit_worst_case("faultmatrix", &label, &cell.traces) {
+            Ok(Some(chain)) => print!("\n{chain}"),
+            Ok(None) => {}
+            Err(e) => eprintln!("note: could not write worst-cell trace artifact: {e}"),
+        }
+    }
 
     if let Err(e) = merge_bench_report(&report, wall_ms) {
         eprintln!("note: could not update BENCH_simulator.json: {e}");

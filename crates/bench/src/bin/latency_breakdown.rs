@@ -10,9 +10,16 @@
 //! 2.4 the `to_run` term dominates the worst case (non-preemptible
 //! syscalls); shielding collapses it; what remains on the shielded CPU is
 //! the exit path — which the RCIM ioctl then removes as well.
+//!
+//! Each configuration also runs with the flight recorder armed: after the
+//! table, the binary prints the "why was the max the max" cause chain for
+//! each row's worst sample and writes the event window behind it to
+//! `worst_case_trace_breakdown_<row>.json` (Perfetto-loadable). `--topk <k>`
+//! / `SP_TRACE_TOPK` sizes the capture set; 0 disables it.
 
 use simcore::Nanos;
-use sp_bench::scale_from_args;
+use sp_bench::{flightout, scale_from_args, topk_from_args};
+use sp_kernel::WorstCaseTrace;
 use sp_core::ShieldPlan;
 use sp_devices::{DiskDevice, NicDevice, OnOffPoisson, RtcDevice};
 use sp_hw::{CpuId, CpuMask, MachineConfig};
@@ -28,9 +35,18 @@ struct Row {
     to_run_max: Nanos,
     exit_max: Nanos,
     total_max: Nanos,
+    /// Flight-recorder capture of the worst samples (worst first; empty
+    /// when capture is disabled).
+    traces: Vec<WorstCaseTrace>,
 }
 
-fn run(name: &'static str, variant: KernelVariant, shield: bool, seconds: u64) -> Row {
+fn run(
+    name: &'static str,
+    variant: KernelVariant,
+    shield: bool,
+    seconds: u64,
+    top_k: usize,
+) -> Row {
     let mut sim = Simulator::new(
         MachineConfig::dual_xeon_p3(),
         KernelConfig::new(variant),
@@ -54,6 +70,9 @@ fn run(name: &'static str, variant: KernelVariant, shield: bool, seconds: u64) -
     let pid = sim.spawn(spec);
     sim.watch_latency(pid);
     sim.watch_breakdown(pid);
+    if top_k > 0 {
+        sim.arm_flight(top_k);
+    }
     sim.start();
     if shield {
         ShieldPlan::cpu(CpuId(1)).bind_task(pid).bind_irq(rtc).apply(&mut sim).unwrap();
@@ -71,16 +90,29 @@ fn run(name: &'static str, variant: KernelVariant, shield: bool, seconds: u64) -
         to_run_max: max_by(|b| b.to_run),
         exit_max: max_by(|b| b.exit_path),
         total_max: max_by(|b| b.total()),
+        traces: sim.flight.top().to_vec(),
     }
+}
+
+/// File-name-safe slug for a configuration row.
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect::<String>()
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("_")
 }
 
 fn main() {
     let scale = scale_from_args();
+    let top_k = topk_from_args(1);
     let seconds = ((30.0 * scale).ceil() as u64).max(5);
     let rows = [
-        run("kernel.org-2.4.18, unshielded", KernelVariant::Vanilla24, false, seconds),
-        run("RedHawk-1.4, unshielded", KernelVariant::RedHawk, false, seconds),
-        run("RedHawk-1.4, shielded cpu1", KernelVariant::RedHawk, true, seconds),
+        run("kernel.org-2.4.18, unshielded", KernelVariant::Vanilla24, false, seconds, top_k),
+        run("RedHawk-1.4, unshielded", KernelVariant::RedHawk, false, seconds, top_k),
+        run("RedHawk-1.4, shielded cpu1", KernelVariant::RedHawk, true, seconds, top_k),
     ];
     let mut t = Table::new([
         "configuration",
@@ -89,7 +121,7 @@ fn main() {
         "max exit-path",
         "max total",
     ]);
-    for r in rows {
+    for r in &rows {
         t.row([
             r.name.to_string(),
             r.to_wake_max.to_string(),
@@ -102,4 +134,16 @@ fn main() {
     print!("{}", t.render());
     println!("\n(to-run collapsing under the shield while exit-path persists is");
     println!(" exactly the paper's §6.2 diagnosis of the /dev/rtc residual tail)");
+
+    if top_k > 0 {
+        println!();
+        for r in &rows {
+            let id = format!("breakdown_{}", slug(r.name));
+            match flightout::emit_worst_case(&id, r.name, &r.traces) {
+                Ok(Some(chain)) => println!("{chain}"),
+                Ok(None) => eprintln!("note: {}: no worst-case window captured", r.name),
+                Err(e) => eprintln!("note: {}: could not write trace artifact: {e}", r.name),
+            }
+        }
+    }
 }

@@ -5,20 +5,28 @@
 //!   <scale>          sample-count scale factor, default 1.0 (or `SP_SCALE`)
 //!   --shards <n>     shard count for figs 5–7, default = hardware threads
 //!                    (or `SP_SHARDS`); results are reproducible per (seed, n)
+//!   --topk <k>       worst-case windows captured per latency figure,
+//!                    default 3 (or `SP_TRACE_TOPK`); 0 disables capture
 //!   --json <path>    dump the raw suite as JSON
-//!   --strict         exit non-zero unless all seven verdicts are "in band"
-//!                    and the suite clears the events/sec regression floor
+//!   --strict         exit non-zero unless all seven verdicts are "in band",
+//!                    the suite clears the events/sec regression floor, and
+//!                    each latency figure's worst-case trace artifact was
+//!                    written and explains that figure's maximum
 //!
 //! Every run also writes `BENCH_simulator.json` (per-figure wall-clock,
-//! events/sec, shard count, and data-structure microbenchmarks).
+//! events/sec, shard count, and data-structure microbenchmarks) and — when
+//! capture is on — `worst_case_trace_fig{5,6,7}.json`, Perfetto-loadable
+//! traces of the event window behind each latency figure's worst sample,
+//! plus a one-screen cause-chain report on stdout.
 
 use simcore::Nanos;
 use sp_bench::{
-    available_threads, determinism_measured, microbench, rcim_measured, realfeel_measured,
-    scale_from_args, shards_from_args, verdict, PAPER_TARGETS,
+    available_threads, determinism_measured, flightout, microbench, rcim_measured,
+    realfeel_measured, scale_from_args, shards_from_args, topk_from_args, verdict, PAPER_TARGETS,
 };
 use sp_experiments::report::{render_determinism, render_rcim, render_realfeel};
-use sp_experiments::runner::run_all_figures_timed;
+use sp_experiments::runner::run_all_figures_flight;
+use sp_kernel::WorstCaseTrace;
 use std::fmt::Write as _;
 
 #[derive(serde::Serialize)]
@@ -45,11 +53,16 @@ struct Microbench {
     /// forked experiment cell pays instead of re-running the warm-up).
     checkpoint_fork_ns: f64,
     histogram_record_ns: f64,
-    /// Simulator hot loop with no injection subsystem present…
+    /// Simulator hot loop with no injection subsystem present and the
+    /// flight recorder disarmed (its default) — this is also the recorder's
+    /// zero-overhead-disarmed baseline…
     sim_event_baseline_ns: f64,
-    /// …and with every `sp-inject` preset registered but disarmed; the
-    /// subsystem's zero-cost-disarmed contract says these two match.
+    /// …with every `sp-inject` preset registered but disarmed; the
+    /// subsystem's zero-cost-disarmed contract says these two match…
     sim_event_disarmed_injector_ns: f64,
+    /// …and with the worst-case flight recorder armed (ring streaming +
+    /// top-K offers), the price of capture when it is on.
+    sim_event_armed_recorder_ns: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -67,13 +80,16 @@ struct BenchReport {
 fn main() {
     let scale = scale_from_args();
     let shards = shards_from_args(available_threads());
+    let top_k = topk_from_args(3);
     let args: Vec<String> = std::env::args().collect();
     let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned());
     let strict = args.iter().any(|a| a == "--strict");
 
-    eprintln!("running all 7 figures at scale {scale}, {shards} shard(s) (parallel)...");
+    eprintln!(
+        "running all 7 figures at scale {scale}, {shards} shard(s), top-{top_k} trace capture (parallel)..."
+    );
     let t0 = std::time::Instant::now();
-    let (suite, timings) = run_all_figures_timed(scale, shards);
+    let (suite, timings, flight) = run_all_figures_flight(scale, shards, top_k);
     eprintln!("suite finished in {:.1}s", t0.elapsed().as_secs_f64());
 
     print!("{}", render_determinism("fig1", &suite.fig1));
@@ -83,6 +99,34 @@ fn main() {
     print!("{}", render_realfeel("fig5", &suite.fig5));
     print!("{}", render_realfeel("fig6", &suite.fig6));
     print!("{}", render_rcim("fig7", &suite.fig7));
+
+    // Worst-case flight traces: one Perfetto artifact + cause chain per
+    // latency figure. Collect strict-mode failures instead of bailing so the
+    // whole report still prints.
+    let captures: [(&str, String, &[WorstCaseTrace], Nanos); 3] = [
+        ("fig5", suite.fig5.config.label(), &flight.fig5, suite.fig5.summary.max),
+        ("fig6", suite.fig6.config.label(), &flight.fig6, suite.fig6.summary.max),
+        ("fig7", suite.fig7.config.label(), &flight.fig7, suite.fig7.summary.max),
+    ];
+    let mut flight_failures: Vec<String> = Vec::new();
+    if top_k > 0 {
+        println!();
+        for (id, label, traces, max) in &captures {
+            match flightout::emit_worst_case(id, label, traces) {
+                Ok(Some(chain)) => println!("{chain}"),
+                Ok(None) => flight_failures.push(format!("{id}: no worst-case window captured")),
+                Err(e) => flight_failures.push(format!("{id}: artifact write failed: {e}")),
+            }
+            if let Some(worst) = traces.first() {
+                if worst.latency != *max {
+                    flight_failures.push(format!(
+                        "{id}: worst trace {} does not explain the figure max {max}",
+                        worst.latency
+                    ));
+                }
+            }
+        }
+    }
 
     // Paper-vs-measured table.
     let measured = [
@@ -160,9 +204,17 @@ fn main() {
             );
             std::process::exit(1);
         }
+        if !flight_failures.is_empty() {
+            eprintln!("STRICT: worst-case trace capture failed:");
+            for f in &flight_failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
         eprintln!(
-            "STRICT: all 7 figures in band, {:.0} events/sec clears the floor",
-            report.events_per_sec
+            "STRICT: all 7 figures in band, {:.0} events/sec clears the floor{}",
+            report.events_per_sec,
+            if top_k > 0 { ", worst-case traces written and consistent" } else { "" }
         );
     }
 }
@@ -235,6 +287,7 @@ fn build_bench_report(
             histogram_record_ns: microbench::histogram_record_ns(),
             sim_event_baseline_ns: microbench::sim_event_baseline_ns(),
             sim_event_disarmed_injector_ns: microbench::sim_event_disarmed_injector_ns(),
+            sim_event_armed_recorder_ns: microbench::sim_event_armed_recorder_ns(),
         },
     }
 }

@@ -40,6 +40,77 @@ pub fn available_threads() -> u32 {
     std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(1)
 }
 
+/// Resolve the flight-recorder top-K knob: `--topk <n>` argument, then
+/// `SP_TRACE_TOPK`, then `fallback`. `0` disables worst-case trace capture.
+pub fn topk_from_args(fallback: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let from_arg = args
+        .iter()
+        .position(|a| a == "--topk")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+    let from_env = std::env::var("SP_TRACE_TOPK").ok().and_then(|v| v.parse::<usize>().ok());
+    from_arg.or(from_env).unwrap_or(fallback)
+}
+
+/// Worst-case trace artifacts: Perfetto JSON files plus the one-screen
+/// "why was the max the max" cause-chain report.
+pub mod flightout {
+    use simcore::flight::FlightEvent;
+    use sp_experiments::trace_meta;
+    use sp_kernel::WorstCaseTrace;
+    use sp_metrics::{perfetto, render_cause_chain};
+
+    /// Number of per-CPU tracks a window needs: one per CPU that appears in
+    /// it (the exporter adds the `global` track itself).
+    fn track_cpus(events: &[FlightEvent]) -> u32 {
+        events.iter().filter_map(|e| e.cpu).max().map_or(1, |c| c + 1)
+    }
+
+    /// Serialize one captured worst-case window as Perfetto `trace_event`
+    /// JSON, annotated with the experiment label and the sample's headline
+    /// numbers.
+    pub fn perfetto_json(label: &str, trace: &WorstCaseTrace) -> String {
+        let annotations = [
+            ("experiment", label.to_string()),
+            ("wake_to_user_latency", trace.latency.to_string()),
+            ("pid", trace.pid.0.to_string()),
+            ("window_truncated", trace.truncated.to_string()),
+        ];
+        perfetto::export_flight(label, track_cpus(&trace.events), &trace.events, &annotations)
+    }
+
+    /// Write `worst_case_trace_<id>.json` for the worst captured window and
+    /// return the rendered cause chain for the terminal. `traces` is a
+    /// merged top-K set, worst first; only the worst is exported (the JSON
+    /// artifact explains *the* max), the chain mentions how many runners-up
+    /// were captured.
+    pub fn emit_worst_case(
+        id: &str,
+        label: &str,
+        traces: &[WorstCaseTrace],
+    ) -> std::io::Result<Option<String>> {
+        let Some(worst) = traces.first() else {
+            return Ok(None);
+        };
+        let path = format!("worst_case_trace_{id}.json");
+        std::fs::write(&path, perfetto_json(label, worst))?;
+        let mut chain = render_cause_chain(&trace_meta(label, worst), &worst.events);
+        if worst.truncated {
+            chain.push_str("  (window truncated: the ring had already evicted its start)\n");
+        }
+        if traces.len() > 1 {
+            chain.push_str(&format!(
+                "  ({} runner-up window(s) captured; worst exported to {path})\n",
+                traces.len() - 1
+            ));
+        } else {
+            chain.push_str(&format!("  (worst window exported to {path})\n"));
+        }
+        Ok(Some(chain))
+    }
+}
+
 /// In-process microbenchmarks of the two data structures on the simulator's
 /// per-event path, for `BENCH_simulator.json`. Self-timed with wall-clock
 /// medians — coarser than the criterion benches but dependency-free and cheap
@@ -256,11 +327,17 @@ pub mod microbench {
         median_ns(runs)
     }
 
-    /// Build the fig-6-style scenario slice used by the injection-overhead
-    /// microbenchmark, optionally with every `sp-inject` matrix preset
-    /// registered (but never armed), and run it for `sim_ms` of simulated
-    /// time. Returns (wall seconds, events dispatched).
-    fn injection_probe(seed: u64, sim_ms: u64, disarmed_injectors: bool) -> (f64, u64) {
+    /// Build the fig-6-style scenario slice used by the hot-loop overhead
+    /// microbenchmarks, optionally with every `sp-inject` matrix preset
+    /// registered (but never armed) and/or the flight recorder armed, and
+    /// run it for `sim_ms` of simulated time. Returns (wall seconds, events
+    /// dispatched).
+    fn injection_probe(
+        seed: u64,
+        sim_ms: u64,
+        disarmed_injectors: bool,
+        armed_flight: bool,
+    ) -> (f64, u64) {
         use simcore::Nanos;
         use sp_devices::{DiskDevice, NicDevice, OnOffPoisson, RtcDevice};
         use sp_hw::MachineConfig;
@@ -285,6 +362,9 @@ pub mod microbench {
         let prog = Program::forever(vec![Op::WaitIrq { device: rtc, api: WaitApi::ReadDevice }]);
         let pid = sim.spawn(TaskSpec::new("waiter", SchedPolicy::fifo(90), prog).mlockall());
         sim.watch_latency(pid);
+        if armed_flight {
+            sim.arm_flight(3);
+        }
         sim.start();
         let t = std::time::Instant::now();
         sim.run_for(Nanos::from_ms(sim_ms));
@@ -292,11 +372,28 @@ pub mod microbench {
     }
 
     /// ns per simulator event on the fig-6 hot loop, with no injection
-    /// subsystem in the picture.
+    /// subsystem in the picture and the flight recorder disarmed (its
+    /// default state — a disarmed recorder is one predicted branch per
+    /// accounting flush, so this number doubles as the recorder's
+    /// zero-overhead-disarmed baseline).
     pub fn sim_event_baseline_ns() -> f64 {
         let runs = (0..5u64)
             .map(|round| {
-                let (wall, events) = injection_probe(0x1D7E + round, 400, false);
+                let (wall, events) = injection_probe(0x1D7E + round, 400, false, false);
+                wall * 1e9 / events.max(1) as f64
+            })
+            .collect();
+        median_ns(runs)
+    }
+
+    /// ns per simulator event on the same loop with the worst-case flight
+    /// recorder armed (every activity span streamed into the rolling ring,
+    /// every watched sample offered to the top-K set). Compare against
+    /// [`sim_event_baseline_ns`] for the price of capture when it *is* on.
+    pub fn sim_event_armed_recorder_ns() -> f64 {
+        let runs = (0..5u64)
+            .map(|round| {
+                let (wall, events) = injection_probe(0x1D7E + round, 400, false, true);
                 wall * 1e9 / events.max(1) as f64
             })
             .collect();
@@ -311,7 +408,7 @@ pub mod microbench {
     pub fn sim_event_disarmed_injector_ns() -> f64 {
         let runs = (0..5u64)
             .map(|round| {
-                let (wall, events) = injection_probe(0x1D7E + round, 400, true);
+                let (wall, events) = injection_probe(0x1D7E + round, 400, true, false);
                 wall * 1e9 / events.max(1) as f64
             })
             .collect();

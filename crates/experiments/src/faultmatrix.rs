@@ -27,6 +27,7 @@ use sp_hw::{CpuId, CpuMask, MachineConfig};
 use sp_inject::{matrix_presets, Armory, FaultKind, FaultSpec};
 use sp_kernel::{
     KernelConfig, KernelVariant, Op, Program, SchedPolicy, Simulator, TaskSpec, WaitApi,
+    WorstCaseTrace,
 };
 use sp_metrics::{LatencyHistogram, LatencySummary};
 use sp_workloads::{stress_kernel, ttcp_ethernet_profile, x11perf_driver, StressDevices};
@@ -107,6 +108,21 @@ pub struct MatrixCell {
     pub shielded: bool,
     pub summary: LatencySummary,
     pub events: u64,
+}
+
+/// One cell's captured flight traces (worst first), paired with the cell's
+/// identity. Kept beside [`MatrixCell`] rather than inside it so the report
+/// stays a plain serializable summary.
+#[derive(Debug, Clone)]
+pub struct CellFlight {
+    /// Fault name, or `"baseline"`.
+    pub fault: String,
+    /// Measured path name (see [`MatrixPath::name`]).
+    pub path: String,
+    /// Whether the cell's measured CPU was shielded.
+    pub shielded: bool,
+    /// The cell's worst captured windows, worst first.
+    pub traces: Vec<WorstCaseTrace>,
 }
 
 /// The full matrix plus its band verdicts.
@@ -312,7 +328,8 @@ fn run_path_group(
     path: MatrixPath,
     faults: &[FaultSpec],
     shielded: bool,
-) -> Vec<MatrixCell> {
+    flight_top_k: usize,
+) -> (Vec<MatrixCell>, Vec<CellFlight>) {
     let group_seed = cell_seed(cfg.seed, group_index);
     let shards = crate::shard::effective_shards(cfg.shards, cfg.samples_per_cell) as usize;
     let seeds = crate::shard::shard_seeds(group_seed, shards as u32);
@@ -339,6 +356,11 @@ fn run_path_group(
         if let Some(f) = fault {
             armory.arm(&mut sim, &f.name).expect("arm");
         }
+        // Arm after the restore so captured windows cover the forked stretch
+        // (pure observation — the cell's trajectory is unchanged).
+        if flight_top_k > 0 {
+            sim.arm_flight(flight_top_k);
+        }
         // Post-fork target: the remaining three quarters of the budget on top
         // of whatever the warm-up actually collected, so every cell samples
         // its faulted regime even when the warm-up overshot its quarter.
@@ -352,27 +374,37 @@ fn run_path_group(
         // The shared warm-up's event work is accounted to the baseline cell
         // only, so group event totals are not inflated per fork.
         let events = sim.events_dispatched() - if cell == 0 { 0 } else { *warm_events };
-        (histogram, events)
+        (histogram, events, sim.flight.top().to_vec())
     });
 
-    (0..cell_count)
-        .map(|cell| {
-            let mut histogram = LatencyHistogram::new();
-            let mut events = 0u64;
-            for shard in 0..shards {
-                let (h, e) = &outputs[cell * shards + shard];
-                histogram.merge(h);
-                events += e;
-            }
-            MatrixCell {
-                fault: if cell == 0 { "baseline".into() } else { faults[cell - 1].name.clone() },
-                path: path.name().into(),
-                shielded,
-                summary: LatencySummary::from_histogram(&histogram),
-                events,
-            }
-        })
-        .collect()
+    let mut cells = Vec::with_capacity(cell_count);
+    let mut flights = Vec::with_capacity(cell_count);
+    for cell in 0..cell_count {
+        let mut histogram = LatencyHistogram::new();
+        let mut events = 0u64;
+        let mut per_shard = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (h, e, t) = &outputs[cell * shards + shard];
+            histogram.merge(h);
+            events += e;
+            per_shard.push(t.clone());
+        }
+        let fault = if cell == 0 { "baseline".to_string() } else { faults[cell - 1].name.clone() };
+        cells.push(MatrixCell {
+            fault: fault.clone(),
+            path: path.name().into(),
+            shielded,
+            summary: LatencySummary::from_histogram(&histogram),
+            events,
+        });
+        flights.push(CellFlight {
+            fault,
+            path: path.name().into(),
+            shielded,
+            traces: crate::flight::merge_top(per_shard, flight_top_k),
+        });
+    }
+    (cells, flights)
 }
 
 /// Run the full matrix: `(1 baseline + 5 faults) × 2 paths × 2 shield
@@ -380,12 +412,31 @@ fn run_path_group(
 /// every band. Each `(path, shielded)` group warms once per shard and forks
 /// its six cells from the shared checkpoint (see [`run_path_group`]).
 pub fn run_fault_matrix(cfg: &FaultMatrixConfig) -> FaultMatrixReport {
+    run_fault_matrix_with_flight(cfg, 0).0
+}
+
+/// [`run_fault_matrix`] with the flight recorder armed in every cell's
+/// forks: each cell additionally reports the causal windows behind its
+/// `top_k` worst samples *from the faulted (post-warm-up) stretch*. Warm-up
+/// samples restored from the shared checkpoint still count toward the cell
+/// histograms, so a quiet cell's histogram max can predate its capture
+/// window; the faulted cells the bands judge take their worst case from the
+/// faulted stretch the recorder covers. The report itself is bit-identical
+/// to [`run_fault_matrix`]'s. With `top_k == 0` nothing is armed.
+pub fn run_fault_matrix_with_flight(
+    cfg: &FaultMatrixConfig,
+    top_k: usize,
+) -> (FaultMatrixReport, Vec<CellFlight>) {
     let faults = matrix_presets();
     let mut cells = Vec::new();
+    let mut flights = Vec::new();
     let mut group = 0u64;
     for path in MatrixPath::ALL {
         for shielded in [true, false] {
-            cells.extend(run_path_group(cfg, group, path, &faults, shielded));
+            let (group_cells, group_flights) =
+                run_path_group(cfg, group, path, &faults, shielded, top_k);
+            cells.extend(group_cells);
+            flights.extend(group_flights);
             group += 1;
         }
     }
@@ -397,7 +448,7 @@ pub fn run_fault_matrix(cfg: &FaultMatrixConfig) -> FaultMatrixReport {
 
     let mut report = FaultMatrixReport { config: cfg.clone(), cells, reshield, violations: vec![] };
     report.violations = check_bands(&report, &faults);
-    report
+    (report, flights)
 }
 
 fn check_bands(report: &FaultMatrixReport, faults: &[FaultSpec]) -> Vec<String> {
@@ -477,8 +528,10 @@ mod tests {
     fn forked_groups_are_deterministic_across_runs() {
         let cfg = FaultMatrixConfig { samples_per_cell: 1_200, shards: 1, seed: 0xFA17_5EED };
         let faults = matrix_presets();
-        let a = run_path_group(&cfg, 1, MatrixPath::Rcim, &faults, true);
-        let b = run_path_group(&cfg, 1, MatrixPath::Rcim, &faults, true);
+        let (a, _) = run_path_group(&cfg, 1, MatrixPath::Rcim, &faults, true, 0);
+        let (b, flights) = run_path_group(&cfg, 1, MatrixPath::Rcim, &faults, true, 1);
+        assert_eq!(flights.len(), faults.len() + 1);
+        assert!(flights.iter().all(|f| !f.traces.is_empty()), "every cell captured a worst window");
         assert_eq!(a.len(), faults.len() + 1);
         assert_eq!(
             serde_json::to_string(&a).unwrap(),

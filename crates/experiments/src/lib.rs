@@ -17,6 +17,7 @@
 
 pub mod determinism;
 pub mod faultmatrix;
+pub mod flight;
 pub mod rcim;
 pub mod realfeel;
 pub mod replication;
@@ -26,13 +27,19 @@ pub mod scenario;
 pub mod shard;
 
 pub use determinism::{run_determinism, DeterminismConfig, DeterminismResult};
-pub use rcim::{run_rcim, RcimConfig, RcimResult};
-pub use realfeel::{run_realfeel, RealfeelConfig, RealfeelResult};
+pub use flight::{merge_top, trace_meta};
+pub use rcim::{run_rcim, run_rcim_with_flight, RcimConfig, RcimResult};
+pub use realfeel::{run_realfeel, run_realfeel_with_flight, RealfeelConfig, RealfeelResult};
 pub use replication::{
     replicate_determinism, replicate_rcim_max, replicate_realfeel_max, Replicated,
 };
-pub use faultmatrix::{run_fault_matrix, FaultMatrixConfig, FaultMatrixReport, MatrixCell};
-pub use runner::{run_all_figures, run_all_figures_with, FigureSuite};
+pub use faultmatrix::{
+    run_fault_matrix, run_fault_matrix_with_flight, CellFlight, FaultMatrixConfig,
+    FaultMatrixReport, MatrixCell,
+};
+pub use runner::{
+    run_all_figures, run_all_figures_flight, run_all_figures_with, FigureSuite, SuiteFlight,
+};
 pub use scenario::{
     run_scenario, run_scenario_sharded, MeasuredResult, RecoveryReport, ScenarioError,
     ScenarioReport, ScenarioSpec,

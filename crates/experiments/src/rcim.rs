@@ -14,6 +14,7 @@ use sp_devices::{DiskDevice, GpuDevice, NicDevice, RcimDevice};
 use sp_hw::{CpuId, CpuMask, MachineConfig};
 use sp_kernel::{
     KernelConfig, KernelVariant, Op, Program, SchedPolicy, Simulator, TaskSpec, WaitApi,
+    WorstCaseTrace,
 };
 use sp_metrics::{CumulativeReport, LatencyHistogram, LatencySummary};
 use sp_workloads::{stress_kernel, ttcp_ethernet_profile, x11perf_driver, StressDevices};
@@ -150,16 +151,24 @@ fn collect_samples(sim: &mut Simulator, pid: sp_kernel::Pid, period: Nanos, samp
     }
 }
 
+/// One shard's output: histogram, events dispatched, captured flight traces.
+type RcimShardOutput = (LatencyHistogram, u64, Vec<WorstCaseTrace>);
+
 /// Run one independent simulation with an explicit seed and sample budget.
-fn run_rcim_shard(cfg: &RcimConfig, seed: u64, samples: u64) -> (LatencyHistogram, u64) {
+/// `flight_top_k > 0` arms the flight recorder (pure observation; the
+/// trajectory is bit-identical either way).
+fn run_rcim_shard(cfg: &RcimConfig, seed: u64, samples: u64, flight_top_k: usize) -> RcimShardOutput {
     let (mut sim, pid) = build_rcim_sim(cfg, seed);
+    if flight_top_k > 0 {
+        sim.arm_flight(flight_top_k);
+    }
     collect_samples(&mut sim, pid, cfg.period, samples);
 
     let mut histogram = LatencyHistogram::new();
     for &l in sim.obs.latencies(pid) {
         histogram.record(l);
     }
-    (histogram, sim.events_dispatched())
+    (histogram, sim.events_dispatched(), sim.flight.top().to_vec())
 }
 
 /// Warm once on `cfg.seed`, checkpoint, fork per shard with a reseeded RNG.
@@ -167,7 +176,7 @@ fn run_rcim_shard(cfg: &RcimConfig, seed: u64, samples: u64) -> (LatencyHistogra
 /// warm-up cost is paid once, each fork drops the shared warm-up samples and
 /// reports only its own draws, and fork events are counted as deltas with the
 /// warm-up's work accounted once.
-fn run_rcim_forked(cfg: &RcimConfig, shards: u32) -> Vec<(LatencyHistogram, u64)> {
+fn run_rcim_forked(cfg: &RcimConfig, shards: u32, flight_top_k: usize) -> Vec<RcimShardOutput> {
     let seeds = crate::shard::shard_seeds(cfg.seed, shards);
     let budgets = crate::shard::split_samples(cfg.samples, shards);
 
@@ -182,6 +191,11 @@ fn run_rcim_forked(cfg: &RcimConfig, shards: u32) -> Vec<(LatencyHistogram, u64)
         sim.restore(&ck);
         sim.reseed(seeds[i]);
         sim.obs.reset_samples();
+        // Arm only after the restore so each fork's captured windows cover
+        // exactly the samples it reports, none of the shared warm-up.
+        if flight_top_k > 0 {
+            sim.arm_flight(flight_top_k);
+        }
         let fork_events = sim.events_dispatched();
         collect_samples(&mut sim, pid, cfg.period, budgets[i]);
 
@@ -189,7 +203,7 @@ fn run_rcim_forked(cfg: &RcimConfig, shards: u32) -> Vec<(LatencyHistogram, u64)
         for &l in sim.obs.latencies(pid) {
             histogram.record(l);
         }
-        (histogram, sim.events_dispatched() - fork_events)
+        (histogram, sim.events_dispatched() - fork_events, sim.flight.top().to_vec())
     });
     outputs[0].1 += warm_events;
     outputs
@@ -202,26 +216,40 @@ fn run_rcim_forked(cfg: &RcimConfig, shards: u32) -> Vec<(LatencyHistogram, u64)
 /// single-simulation path on `cfg.seed`; K > 1 warms one simulation,
 /// checkpoints it, and forks K reseeded copies merged in shard-index order.
 pub fn run_rcim(cfg: &RcimConfig) -> RcimResult {
+    run_rcim_with_flight(cfg, 0).0
+}
+
+/// [`run_rcim`] with the flight recorder armed: every shard captures the
+/// causal windows behind its `top_k` worst samples and the sets are merged
+/// into the run's global top-K (worst first). The recorder is pure
+/// observation, so the [`RcimResult`] is bit-identical to [`run_rcim`]'s and
+/// the merged worst trace's latency equals the summary's `max`. With
+/// `top_k == 0` no recorder is armed and the capture set is empty.
+pub fn run_rcim_with_flight(cfg: &RcimConfig, top_k: usize) -> (RcimResult, Vec<WorstCaseTrace>) {
     let shards = crate::shard::effective_shards(cfg.shards, cfg.samples);
-    let outputs: Vec<(LatencyHistogram, u64)> = if shards <= 1 {
-        vec![run_rcim_shard(cfg, cfg.seed, cfg.samples)]
+    let outputs: Vec<RcimShardOutput> = if shards <= 1 {
+        vec![run_rcim_shard(cfg, cfg.seed, cfg.samples, top_k)]
     } else {
-        run_rcim_forked(cfg, shards)
+        run_rcim_forked(cfg, shards, top_k)
     };
 
     let mut histogram = LatencyHistogram::new();
     let mut events = 0u64;
-    for (shard_hist, shard_events) in &outputs {
-        histogram.merge(shard_hist);
+    let mut per_shard = Vec::with_capacity(outputs.len());
+    for (shard_hist, shard_events, shard_traces) in outputs {
+        histogram.merge(&shard_hist);
         events += shard_events;
+        per_shard.push(shard_traces);
     }
-    RcimResult {
+    let traces = crate::flight::merge_top(per_shard, top_k);
+    let result = RcimResult {
         config: cfg.clone(),
         summary: LatencySummary::from_histogram(&histogram),
         cumulative: CumulativeReport::new(&histogram, &CumulativeReport::paper_us_ladder()),
         histogram,
         events,
-    }
+    };
+    (result, traces)
 }
 
 #[cfg(test)]
@@ -234,6 +262,23 @@ mod tests {
         assert!(r.summary.min >= Nanos::from_us(8), "min {}", r.summary.min);
         assert!(r.summary.max < Nanos::from_us(30), "max {}", r.summary.max);
         assert!(r.summary.mean < Nanos::from_us(18), "mean {}", r.summary.mean);
+    }
+
+    /// Flight capture is free (bit-identical result) and the worst captured
+    /// trace is the run's maximum, including through the sharded fork path.
+    #[test]
+    fn flight_capture_is_free_and_explains_the_max() {
+        let cfg = RcimConfig::fig7_redhawk_shielded().with_samples(6_000).with_shards(2);
+        let plain = run_rcim(&cfg);
+        let (armed, traces) = run_rcim_with_flight(&cfg, 3);
+        assert_eq!(
+            serde_json::to_string(&plain.histogram).unwrap(),
+            serde_json::to_string(&armed.histogram).unwrap()
+        );
+        assert_eq!(plain.events, armed.events);
+        assert!(!traces.is_empty());
+        assert_eq!(traces[0].latency, armed.summary.max);
+        assert!(traces[0].breakdown.is_some());
     }
 
     #[test]

@@ -14,6 +14,7 @@ use sp_devices::{DiskDevice, NicDevice, OnOffPoisson, RtcDevice};
 use sp_hw::{CpuId, CpuMask, MachineConfig};
 use sp_kernel::{
     KernelConfig, KernelVariant, Op, Program, SchedPolicy, Simulator, TaskSpec, WaitApi,
+    WorstCaseTrace,
 };
 use sp_metrics::{CumulativeReport, LatencyHistogram, LatencySummary};
 use sp_workloads::{stress_kernel, StressDevices};
@@ -109,6 +110,9 @@ struct ShardOutput {
     histogram: LatencyHistogram,
     overruns: u64,
     events: u64,
+    /// Worst-case windows captured by this shard's flight recorder (empty
+    /// when the run is not capturing).
+    traces: Vec<WorstCaseTrace>,
 }
 
 /// Build a ready-to-sample realfeel simulation: devices, stress kernel, the
@@ -165,8 +169,13 @@ fn collect_samples(sim: &mut Simulator, pid: sp_kernel::Pid, period: Nanos, samp
 }
 
 /// Run one independent simulation with an explicit seed and sample budget.
-fn run_realfeel_shard(cfg: &RealfeelConfig, seed: u64, samples: u64) -> ShardOutput {
+/// `flight_top_k > 0` arms the flight recorder for that many worst windows
+/// (arming is pure observation — the trajectory is bit-identical either way).
+fn run_realfeel_shard(cfg: &RealfeelConfig, seed: u64, samples: u64, flight_top_k: usize) -> ShardOutput {
     let (mut sim, pid) = build_realfeel_sim(cfg, seed);
+    if flight_top_k > 0 {
+        sim.arm_flight(flight_top_k);
+    }
     let period = Nanos(1_000_000_000 / cfg.rtc_hz as u64);
     collect_samples(&mut sim, pid, period, samples);
 
@@ -176,7 +185,8 @@ fn run_realfeel_shard(cfg: &RealfeelConfig, seed: u64, samples: u64) -> ShardOut
     }
     let expected = sim.now().as_ns() / period.as_ns();
     let overruns = expected.saturating_sub(histogram.count());
-    ShardOutput { histogram, overruns, events: sim.events_dispatched() }
+    let traces = sim.flight.top().to_vec();
+    ShardOutput { histogram, overruns, events: sim.events_dispatched(), traces }
 }
 
 /// Warm once, fork per shard. One simulation is built and run to a warm
@@ -185,7 +195,7 @@ fn run_realfeel_shard(cfg: &RealfeelConfig, seed: u64, samples: u64) -> ShardOut
 /// its budget from there. Shards pay the build + warm-up cost once between
 /// them instead of once each. The warm-up samples were drawn on shared
 /// randomness, so each fork drops them and reports only its own draws.
-fn run_realfeel_forked(cfg: &RealfeelConfig, shards: u32) -> Vec<ShardOutput> {
+fn run_realfeel_forked(cfg: &RealfeelConfig, shards: u32, flight_top_k: usize) -> Vec<ShardOutput> {
     let period = Nanos(1_000_000_000 / cfg.rtc_hz as u64);
     let seeds = crate::shard::shard_seeds(cfg.seed, shards);
     let budgets = crate::shard::split_samples(cfg.samples, shards);
@@ -201,6 +211,11 @@ fn run_realfeel_forked(cfg: &RealfeelConfig, shards: u32) -> Vec<ShardOutput> {
         sim.restore(&ck);
         sim.reseed(seeds[i]);
         sim.obs.reset_samples();
+        // Arm only after the restore so each fork's captured windows cover
+        // exactly the samples it reports, none of the shared warm-up.
+        if flight_top_k > 0 {
+            sim.arm_flight(flight_top_k);
+        }
         let forked_at = sim.now();
         let fork_events = sim.events_dispatched();
         collect_samples(&mut sim, pid, period, budgets[i]);
@@ -211,7 +226,8 @@ fn run_realfeel_forked(cfg: &RealfeelConfig, shards: u32) -> Vec<ShardOutput> {
         }
         let expected = sim.now().since(forked_at).as_ns() / period.as_ns();
         let overruns = expected.saturating_sub(histogram.count());
-        ShardOutput { histogram, overruns, events: sim.events_dispatched() - fork_events }
+        let traces = sim.flight.top().to_vec();
+        ShardOutput { histogram, overruns, events: sim.events_dispatched() - fork_events, traces }
     });
     // The shared warm-up's event work is real; account it once.
     outputs[0].events += warm_events;
@@ -228,35 +244,53 @@ fn run_realfeel_forked(cfg: &RealfeelConfig, shards: u32) -> Vec<ShardOutput> {
 /// threads, and their histograms are merged in shard-index order, so the
 /// output is bit-for-bit reproducible for a given `(seed, K)`.
 pub fn run_realfeel(cfg: &RealfeelConfig) -> RealfeelResult {
+    run_realfeel_with_flight(cfg, 0).0
+}
+
+/// [`run_realfeel`] with the flight recorder armed: every shard captures the
+/// causal windows behind its `top_k` worst wake-to-user samples, and the
+/// per-shard sets are merged into the run's global top-K (worst first). The
+/// recorder is pure observation, so the [`RealfeelResult`] is bit-identical
+/// to [`run_realfeel`]'s — the merged worst trace's latency *is* the
+/// summary's `max`. With `top_k == 0` no recorder is armed and the capture
+/// set is empty.
+pub fn run_realfeel_with_flight(
+    cfg: &RealfeelConfig,
+    top_k: usize,
+) -> (RealfeelResult, Vec<WorstCaseTrace>) {
     let shards = crate::shard::effective_shards(cfg.shards, cfg.samples);
     let outputs: Vec<ShardOutput> = if shards <= 1 {
-        vec![run_realfeel_shard(cfg, cfg.seed, cfg.samples)]
+        vec![run_realfeel_shard(cfg, cfg.seed, cfg.samples, top_k)]
     } else {
-        run_realfeel_forked(cfg, shards)
+        run_realfeel_forked(cfg, shards, top_k)
     };
 
     let mut histogram = LatencyHistogram::new();
     let mut overruns = 0u64;
     let mut events = 0u64;
-    for out in &outputs {
+    let mut per_shard = Vec::with_capacity(outputs.len());
+    for out in outputs {
         histogram.merge(&out.histogram);
         overruns += out.overruns;
         events += out.events;
+        per_shard.push(out.traces);
     }
+    let traces = crate::flight::merge_top(per_shard, top_k);
     let ladder = if cfg.shield.is_some() {
         CumulativeReport::paper_sub_ms_ladder()
     } else {
         CumulativeReport::paper_ms_ladder()
     };
 
-    RealfeelResult {
+    let result = RealfeelResult {
         config: cfg.clone(),
         summary: LatencySummary::from_histogram(&histogram),
         cumulative: CumulativeReport::new(&histogram, &ladder),
         histogram,
         overruns,
         events,
-    }
+    };
+    (result, traces)
 }
 
 #[cfg(test)]
@@ -270,7 +304,7 @@ mod tests {
         let cfg = RealfeelConfig::fig6_redhawk_shielded().with_samples(5_000);
         assert_eq!(cfg.shards, 1);
         let via_public = run_realfeel(&cfg);
-        let direct = run_realfeel_shard(&cfg, cfg.seed, cfg.samples);
+        let direct = run_realfeel_shard(&cfg, cfg.seed, cfg.samples, 0);
         assert_eq!(
             serde_json::to_string(&via_public.histogram).unwrap(),
             serde_json::to_string(&direct.histogram).unwrap()
@@ -286,7 +320,7 @@ mod tests {
         let cfg = RealfeelConfig::fig6_redhawk_shielded().with_samples(6_000).with_shards(3);
         let merged = run_realfeel(&cfg);
 
-        let outputs = run_realfeel_forked(&cfg, 3);
+        let outputs = run_realfeel_forked(&cfg, 3, 0);
         assert_eq!(outputs.len(), 3);
         let mut count = 0u64;
         let mut overruns = 0u64;
@@ -338,6 +372,30 @@ mod tests {
         assert_eq!(warm.now(), fork.now());
         assert_eq!(warm.events_dispatched(), fork.events_dispatched());
         assert_eq!(warm.obs.latencies(pid), fork.obs.latencies(fork_pid));
+    }
+
+    /// Arming the flight recorder changes nothing measurable — the sharded
+    /// fork path included — and the merged worst trace explains the merged
+    /// histogram's maximum.
+    #[test]
+    fn flight_capture_is_free_and_explains_the_max() {
+        let cfg = RealfeelConfig::fig6_redhawk_shielded().with_samples(6_000).with_shards(3);
+        let plain = run_realfeel(&cfg);
+        let (armed, traces) = run_realfeel_with_flight(&cfg, 2);
+
+        assert_eq!(
+            serde_json::to_string(&plain.histogram).unwrap(),
+            serde_json::to_string(&armed.histogram).unwrap()
+        );
+        assert_eq!(plain.overruns, armed.overruns);
+        assert_eq!(plain.events, armed.events);
+
+        assert!(!traces.is_empty() && traces.len() <= 2);
+        assert_eq!(traces[0].latency, armed.summary.max, "worst trace must be the max");
+        for pair in traces.windows(2) {
+            assert!(pair[0].latency >= pair[1].latency);
+        }
+        assert!(!traces[0].events.is_empty());
     }
 
     #[test]

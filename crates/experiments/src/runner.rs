@@ -2,9 +2,10 @@
 //! independent single-threaded simulation, so they parallelise perfectly).
 
 use crate::determinism::{run_determinism, DeterminismConfig, DeterminismResult};
-use crate::realfeel::{run_realfeel, RealfeelConfig, RealfeelResult};
-use crate::rcim::{run_rcim, RcimConfig, RcimResult};
+use crate::realfeel::{run_realfeel_with_flight, RealfeelConfig, RealfeelResult};
+use crate::rcim::{run_rcim_with_flight, RcimConfig, RcimResult};
 use parking_lot::Mutex;
+use sp_kernel::WorstCaseTrace;
 
 /// Results of the complete figure suite.
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
@@ -16,6 +17,20 @@ pub struct FigureSuite {
     pub fig5: RealfeelResult,
     pub fig6: RealfeelResult,
     pub fig7: RcimResult,
+}
+
+/// Flight-recorder captures for the latency figures (empty when the suite
+/// ran without capture). Each entry is that figure's merged top-K worst
+/// wake-to-user windows, worst first; the worst entry's latency equals the
+/// figure's summary `max`.
+#[derive(Debug, Default)]
+pub struct SuiteFlight {
+    /// Figure 5 (vanilla realfeel) captures.
+    pub fig5: Vec<WorstCaseTrace>,
+    /// Figure 6 (shielded realfeel) captures.
+    pub fig6: Vec<WorstCaseTrace>,
+    /// Figure 7 (shielded RCIM) captures.
+    pub fig7: Vec<WorstCaseTrace>,
 }
 
 /// Wall-clock spent in each figure (throughput accounting for the
@@ -44,6 +59,20 @@ pub fn run_all_figures_with(scale: f64, shards: u32) -> FigureSuite {
 
 /// [`run_all_figures_with`], also reporting per-figure wall-clock.
 pub fn run_all_figures_timed(scale: f64, shards: u32) -> (FigureSuite, SuiteTimings) {
+    let (suite, timings, _) = run_all_figures_flight(scale, shards, 0);
+    (suite, timings)
+}
+
+/// [`run_all_figures_timed`] with the flight recorder armed on the latency
+/// figures: each of Figures 5–7 additionally returns its merged top-`top_k`
+/// worst-case windows (see [`SuiteFlight`]). The recorder is pure
+/// observation, so the [`FigureSuite`] is bit-identical to a `top_k == 0`
+/// run with the same `(scale, shards)`.
+pub fn run_all_figures_flight(
+    scale: f64,
+    shards: u32,
+    top_k: usize,
+) -> (FigureSuite, SuiteTimings, SuiteFlight) {
     assert!(scale > 0.0);
     // Floors keep smoke runs statistically meaningful: worst-iteration jitter
     // needs ~60 iterations before the tail bands are reachable at all, and
@@ -71,9 +100,9 @@ pub fn run_all_figures_timed(scale: f64, shards: u32) -> (FigureSuite, SuiteTimi
     let t0 = std::time::Instant::now();
     let det: Mutex<Vec<Option<(DeterminismResult, f64)>>> =
         Mutex::new(vec![None, None, None, None]);
-    let mut lat5: Option<(RealfeelResult, f64)> = None;
-    let mut lat6: Option<(RealfeelResult, f64)> = None;
-    let mut lat7: Option<(RcimResult, f64)> = None;
+    let mut lat5: Option<(RealfeelResult, Vec<WorstCaseTrace>, f64)> = None;
+    let mut lat6: Option<(RealfeelResult, Vec<WorstCaseTrace>, f64)> = None;
+    let mut lat7: Option<(RcimResult, Vec<WorstCaseTrace>, f64)> = None;
 
     crossbeam::scope(|scope| {
         for (i, cfg) in d_cfgs.iter().enumerate() {
@@ -86,18 +115,18 @@ pub fn run_all_figures_timed(scale: f64, shards: u32) -> (FigureSuite, SuiteTimi
         }
         scope.spawn(|_| {
             let t = std::time::Instant::now();
-            let r = run_realfeel(&f5);
-            lat5 = Some((r, t.elapsed().as_secs_f64() * 1e3));
+            let (r, tr) = run_realfeel_with_flight(&f5, top_k);
+            lat5 = Some((r, tr, t.elapsed().as_secs_f64() * 1e3));
         });
         scope.spawn(|_| {
             let t = std::time::Instant::now();
-            let r = run_realfeel(&f6);
-            lat6 = Some((r, t.elapsed().as_secs_f64() * 1e3));
+            let (r, tr) = run_realfeel_with_flight(&f6, top_k);
+            lat6 = Some((r, tr, t.elapsed().as_secs_f64() * 1e3));
         });
         scope.spawn(|_| {
             let t = std::time::Instant::now();
-            let r = run_rcim(&f7);
-            lat7 = Some((r, t.elapsed().as_secs_f64() * 1e3));
+            let (r, tr) = run_rcim_with_flight(&f7, top_k);
+            lat7 = Some((r, tr, t.elapsed().as_secs_f64() * 1e3));
         });
     })
     .expect("experiment thread panicked");
@@ -109,9 +138,9 @@ pub fn run_all_figures_timed(scale: f64, shards: u32) -> (FigureSuite, SuiteTimi
         det[2].take().expect("fig3"),
         det[3].take().expect("fig4"),
     ];
-    let (lat5, ms5) = lat5.expect("fig5");
-    let (lat6, ms6) = lat6.expect("fig6");
-    let (lat7, ms7) = lat7.expect("fig7");
+    let (lat5, fl5, ms5) = lat5.expect("fig5");
+    let (lat6, fl6, ms6) = lat6.expect("fig6");
+    let (lat7, fl7, ms7) = lat7.expect("fig7");
     let timings = SuiteTimings {
         figures: vec![
             ("fig1".into(), d1.1),
@@ -133,5 +162,6 @@ pub fn run_all_figures_timed(scale: f64, shards: u32) -> (FigureSuite, SuiteTimi
         fig6: lat6,
         fig7: lat7,
     };
-    (suite, timings)
+    let flight = SuiteFlight { fig5: fl5, fig6: fl6, fig7: fl7 };
+    (suite, timings, flight)
 }

@@ -19,6 +19,7 @@
 
 pub mod device;
 pub mod devices;
+pub mod flight;
 pub mod ids;
 pub mod kconfig;
 pub mod lock;
@@ -33,6 +34,7 @@ pub mod task;
 
 pub use device::{Device, DeviceCtx, DeviceState, IsrOutcome};
 pub use devices::AnyDevice;
+pub use flight::{FlightRecorder, WorstCaseTrace};
 pub use ids::{DeviceId, LockId, Pid, SoftirqClass, SyscallId};
 pub use kconfig::{KernelConfig, KernelVariant};
 pub use observe::{CpuAccounting, Observations, WakeBreakdown};

@@ -136,6 +136,12 @@ impl Observations {
         self.watched_breakdown.contains_key(&pid)
     }
 
+    /// Whether `pid`'s wake-to-user latencies are being recorded (the flight
+    /// recorder only captures windows for watched tasks).
+    pub fn watches_latency(&self, pid: Pid) -> bool {
+        self.watched_latency.contains_key(&pid)
+    }
+
     pub(crate) fn record_breakdown(&mut self, pid: Pid, b: WakeBreakdown) {
         if let Some(v) = self.watched_breakdown.get_mut(&pid) {
             v.push(b);

@@ -12,6 +12,7 @@
 
 use crate::device::{Device, DeviceCmd, DeviceCtx, DeviceSlot, DeviceState};
 use crate::devices::AnyDevice;
+use crate::flight::FlightRecorder;
 use crate::ids::{DeviceId, LockId, Pid, SoftirqClass, SyscallId};
 use crate::kconfig::KernelConfig;
 use crate::lock::{AcquireResult, LockTable};
@@ -23,6 +24,7 @@ use crate::syscall::SyscallService;
 use crate::task::{
     BlockReason, KernelPlan, Phase, PlanEnd, PlannedStep, Task, TaskSpec, TaskState,
 };
+use simcore::flight::{ActivityClass, FlightEvent, FlightEventKind};
 use simcore::{EventKey, Instant, Nanos, SimRng, TraceKind, Tracer, WheelQueue};
 use sp_hw::{exec_context, CpuId, CpuMask, IrqRouting, MachineConfig};
 use std::collections::{HashMap, VecDeque};
@@ -135,6 +137,10 @@ pub struct Simulator {
     syscalls: Vec<SyscallService>,
     pub obs: Observations,
     pub tracer: Tracer,
+    /// Worst-case flight recorder; disarmed (zero-cost) by default. Like
+    /// the tracer, it is pure observation: arming it changes no simulated
+    /// behaviour, and it is excluded from [`Checkpoint`]s.
+    pub flight: FlightRecorder,
     shield: ShieldCtl,
     token_counter: u64,
     started: bool,
@@ -175,6 +181,7 @@ impl Simulator {
             syscalls: Vec::new(),
             obs: Observations::new(n),
             tracer: Tracer::disabled(),
+            flight: FlightRecorder::disarmed(),
             shield: ShieldCtl::NONE,
             token_counter: 0,
             started: false,
@@ -368,6 +375,14 @@ impl Simulator {
         self.trace(TraceKind::Shield, None, || {
             format!("shield procs={} irqs={} ltmrs={}", ctl.procs, ctl.irqs, ctl.ltmrs)
         });
+        if self.flight.is_armed() {
+            self.flight.record(FlightEvent::instant(
+                self.now,
+                None,
+                FlightEventKind::ShieldSet,
+                ctl.procs.count() as u64,
+            ));
+        }
         // IRQ routing.
         for dev in 0..self.irq_routes.len() {
             let eff = effective_mask(self.irq_requested[dev], ctl.irqs, online);
@@ -437,6 +452,14 @@ impl Simulator {
     /// Record per-sample wake-latency breakdowns for `pid`.
     pub fn watch_breakdown(&mut self, pid: Pid) {
         self.obs.watch_breakdown(pid);
+    }
+
+    /// Arm the worst-case flight recorder, keeping the `top_k` worst
+    /// watched samples' causal windows. Pure observation: arming changes no
+    /// simulated behaviour (verdicts stay bit-identical), and costs one
+    /// predicted branch per hook while disarmed.
+    pub fn arm_flight(&mut self, top_k: usize) {
+        self.flight = FlightRecorder::armed(top_k);
     }
 
     fn refresh_task_affinity(&mut self, pid: Pid) {
@@ -669,6 +692,26 @@ impl Simulator {
                 self.tasks[pid.index()].cpu_time += wall;
             }
         }
+        if self.flight.is_armed() && !wall.is_zero() {
+            let (class, detail) = match kind {
+                ActKind::User => (ActivityClass::User, 0),
+                ActKind::Kernel { .. } => (ActivityClass::Kernel, 0),
+                ActKind::SpinWait { lock, .. } => (ActivityClass::Spin, lock.0 as u64),
+                ActKind::Isr { dev, .. } => (ActivityClass::Isr, dev.0 as u64),
+                ActKind::Softirq => (ActivityClass::Softirq, 0),
+                ActKind::Tick => (ActivityClass::Tick, 0),
+                ActKind::Switch { to } => (ActivityClass::Switch, to.0 as u64),
+            };
+            // Spans are accounted when they end or are checkpointed, so the
+            // start is `now - wall`.
+            self.flight.record(FlightEvent::span(
+                self.now - wall,
+                wall,
+                cpu as u32,
+                class,
+                detail,
+            ));
+        }
     }
 
     fn trace(&mut self, kind: TraceKind, cpu: Option<u32>, f: impl FnOnce() -> String) {
@@ -701,6 +744,14 @@ impl Simulator {
         let cpu = self.irq_routes[dev.index()].route(online);
         let pend = PendingIrq { dev, asserted: self.now };
         let c = cpu.index();
+        if self.flight.is_armed() {
+            self.flight.record(FlightEvent::instant(
+                self.now,
+                Some(cpu.0),
+                FlightEventKind::IrqAssert,
+                dev.0 as u64,
+            ));
+        }
         if self.cpu_can_take_irq(c) && self.cpus[c].pending_irqs.is_empty() {
             self.begin_isr(c, pend);
         } else {
@@ -1141,6 +1192,14 @@ impl Simulator {
         self.tasks[pid.index()].woken_at = Some(self.now);
         self.tasks[pid.index()].ran_at = None;
         self.trace(TraceKind::Sched, None, || format!("wake {pid}"));
+        if self.flight.is_armed() {
+            self.flight.record(FlightEvent::instant(
+                self.now,
+                None,
+                FlightEventKind::Wake,
+                pid.0 as u64,
+            ));
+        }
         self.make_runnable(pid);
     }
 
@@ -1295,18 +1354,39 @@ impl Simulator {
                             if let Some(asserted) = self.tasks[pid.index()].wake_ref.take() {
                                 let lat = self.now.since(asserted);
                                 self.obs.record_latency(pid, lat, self.now);
-                                if self.obs.wants_breakdown(pid) {
+                                let flight_wants =
+                                    self.flight.is_armed() && self.obs.watches_latency(pid);
+                                let breakdown = if self.obs.wants_breakdown(pid) || flight_wants
+                                {
                                     let t = &self.tasks[pid.index()];
                                     let woken = t.woken_at.unwrap_or(asserted);
                                     let ran = t.ran_at.unwrap_or(woken).max(woken);
+                                    Some(crate::observe::WakeBreakdown {
+                                        to_wake: woken.saturating_since(asserted),
+                                        to_run: ran.since(woken),
+                                        exit_path: self.now.since(ran),
+                                    })
+                                } else {
+                                    None
+                                };
+                                if self.obs.wants_breakdown(pid) {
                                     self.obs.record_breakdown(
                                         pid,
-                                        crate::observe::WakeBreakdown {
-                                            to_wake: woken.saturating_since(asserted),
-                                            to_run: ran.since(woken),
-                                            exit_path: self.now.since(ran),
-                                        },
+                                        breakdown.expect("computed when wanted"),
                                     );
+                                }
+                                if flight_wants {
+                                    // The exit-path span was accounted just
+                                    // before this arm ran, so with the
+                                    // completion marker added the ring holds
+                                    // the full window.
+                                    self.flight.record(FlightEvent::instant(
+                                        self.now,
+                                        Some(cpu as u32),
+                                        FlightEventKind::SampleDone,
+                                        lat.as_ns(),
+                                    ));
+                                    self.flight.offer(pid, lat, asserted, self.now, breakdown);
                                 }
                             }
                             self.tasks[pid.index()].wait_api = None;
@@ -1665,8 +1745,11 @@ impl Simulator {
     /// machine and kernel config, same devices in the same order, same
     /// tasks, same syscall profiles) as the simulator the checkpoint came
     /// from — typically by re-running the scenario builder, or by reusing
-    /// the warmed simulator itself. Watch lists and the tracer are left
-    /// as-is so a fork can observe different tasks than the parent did.
+    /// the warmed simulator itself. Watch lists, the tracer, and the flight
+    /// recorder are left as-is so a fork can observe different tasks than
+    /// the parent did (forks that arm the recorder call
+    /// [`FlightRecorder::reset`] after restoring so captured windows cover
+    /// only their own samples).
     pub fn restore(&mut self, ck: &Checkpoint) {
         assert_eq!(self.devices.len(), ck.devices.len(), "checkpoint device set mismatch");
         assert_eq!(self.tasks.len(), ck.tasks.len(), "checkpoint task set mismatch");

@@ -1,0 +1,213 @@
+//! One-screen "why was the max the max" cause-chain reports.
+//!
+//! Given the flight-recorder window behind a worst-case wake-to-user sample,
+//! render a compact chronological narrative: the interrupt assert, every
+//! activity span that ran between assert and user-space delivery (attributed
+//! to its accounting class), the wakeup, and the final latency split into
+//! the `WakeBreakdown` stages. The report fits one terminal screen; when the
+//! window holds more events than fit, the longest spans are kept and the
+//! elision is stated explicitly.
+
+use simcore::flight::{ActivityClass, FlightEvent, FlightEventKind};
+use simcore::{Instant, Nanos};
+use std::fmt::Write as _;
+
+/// Everything the renderer needs to know about the worst sample besides the
+/// event window itself. Producers (the kernel's flight recorder) fill this
+/// from their `WorstCaseTrace`; keeping it plain `Nanos`/`u64` fields lets
+/// `sp-metrics` stay independent of the kernel crate.
+#[derive(Debug, Clone)]
+pub struct WorstCaseMeta {
+    /// Experiment / configuration label (e.g. `"fig7 shielded rcim"`).
+    pub label: String,
+    /// Pid of the watched latency task.
+    pub pid: u32,
+    /// The sample's wake-to-user latency.
+    pub latency: Nanos,
+    /// When the device asserted the interrupt.
+    pub asserted: Instant,
+    /// When the sample completed (user-space delivery).
+    pub completed: Instant,
+    /// Interrupt assert → task runnable, when breakdown capture was on.
+    pub to_wake: Option<Nanos>,
+    /// Task runnable → task on CPU.
+    pub to_run: Option<Nanos>,
+    /// Kernel exit path (on CPU → user mode).
+    pub exit_path: Option<Nanos>,
+}
+
+/// Maximum number of event lines in a rendered chain — keeps the report to
+/// one screen together with the header and summary lines.
+const MAX_LINES: usize = 18;
+
+fn offset(of: Instant, since: Instant) -> String {
+    if of >= since {
+        format!("+{}", of.since(since))
+    } else {
+        format!("-{}", since.since(of))
+    }
+}
+
+/// Render the cause chain for one worst-case sample.
+///
+/// `events` is the flight window overlapping `[meta.asserted,
+/// meta.completed]`, chronologically sorted (the recorder's natural order).
+pub fn render_cause_chain(meta: &WorstCaseMeta, events: &[FlightEvent]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "why was the max the max? — {} (pid {}, wake-to-user {})",
+        meta.label, meta.pid, meta.latency
+    );
+    let _ = writeln!(
+        out,
+        "  window {} .. {} ({} events)",
+        meta.asserted,
+        meta.completed,
+        events.len()
+    );
+
+    // Keep the chain to one screen: prefer instants (they carry the causal
+    // skeleton) and the longest spans.
+    let mut keep: Vec<&FlightEvent> = events.iter().collect();
+    let elided = if keep.len() > MAX_LINES {
+        let mut spans: Vec<&FlightEvent> =
+            events.iter().filter(|e| !e.dur.is_zero()).collect();
+        spans.sort_by_key(|e| std::cmp::Reverse(e.dur));
+        let instants = events.iter().filter(|e| e.dur.is_zero()).count();
+        let span_budget = MAX_LINES.saturating_sub(instants.min(MAX_LINES / 2));
+        spans.truncate(span_budget);
+        let kept_spans: Vec<*const FlightEvent> =
+            spans.iter().map(|e| *e as *const FlightEvent).collect();
+        let before = keep.len();
+        keep.retain(|e| {
+            e.dur.is_zero() || kept_spans.contains(&(*e as *const FlightEvent))
+        });
+        keep.truncate(MAX_LINES);
+        before - keep.len()
+    } else {
+        0
+    };
+
+    for ev in &keep {
+        let cpu = match ev.cpu {
+            Some(c) => format!("cpu{c}"),
+            None => "    ".to_string(),
+        };
+        let what = match ev.kind {
+            FlightEventKind::Span(ActivityClass::Isr) => {
+                format!("isr dev{} ran {}", ev.detail, ev.dur)
+            }
+            FlightEventKind::Span(ActivityClass::Spin) => {
+                format!("spun on lock{} for {}", ev.detail, ev.dur)
+            }
+            FlightEventKind::Span(ActivityClass::Switch) => {
+                format!("switched to pid {} ({})", ev.detail, ev.dur)
+            }
+            FlightEventKind::Span(class) => format!("{} for {}", class.name(), ev.dur),
+            FlightEventKind::IrqAssert => format!("dev{} asserted its interrupt", ev.detail),
+            FlightEventKind::Wake => format!("pid {} made runnable", ev.detail),
+            FlightEventKind::SampleDone => {
+                format!("sample delivered to user ({})", Nanos(ev.detail))
+            }
+            FlightEventKind::ShieldSet => {
+                format!("shield reconfigured: {} shielded CPU(s)", ev.detail)
+            }
+        };
+        let _ = writeln!(out, "  {:>10}  {}  {}", offset(ev.at, meta.asserted), cpu, what);
+    }
+    if elided > 0 {
+        let _ = writeln!(out, "  … {elided} shorter span(s) elided");
+    }
+
+    if let (Some(w), Some(r), Some(x)) = (meta.to_wake, meta.to_run, meta.exit_path) {
+        let _ = writeln!(out, "  breakdown: assert→wake {w} | wake→run {r} | exit path {x}");
+    }
+
+    // Attribute the busy time inside the window to accounting classes.
+    let mut per_class: Vec<(ActivityClass, Nanos)> = Vec::new();
+    for ev in events {
+        if let FlightEventKind::Span(class) = ev.kind {
+            let clipped_start = ev.at.as_ns().max(meta.asserted.as_ns());
+            let clipped_end = ev.end().as_ns().min(meta.completed.as_ns());
+            if clipped_end <= clipped_start {
+                continue;
+            }
+            let d = Nanos(clipped_end - clipped_start);
+            match per_class.iter_mut().find(|(c, _)| *c == class) {
+                Some((_, total)) => *total += d,
+                None => per_class.push((class, d)),
+            }
+        }
+    }
+    per_class.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
+    if !per_class.is_empty() {
+        out.push_str("  busy inside window:");
+        let window = meta.completed.saturating_since(meta.asserted).as_ns().max(1);
+        for (class, d) in &per_class {
+            let pct = d.as_ns() as f64 * 100.0 / window as f64;
+            let _ = write!(out, " {}={} ({:.0}%)", class.name(), d, pct);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::flight::FlightEvent;
+
+    fn meta() -> WorstCaseMeta {
+        WorstCaseMeta {
+            label: "fig7 shielded".to_string(),
+            pid: 12,
+            latency: Nanos(13_500),
+            asserted: Instant(1_000_000),
+            completed: Instant(1_013_500),
+            to_wake: Some(Nanos(4_000)),
+            to_run: Some(Nanos(8_000)),
+            exit_path: Some(Nanos(1_500)),
+        }
+    }
+
+    #[test]
+    fn chain_mentions_each_stage() {
+        let m = meta();
+        let events = vec![
+            FlightEvent::instant(m.asserted, Some(1), FlightEventKind::IrqAssert, 3),
+            FlightEvent::span(Instant(1_000_200), Nanos(2_000), 1, ActivityClass::Isr, 3),
+            FlightEvent::span(Instant(1_002_200), Nanos(1_500), 1, ActivityClass::Softirq, 0),
+            FlightEvent::instant(Instant(1_004_000), Some(1), FlightEventKind::Wake, 12),
+            FlightEvent::span(Instant(1_004_000), Nanos(8_000), 1, ActivityClass::Spin, 2),
+            FlightEvent::instant(m.completed, Some(1), FlightEventKind::SampleDone, 13_500),
+        ];
+        let text = render_cause_chain(&m, &events);
+        assert!(text.contains("why was the max the max?"), "{text}");
+        assert!(text.contains("dev3 asserted its interrupt"), "{text}");
+        assert!(text.contains("isr dev3 ran 2.000us"), "{text}");
+        assert!(text.contains("pid 12 made runnable"), "{text}");
+        assert!(text.contains("spun on lock2"), "{text}");
+        assert!(text.contains("assert→wake 4.000us"), "{text}");
+        assert!(text.contains("busy inside window:"), "{text}");
+        assert!(text.contains("spin=8.000us (59%)"), "{text}");
+    }
+
+    #[test]
+    fn long_windows_are_elided_to_one_screen() {
+        let m = meta();
+        let mut events = Vec::new();
+        for i in 0..60u64 {
+            events.push(FlightEvent::span(
+                Instant(1_000_000 + i * 100),
+                Nanos(10 + i),
+                0,
+                ActivityClass::Tick,
+                0,
+            ));
+        }
+        let text = render_cause_chain(&m, &events);
+        assert!(text.lines().count() <= MAX_LINES + 5, "{text}");
+        assert!(text.contains("elided"), "{text}");
+    }
+}

@@ -70,6 +70,7 @@ impl Default for LatencyHistogram {
 }
 
 impl LatencyHistogram {
+    /// An empty histogram.
     pub fn new() -> Self {
         LatencyHistogram {
             counts: vec![0; NUM_BUCKETS],
@@ -80,6 +81,7 @@ impl LatencyHistogram {
         }
     }
 
+    /// Record one sample.
     pub fn record(&mut self, v: Nanos) {
         let ns = v.as_ns();
         self.counts[value_to_index(ns)] += 1;
@@ -89,10 +91,12 @@ impl LatencyHistogram {
         self.max = self.max.max(ns);
     }
 
+    /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count
     }
 
+    /// Whether no samples were recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }

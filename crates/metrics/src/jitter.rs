@@ -34,21 +34,28 @@ pub struct JitterSeries {
 /// The digest printed under Figures 1–4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JitterSummary {
+    /// Number of timed iterations.
     pub iterations: u64,
+    /// Unloaded (best-case) iteration time.
     pub ideal: Nanos,
+    /// Slowest iteration time.
     pub max: Nanos,
+    /// `max - ideal`.
     pub jitter: Nanos,
-    /// jitter / ideal, in percent — the paper's headline per-figure number.
+    /// jitter / ideal, in milli-percent fixed point (26.17% → 26170) —
+    /// the paper's headline per-figure number.
     pub jitter_pct_milli: u64,
 }
 
 impl JitterSummary {
+    /// Jitter as a percentage of the ideal time.
     pub fn jitter_pct(&self) -> f64 {
         self.jitter_pct_milli as f64 / 1000.0
     }
 }
 
 impl JitterSeries {
+    /// An empty series that infers the ideal from the observed minimum.
     pub fn new() -> Self {
         Self::default()
     }
@@ -58,27 +65,34 @@ impl JitterSeries {
         JitterSeries { samples: Vec::new(), ideal_override: Some(ideal) }
     }
 
+    /// Add one iteration's wall time.
     pub fn record(&mut self, wall: Nanos) {
         self.samples.push(wall);
     }
 
+    /// Number of iterations recorded.
     pub fn len(&self) -> usize {
         self.samples.len()
     }
 
+    /// Whether no iterations were recorded.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()
     }
 
+    /// The ideal (unloaded) iteration time: the override if set, otherwise
+    /// the observed minimum.
     pub fn ideal(&self) -> Nanos {
         self.ideal_override
             .unwrap_or_else(|| self.samples.iter().copied().min().unwrap_or(Nanos::ZERO))
     }
 
+    /// The slowest recorded iteration.
     pub fn max(&self) -> Nanos {
         self.samples.iter().copied().max().unwrap_or(Nanos::ZERO)
     }
 
+    /// Digest the series into the figure's scalar summary.
     pub fn summary(&self) -> JitterSummary {
         let ideal = self.ideal();
         let max = self.max();
@@ -102,6 +116,7 @@ impl JitterSeries {
         h
     }
 
+    /// The raw per-iteration wall times, in record order.
     pub fn samples(&self) -> &[Nanos] {
         &self.samples
     }

@@ -8,18 +8,28 @@ use std::fmt;
 /// The scalar digest printed at the bottom of each paper figure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatencySummary {
+    /// Number of samples recorded.
     pub count: u64,
+    /// Smallest sample (exact).
     pub min: Nanos,
+    /// Arithmetic mean.
     pub mean: Nanos,
+    /// Median.
     pub p50: Nanos,
+    /// 90th percentile.
     pub p90: Nanos,
+    /// 99th percentile.
     pub p99: Nanos,
+    /// 99.9th percentile.
     pub p999: Nanos,
+    /// 99.99th percentile.
     pub p9999: Nanos,
+    /// Largest sample (exact — the paper's worst-case number).
     pub max: Nanos,
 }
 
 impl LatencySummary {
+    /// Digest a histogram into its scalar summary.
     pub fn from_histogram(h: &LatencyHistogram) -> Self {
         LatencySummary {
             count: h.count(),
@@ -56,14 +66,20 @@ impl fmt::Display for LatencySummary {
 /// The cumulative "samples < X" block the paper prints under Figures 5 and 6.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CumulativeReport {
+    /// One row per threshold, in ascending order.
     pub rows: Vec<CumulativeRow>,
+    /// Total number of samples the fractions are relative to.
     pub total: u64,
 }
 
+/// One "samples < threshold" line of a [`CumulativeReport`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CumulativeRow {
+    /// The "< X" threshold.
     pub threshold: Nanos,
+    /// Samples strictly below the threshold.
     pub count: u64,
+    /// `count / total` (0 when the report is empty).
     pub fraction: f64,
 }
 

@@ -10,10 +10,12 @@ pub struct Table {
 }
 
 impl Table {
+    /// A table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
         Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
     }
 
+    /// Append one row; its width must match the header.
     pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
         let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
         assert_eq!(cells.len(), self.header.len(), "row width must match header");
@@ -21,6 +23,7 @@ impl Table {
         self
     }
 
+    /// Render the table with aligned columns, one line per row.
     pub fn render(&self) -> String {
         let cols = self.header.len();
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();

@@ -9,36 +9,25 @@ use std::fmt::Write as _;
 /// Aggregate statistics over a trace window.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceStats {
+    /// Timestamp of the first record, if any.
     pub first: Option<Instant>,
+    /// Timestamp of the last record, if any.
     pub last: Option<Instant>,
+    /// Total number of records in the window.
     pub total: usize,
-    /// Records per kind.
+    /// Records per kind, keyed by [`TraceKind::name`].
     pub per_kind: BTreeMap<&'static str, usize>,
     /// Records per CPU (records without a CPU are not counted here).
     pub per_cpu: BTreeMap<u32, usize>,
 }
 
 impl TraceStats {
+    /// Time covered by the window (zero when empty).
     pub fn span(&self) -> Nanos {
         match (self.first, self.last) {
             (Some(a), Some(b)) => b.saturating_since(a),
             _ => Nanos::ZERO,
         }
-    }
-}
-
-fn kind_name(kind: TraceKind) -> &'static str {
-    match kind {
-        TraceKind::Sched => "sched",
-        TraceKind::Irq => "irq",
-        TraceKind::Softirq => "softirq",
-        TraceKind::Lock => "lock",
-        TraceKind::Syscall => "syscall",
-        TraceKind::Timer => "timer",
-        TraceKind::Shield => "shield",
-        TraceKind::Device => "device",
-        TraceKind::Workload => "workload",
-        TraceKind::Other => "other",
     }
 }
 
@@ -66,7 +55,7 @@ pub fn analyze<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> TraceS
         }
         stats.last = Some(r.at);
         stats.total += 1;
-        *stats.per_kind.entry(kind_name(r.kind)).or_default() += 1;
+        *stats.per_kind.entry(r.kind.name()).or_default() += 1;
         if let Some(cpu) = r.cpu {
             *stats.per_cpu.entry(cpu).or_default() += 1;
         }

@@ -1,0 +1,67 @@
+//! Golden-file pin of the Perfetto export schema.
+//!
+//! The trace-event JSON is consumed by external viewers, so its field names
+//! and ordering are a public contract: this test renders a fixed, hand-built
+//! flight window and compares byte-for-byte against
+//! `tests/golden/worst_case_trace.json`. Regenerate deliberately with
+//! `SP_BLESS=1 cargo test -p sp-metrics --test perfetto_golden` after an
+//! intentional schema change.
+
+use simcore::flight::{ActivityClass, FlightEvent, FlightEventKind};
+use simcore::{Instant, Nanos};
+use sp_metrics::perfetto;
+
+const GOLDEN: &str = include_str!("golden/worst_case_trace.json");
+
+fn fixed_window() -> Vec<FlightEvent> {
+    vec![
+        FlightEvent::instant(Instant(1_000_000), Some(1), FlightEventKind::IrqAssert, 3),
+        FlightEvent::span(Instant(1_000_200), Nanos(2_000), 1, ActivityClass::Isr, 3),
+        FlightEvent::span(Instant(1_002_200), Nanos(1_500), 1, ActivityClass::Softirq, 0),
+        FlightEvent::instant(Instant(1_004_000), Some(1), FlightEventKind::Wake, 12),
+        FlightEvent::span(Instant(1_004_500), Nanos(900), 1, ActivityClass::Switch, 12),
+        FlightEvent::span(Instant(1_005_400), Nanos(700), 1, ActivityClass::Kernel, 0),
+        FlightEvent::instant(Instant(1_006_100), None, FlightEventKind::ShieldSet, 1),
+        FlightEvent::instant(Instant(1_006_100), Some(1), FlightEventKind::SampleDone, 6_100),
+    ]
+}
+
+fn render() -> String {
+    perfetto::export_flight(
+        "golden worst-case window",
+        2,
+        &fixed_window(),
+        &[("experiment", "golden".to_string()), ("seed", "42".to_string())],
+    )
+}
+
+#[test]
+fn perfetto_json_matches_golden_file() {
+    let json = render();
+    if std::env::var_os("SP_BLESS").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/worst_case_trace.json");
+        std::fs::write(path, &json).expect("write golden");
+        return;
+    }
+    assert_eq!(
+        json, GOLDEN,
+        "Perfetto schema drifted from the golden file; if intentional, \
+         regenerate with SP_BLESS=1"
+    );
+}
+
+#[test]
+fn golden_file_is_valid_json_with_expected_tracks() {
+    let v: serde::Value = serde_json::from_str(GOLDEN).expect("golden parses as JSON");
+    let events = v.get("traceEvents").expect("traceEvents").as_array().unwrap();
+    // 1 process_name + 2 cpu thread_names + 1 global + 8 events.
+    assert_eq!(events.len(), 12);
+    let phases: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("ph").and_then(|p| p.as_str()))
+        .collect();
+    assert!(phases.contains(&"M"), "metadata events present");
+    assert!(phases.contains(&"X"), "duration events present");
+    assert!(phases.contains(&"i"), "instant events present");
+    assert!(phases.contains(&"C"), "counter events present");
+}

@@ -82,45 +82,75 @@ pub enum DurationDist {
     /// Always the same span.
     Constant(u64),
     /// Uniform over `[lo, hi]` nanoseconds.
-    Uniform { lo: u64, hi: u64 },
+    Uniform {
+        /// Inclusive lower bound (ns).
+        lo: u64,
+        /// Inclusive upper bound (ns).
+        hi: u64,
+    },
     /// Exponential with the given mean (ns). Models Poisson arrival gaps.
-    Exponential { mean: u64 },
+    Exponential {
+        /// Mean of the distribution (ns).
+        mean: u64,
+    },
     /// Log-normal parameterised by the *median* (ns) and `sigma` of the
     /// underlying normal. Right-skewed; models service times with occasional
     /// slow outliers.
-    LogNormal { median: u64, sigma: f64 },
+    LogNormal {
+        /// Median of the distribution (ns).
+        median: u64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
     /// Bounded Pareto over `[lo, hi]` ns with tail index `alpha`.
     /// Heavy-tailed; models critical-section hold times where most sections
     /// are short but the worst case is orders of magnitude longer.
-    BoundedPareto { lo: u64, hi: u64, alpha: f64 },
+    BoundedPareto {
+        /// Inclusive lower bound (ns); must be positive.
+        lo: u64,
+        /// Inclusive upper bound (ns).
+        hi: u64,
+        /// Tail index; smaller means heavier tail.
+        alpha: f64,
+    },
     /// Mixture: pick one branch by weight, then sample it. Weights need not
     /// sum to 1. Models e.g. "mostly-fast syscall, occasionally takes the
     /// slow path through a long critical section".
     Mix(Vec<(f64, DurationDist)>),
     /// Base distribution plus a constant offset, for "fixed overhead + noise".
-    Shifted { base: u64, rest: Box<DurationDist> },
+    Shifted {
+        /// Constant offset added to every draw (ns).
+        base: u64,
+        /// The distribution the offset is added to.
+        rest: Box<DurationDist>,
+    },
 }
 
 impl DurationDist {
+    /// A distribution that always yields `d`.
     pub fn constant(d: Nanos) -> Self {
         DurationDist::Constant(d.as_ns())
     }
 
+    /// Uniform over `[lo, hi]`.
     pub fn uniform(lo: Nanos, hi: Nanos) -> Self {
         assert!(lo <= hi, "uniform: lo > hi");
         DurationDist::Uniform { lo: lo.as_ns(), hi: hi.as_ns() }
     }
 
+    /// Exponential with mean `mean`.
     pub fn exponential(mean: Nanos) -> Self {
         assert!(!mean.is_zero(), "exponential: zero mean");
         DurationDist::Exponential { mean: mean.as_ns() }
     }
 
+    /// Log-normal with the given median and normal-space `sigma`.
     pub fn log_normal(median: Nanos, sigma: f64) -> Self {
         assert!(sigma >= 0.0, "log_normal: negative sigma");
         DurationDist::LogNormal { median: median.as_ns(), sigma }
     }
 
+    /// Bounded Pareto over `[lo, hi]` with tail index `alpha`.
     pub fn bounded_pareto(lo: Nanos, hi: Nanos, alpha: f64) -> Self {
         assert!(lo < hi, "bounded_pareto: lo >= hi");
         assert!(lo.as_ns() > 0, "bounded_pareto: lo must be positive");
@@ -128,6 +158,7 @@ impl DurationDist {
         DurationDist::BoundedPareto { lo: lo.as_ns(), hi: hi.as_ns(), alpha }
     }
 
+    /// Weighted mixture of distributions.
     pub fn mix(branches: Vec<(f64, DurationDist)>) -> Self {
         assert!(!branches.is_empty(), "mix: empty");
         assert!(branches.iter().all(|(w, _)| *w >= 0.0), "mix: negative weight");
@@ -135,6 +166,7 @@ impl DurationDist {
         DurationDist::Mix(branches)
     }
 
+    /// `rest` plus a constant `base` offset.
     pub fn shifted(base: Nanos, rest: DurationDist) -> Self {
         DurationDist::Shifted { base: base.as_ns(), rest: Box::new(rest) }
     }

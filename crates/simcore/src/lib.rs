@@ -9,14 +9,18 @@
 //! is pure simulation logic driven by these primitives; given the same seed
 //! and configuration, a run is bit-for-bit reproducible.
 
+#![deny(missing_docs)]
+
 pub mod dist;
 pub mod fastmath;
+pub mod flight;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use dist::DurationDist;
+pub use flight::{ActivityClass, FlightEvent, FlightEventKind, FlightRing};
 pub use queue::{EventKey, EventQueue, WheelQueue};
 pub use rng::SimRng;
 pub use time::{Instant, Nanos};

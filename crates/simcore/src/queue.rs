@@ -94,6 +94,7 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
+    /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
             slots: Vec::new(),
@@ -103,6 +104,7 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// An empty queue with room for `n` events before reallocating.
     pub fn with_capacity(n: usize) -> Self {
         EventQueue {
             slots: Vec::with_capacity(n),
@@ -175,6 +177,7 @@ impl<E> EventQueue<E> {
         self.heap.len()
     }
 
+    /// Whether the queue holds no live events.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
@@ -289,7 +292,7 @@ struct WheelEntry {
 }
 
 /// A hierarchical timing-wheel event queue: a single-level wheel of
-/// [`WHEEL_BUCKETS`] buckets covering the near future (dense timer/IRQ/seg
+/// `WHEEL_BUCKETS` (1024) buckets covering the near future (dense timer/IRQ/seg
 /// traffic), backed by the indexed 4-ary heap of [`EventQueue`] as overflow
 /// for events beyond the horizon. Events migrate heap → wheel as the wheel's
 /// base time advances past their window.
@@ -352,6 +355,7 @@ impl<E: Clone> Clone for WheelQueue<E> {
 impl<E> WheelQueue<E> {
     const HORIZON: u64 = (WHEEL_BUCKETS as u64) << WHEEL_SHIFT;
 
+    /// An empty queue.
     pub fn new() -> Self {
         WheelQueue {
             slots: Vec::new(),
@@ -473,6 +477,7 @@ impl<E> WheelQueue<E> {
         self.wheel_len + self.heap.len()
     }
 
+    /// Whether the queue holds no live events.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

@@ -51,6 +51,7 @@ impl SimRng {
         SimRng::new(self.next_u64() ^ label.wrapping_mul(0xA24B_AED4_963E_E407))
     }
 
+    /// Next raw 64-bit draw (xoshiro256++ step).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;

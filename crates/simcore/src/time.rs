@@ -18,21 +18,27 @@ pub struct Nanos(pub u64);
 pub struct Instant(pub u64);
 
 impl Nanos {
+    /// The empty span.
     pub const ZERO: Nanos = Nanos(0);
+    /// The largest representable span; used as an "infinite" deadline.
     pub const MAX: Nanos = Nanos(u64::MAX);
 
+    /// Span of `ns` nanoseconds.
     #[inline]
     pub const fn from_ns(ns: u64) -> Self {
         Nanos(ns)
     }
+    /// Span of `us` microseconds.
     #[inline]
     pub const fn from_us(us: u64) -> Self {
         Nanos(us * 1_000)
     }
+    /// Span of `ms` milliseconds.
     #[inline]
     pub const fn from_ms(ms: u64) -> Self {
         Nanos(ms * 1_000_000)
     }
+    /// Span of `s` whole seconds.
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
         Nanos(s * 1_000_000_000)
@@ -52,23 +58,28 @@ impl Nanos {
         Nanos((us * 1e3).round() as u64)
     }
 
+    /// The span in whole nanoseconds.
     #[inline]
     pub const fn as_ns(self) -> u64 {
         self.0
     }
+    /// The span in (possibly fractional) microseconds.
     #[inline]
     pub fn as_us_f64(self) -> f64 {
         self.0 as f64 / 1e3
     }
+    /// The span in (possibly fractional) milliseconds.
     #[inline]
     pub fn as_ms_f64(self) -> f64 {
         self.0 as f64 / 1e6
     }
+    /// The span in (possibly fractional) seconds.
     #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
     }
 
+    /// Whether the span is empty.
     #[inline]
     pub const fn is_zero(self) -> bool {
         self.0 == 0
@@ -89,10 +100,12 @@ impl Nanos {
         Nanos(crate::fastmath::round_ns(self.0 as f64 * factor))
     }
 
+    /// The shorter of two spans.
     #[inline]
     pub fn min(self, other: Nanos) -> Nanos {
         Nanos(self.0.min(other.0))
     }
+    /// The longer of two spans.
     #[inline]
     pub fn max(self, other: Nanos) -> Nanos {
         Nanos(self.0.max(other.0))
@@ -100,12 +113,15 @@ impl Nanos {
 }
 
 impl Instant {
+    /// Simulation start.
     pub const ZERO: Instant = Instant(0);
 
+    /// Nanoseconds since simulation start.
     #[inline]
     pub const fn as_ns(self) -> u64 {
         self.0
     }
+    /// Seconds since simulation start.
     #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9

@@ -11,23 +11,40 @@ use std::collections::VecDeque;
 use std::fmt;
 
 /// Category of a trace record, used for filtering.
+///
+/// The taxonomy is documented in `docs/OBSERVABILITY.md`; [`TraceKind::name`]
+/// is the single source of truth for the printed name, shared by the ASCII
+/// timeline (`sp-metrics::timeline`) and the Perfetto exporter
+/// (`sp-metrics::perfetto`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraceKind {
+    /// Scheduler decisions: context switches, priority picks, wakeups.
     Sched,
+    /// Hardware interrupt delivery and service routines.
     Irq,
+    /// Softirq / bottom-half processing.
     Softirq,
+    /// Spinlock contention and irqsave critical sections.
     Lock,
+    /// System-call entry/exit and kernel-mode task execution.
     Syscall,
+    /// Local timer ticks and timer-list processing.
     Timer,
+    /// CPU shield reconfiguration (`/proc/shield` writes).
     Shield,
+    /// Device model activity (DMA completion, queue refill, ...).
     Device,
+    /// User-mode workload execution and latency sample completion.
     Workload,
+    /// Anything that does not fit the categories above.
     Other,
 }
 
-impl fmt::Display for TraceKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl TraceKind {
+    /// Stable lower-case name — the one mapping shared by the timeline view,
+    /// the Perfetto `cat` field, and the docs.
+    pub const fn name(self) -> &'static str {
+        match self {
             TraceKind::Sched => "sched",
             TraceKind::Irq => "irq",
             TraceKind::Softirq => "softirq",
@@ -38,17 +55,38 @@ impl fmt::Display for TraceKind {
             TraceKind::Device => "device",
             TraceKind::Workload => "workload",
             TraceKind::Other => "other",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
 /// One trace record.
+///
+/// ```
+/// use simcore::{Instant, TraceKind, TraceRecord};
+///
+/// let rec = TraceRecord {
+///     at: Instant(1_500),
+///     kind: TraceKind::Lock,
+///     cpu: Some(1),
+///     message: "bkl acquired".to_string(),
+/// };
+/// assert_eq!(rec.to_string(), "[t=1.500us cpu1 lock] bkl acquired");
+/// ```
 #[derive(Debug, Clone)]
 pub struct TraceRecord {
+    /// When the event happened on the virtual timeline.
     pub at: Instant,
+    /// Category, used for filtering and export grouping.
     pub kind: TraceKind,
+    /// CPU the event happened on, when it is CPU-local.
     pub cpu: Option<u32>,
+    /// Free-form human-readable description.
     pub message: String,
 }
 
@@ -87,6 +125,8 @@ impl Tracer {
         Tracer { enabled: true, capacity, ring: VecDeque::with_capacity(capacity), dropped: 0 }
     }
 
+    /// Whether [`Tracer::emit`] will record anything; guard expensive
+    /// message formatting behind this.
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.enabled
@@ -115,10 +155,12 @@ impl Tracer {
         self.dropped
     }
 
+    /// Records currently held.
     pub fn len(&self) -> usize {
         self.ring.len()
     }
 
+    /// Whether the tracer holds no records.
     pub fn is_empty(&self) -> bool {
         self.ring.is_empty()
     }
