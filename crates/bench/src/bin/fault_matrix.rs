@@ -16,18 +16,20 @@
 //! the worst window across the whole matrix (invariably an unshielded
 //! faulted cell) — and prints its cause chain.
 
-use sp_bench::{flightout, scale_from_args, shards_from_args, topk_from_args};
+use sp_bench::{flightout, scale_from_args, shards_from_args, topk_from_args, workers_from_args};
 use sp_experiments::{run_fault_matrix_with_flight, FaultMatrixConfig, FaultMatrixReport};
 
 fn main() {
     let scale = scale_from_args();
     let shards = shards_from_args(1);
+    let workers = workers_from_args();
     let top_k = topk_from_args(1);
     let strict = std::env::args().any(|a| a == "--strict");
 
     let cfg = FaultMatrixConfig::scaled(scale).with_shards(shards);
     eprintln!(
-        "fault matrix: {} samples/cell, {} shard(s) per cell, top-{top_k} trace capture...",
+        "fault matrix: {} samples/cell, {} shard(s) per cell, {workers} worker(s), \
+         top-{top_k} trace capture...",
         cfg.samples_per_cell, cfg.shards
     );
     let t0 = std::time::Instant::now();
@@ -57,7 +59,7 @@ fn main() {
         }
     }
 
-    if let Err(e) = merge_bench_report(&report, wall_ms) {
+    if let Err(e) = merge_bench_report(&report, wall_ms, workers) {
         eprintln!("note: could not update BENCH_simulator.json: {e}");
     } else {
         eprintln!("fault matrix merged into BENCH_simulator.json");
@@ -78,7 +80,7 @@ fn main() {
 
 /// Merge a `"fault_matrix"` section into `BENCH_simulator.json`, preserving
 /// whatever `reproduce_all` last wrote there.
-fn merge_bench_report(report: &FaultMatrixReport, wall_ms: f64) -> std::io::Result<()> {
+fn merge_bench_report(report: &FaultMatrixReport, wall_ms: f64, workers: u32) -> std::io::Result<()> {
     const PATH: &str = "BENCH_simulator.json";
     let mut root: serde::Value = match std::fs::read_to_string(PATH) {
         Ok(text) => serde_json::from_str(&text)
@@ -93,6 +95,7 @@ fn merge_bench_report(report: &FaultMatrixReport, wall_ms: f64) -> std::io::Resu
         serde_json::to_value(report).map_err(|e| std::io::Error::other(e.to_string()))?;
     if let serde::Value::Object(section_fields) = &mut section {
         section_fields.push(("wall_ms".into(), serde::Value::F64(wall_ms)));
+        section_fields.push(("workers".into(), serde::Value::U64(workers as u64)));
     }
     match fields.iter_mut().find(|(key, _)| key == "fault_matrix") {
         Some((_, slot)) => *slot = section,

@@ -5,6 +5,9 @@
 //!   <scale>          sample-count scale factor, default 1.0 (or `SP_SCALE`)
 //!   --shards <n>     shard count for figs 5–7, default = hardware threads
 //!                    (or `SP_SHARDS`); results are reproducible per (seed, n)
+//!   --workers <n>    OS worker threads for the fleet pool, default =
+//!                    hardware threads (or `SP_WORKERS`); never changes
+//!                    results, only wall-clock
 //!   --topk <k>       worst-case windows captured per latency figure,
 //!                    default 3 (or `SP_TRACE_TOPK`); 0 disables capture
 //!   --json <path>    dump the raw suite as JSON
@@ -22,7 +25,8 @@
 use simcore::Nanos;
 use sp_bench::{
     available_threads, determinism_measured, flightout, microbench, rcim_measured,
-    realfeel_measured, scale_from_args, shards_from_args, topk_from_args, verdict, PAPER_TARGETS,
+    realfeel_measured, scale_from_args, shards_from_args, topk_from_args, verdict,
+    workers_from_args, PAPER_TARGETS,
 };
 use sp_experiments::report::{render_determinism, render_rcim, render_realfeel};
 use sp_experiments::runner::run_all_figures_flight;
@@ -33,9 +37,27 @@ use std::fmt::Write as _;
 struct FigureBench {
     id: String,
     wall_ms: f64,
+    /// Shards this figure's sample budget was split across (1 for the
+    /// determinism figures, which don't fan out).
+    shards: u32,
+    /// Worker threads the fleet batch containing this figure ran on.
+    workers: u32,
+    /// Estimated speedup over a serial run of the same figure (1.0 = no
+    /// internal parallelism realised).
+    speedup: f64,
     /// Simulator events dispatched (latency figures only).
     events: Option<u64>,
     events_per_sec: Option<f64>,
+}
+
+/// `sp-fleet` global counter deltas across the suite run: how the
+/// work-stealing pool actually moved the jobs.
+#[derive(serde::Serialize)]
+struct FleetTelemetry {
+    batches: u64,
+    jobs: u64,
+    steals: u64,
+    stolen_jobs: u64,
 }
 
 #[derive(serde::Serialize)]
@@ -63,33 +85,47 @@ struct Microbench {
     /// …and with the worst-case flight recorder armed (ring streaming +
     /// top-K offers), the price of capture when it is on.
     sim_event_armed_recorder_ns: f64,
+    /// `sp-fleet` pool overhead per no-op job via the injector path.
+    fleet_dispatch_ns: f64,
+    /// Same, on the all-steals topology (every cross-worker job stolen).
+    fleet_steal_overhead_ns: f64,
 }
 
 #[derive(serde::Serialize)]
 struct BenchReport {
     scale: f64,
     shards: u32,
+    /// OS worker threads the fleet pool ran the suite on.
+    workers: u32,
     hardware_threads: u32,
     suite_wall_ms: f64,
+    /// Summed figure walls over the suite wall: how much the concurrent
+    /// figures overlapped (1.0 = effectively serial).
+    parallel_speedup: f64,
     total_events: u64,
     events_per_sec: f64,
     figures: Vec<FigureBench>,
+    fleet: FleetTelemetry,
     microbench: Microbench,
 }
 
 fn main() {
     let scale = scale_from_args();
     let shards = shards_from_args(available_threads());
+    let workers = workers_from_args();
     let top_k = topk_from_args(3);
     let args: Vec<String> = std::env::args().collect();
     let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned());
     let strict = args.iter().any(|a| a == "--strict");
 
     eprintln!(
-        "running all 7 figures at scale {scale}, {shards} shard(s), top-{top_k} trace capture (parallel)..."
+        "running all 7 figures at scale {scale}, {shards} shard(s), {workers} worker(s), \
+         top-{top_k} trace capture (parallel)..."
     );
+    let fleet_before = sp_fleet::stats_snapshot();
     let t0 = std::time::Instant::now();
     let (suite, timings, flight) = run_all_figures_flight(scale, shards, top_k);
+    let fleet_after = sp_fleet::stats_snapshot();
     eprintln!("suite finished in {:.1}s", t0.elapsed().as_secs_f64());
 
     print!("{}", render_determinism("fig1", &suite.fig1));
@@ -173,7 +209,13 @@ fn main() {
         }
     }
 
-    let report = build_bench_report(&suite, &timings, scale, shards);
+    let fleet = FleetTelemetry {
+        batches: fleet_after.batches - fleet_before.batches,
+        jobs: fleet_after.jobs - fleet_before.jobs,
+        steals: fleet_after.steals - fleet_before.steals,
+        stolen_jobs: fleet_after.stolen_jobs - fleet_before.stolen_jobs,
+    };
+    let report = build_bench_report(&suite, &timings, scale, shards, fleet);
     if let Err(e) = write_bench_report(&report) {
         eprintln!("note: could not write BENCH_simulator.json: {e}");
     } else {
@@ -211,9 +253,26 @@ fn main() {
             }
             std::process::exit(1);
         }
+        if report.microbench.fleet_dispatch_ns > FLEET_DISPATCH_NS_BUDGET {
+            eprintln!(
+                "STRICT: fleet dispatch overhead {:.0} ns/job over the {FLEET_DISPATCH_NS_BUDGET} budget",
+                report.microbench.fleet_dispatch_ns
+            );
+            std::process::exit(1);
+        }
+        if report.microbench.fleet_steal_overhead_ns > FLEET_STEAL_NS_BUDGET {
+            eprintln!(
+                "STRICT: fleet steal-path overhead {:.0} ns/job over the {FLEET_STEAL_NS_BUDGET} budget",
+                report.microbench.fleet_steal_overhead_ns
+            );
+            std::process::exit(1);
+        }
         eprintln!(
-            "STRICT: all 7 figures in band, {:.0} events/sec clears the floor{}",
+            "STRICT: all 7 figures in band, {:.0} events/sec clears the floor, \
+             fleet overhead {:.0}/{:.0} ns/job under budget{}",
             report.events_per_sec,
+            report.microbench.fleet_dispatch_ns,
+            report.microbench.fleet_steal_overhead_ns,
             if top_k > 0 { ", worst-case traces written and consistent" } else { "" }
         );
     }
@@ -226,6 +285,13 @@ fn main() {
 /// hardware doesn't flake.
 const EVENTS_PER_SEC_FLOOR: f64 = 100_000.0;
 
+/// Per-job fleet-pool overhead budgets enforced by `--strict`: the pool must
+/// stay invisible next to multi-millisecond simulation jobs. Generous enough
+/// for loaded single-core CI hardware, tight enough to catch a lock-convoy
+/// or busy-wait regression in the runner.
+const FLEET_DISPATCH_NS_BUDGET: f64 = 20_000.0;
+const FLEET_STEAL_NS_BUDGET: f64 = 60_000.0;
+
 /// Assemble the `BENCH_simulator.json` payload: per-figure wall-clock and
 /// event throughput, plus microbenchmarks of the hot-path data structures.
 fn build_bench_report(
@@ -233,6 +299,7 @@ fn build_bench_report(
     timings: &sp_experiments::runner::SuiteTimings,
     scale: f64,
     shards: u32,
+    fleet: FleetTelemetry,
 ) -> BenchReport {
     let events = |id: &str| -> Option<u64> {
         match id {
@@ -249,15 +316,24 @@ fn build_bench_report(
     let figures: Vec<FigureBench> = timings
         .figures
         .iter()
-        .map(|(id, wall_ms)| {
-            let events = events(id);
+        .map(|t| {
+            let events = events(&t.id);
+            // Only the latency figures (5–7) split their sample budget.
+            let fig_shards = if matches!(t.id.as_str(), "fig5" | "fig6" | "fig7") {
+                shards
+            } else {
+                1
+            };
             FigureBench {
-                id: id.clone(),
-                wall_ms: *wall_ms,
+                id: t.id.clone(),
+                wall_ms: t.wall_ms,
+                shards: fig_shards,
+                workers: timings.workers,
+                speedup: t.speedup(),
                 events,
                 events_per_sec: events
-                    .filter(|_| *wall_ms > 0.0)
-                    .map(|e| e as f64 / (wall_ms / 1e3)),
+                    .filter(|_| t.wall_ms > 0.0)
+                    .map(|e| e as f64 / (t.wall_ms / 1e3)),
             }
         })
         .collect();
@@ -271,11 +347,14 @@ fn build_bench_report(
     BenchReport {
         scale,
         shards,
+        workers: timings.workers,
         hardware_threads: sp_bench::available_threads(),
         suite_wall_ms: timings.suite_wall_ms,
+        parallel_speedup: timings.parallel_speedup(),
         total_events,
         events_per_sec: total_events as f64 / (timings.suite_wall_ms / 1e3).max(1e-9),
         figures,
+        fleet,
         microbench: Microbench {
             event_queue_push_pop_ns: microbench::event_queue_push_pop_ns(),
             event_queue_cancel_ns: microbench::event_queue_cancel_ns(),
@@ -288,6 +367,8 @@ fn build_bench_report(
             sim_event_baseline_ns: microbench::sim_event_baseline_ns(),
             sim_event_disarmed_injector_ns: microbench::sim_event_disarmed_injector_ns(),
             sim_event_armed_recorder_ns: microbench::sim_event_armed_recorder_ns(),
+            fleet_dispatch_ns: microbench::fleet_dispatch_ns(),
+            fleet_steal_overhead_ns: microbench::fleet_steal_overhead_ns(),
         },
     }
 }

@@ -40,6 +40,25 @@ pub fn available_threads() -> u32 {
     std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(1)
 }
 
+/// Resolve the fleet worker-thread count: `--workers <n>` argument, then
+/// `SP_WORKERS`, then every hardware thread. A `--workers` argument is
+/// applied by setting `SP_WORKERS`, so fan-outs on *any* thread (fleet
+/// workers included) agree on the count. Worker count never changes results
+/// — only wall-clock — so this is a throughput knob, not part of the
+/// reproducibility key.
+pub fn workers_from_args() -> u32 {
+    let args: Vec<String> = std::env::args().collect();
+    let from_arg = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u32>().ok());
+    if let Some(w) = from_arg {
+        std::env::set_var("SP_WORKERS", w.max(1).to_string());
+    }
+    sp_fleet::default_workers()
+}
+
 /// Resolve the flight-recorder top-K knob: `--topk <n>` argument, then
 /// `SP_TRACE_TOPK`, then `fallback`. `0` disables worst-case trace capture.
 pub fn topk_from_args(fallback: usize) -> usize {
@@ -454,6 +473,55 @@ pub mod microbench {
                 }
                 assert_eq!(fork.now(), warm.now());
                 t.elapsed().as_secs_f64() * 1e9 / OPS as f64
+            })
+            .collect();
+        median_ns(runs)
+    }
+
+    /// ns of `sp-fleet` pool overhead per job: no-op jobs pushed through the
+    /// global injector to a two-worker pool, so the number prices the whole
+    /// dispatch path — injector batch grab, deque traffic, index-ordered
+    /// result reassembly and thread start/join, amortised over the batch.
+    /// Real fleet jobs are multi-millisecond simulations, so per-job
+    /// overhead in the low microseconds is invisible in suite wall-clock.
+    pub fn fleet_dispatch_ns() -> f64 {
+        const JOBS: usize = 8_192;
+        let runs = (0..5u64)
+            .map(|_| {
+                let cfg = sp_fleet::PoolConfig {
+                    workers: 2,
+                    grab: 0,
+                    placement: sp_fleet::Placement::Injector,
+                };
+                let t = std::time::Instant::now();
+                let (out, _) = sp_fleet::run_with(cfg, JOBS, |i| i as u64);
+                let ns = t.elapsed().as_secs_f64() * 1e9 / JOBS as f64;
+                assert_eq!(out.len(), JOBS);
+                ns
+            })
+            .collect();
+        median_ns(runs)
+    }
+
+    /// ns of pool overhead per job on the adversarial topology: every job
+    /// pre-seeded into worker 0's deque ([`sp_fleet::Placement::Worker0`])
+    /// so the other three workers get work *only* by stealing. Compare
+    /// against [`fleet_dispatch_ns`] for what cross-worker stealing adds on
+    /// top of the plain dispatch path.
+    pub fn fleet_steal_overhead_ns() -> f64 {
+        const JOBS: usize = 8_192;
+        let runs = (0..5u64)
+            .map(|_| {
+                let cfg = sp_fleet::PoolConfig {
+                    workers: 4,
+                    grab: 0,
+                    placement: sp_fleet::Placement::Worker0,
+                };
+                let t = std::time::Instant::now();
+                let (out, _) = sp_fleet::run_with(cfg, JOBS, |i| i as u64);
+                let ns = t.elapsed().as_secs_f64() * 1e9 / JOBS as f64;
+                assert_eq!(out.len(), JOBS);
+                ns
             })
             .collect();
         median_ns(runs)

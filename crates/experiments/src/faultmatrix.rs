@@ -310,6 +310,134 @@ fn cell_seed(base: u64, index: u64) -> u64 {
     base ^ (index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// The deterministic plan for one `(path, shielded)` group: per-shard seeds
+/// and budgets, all pure functions of `(cfg, group_index)` — the shared
+/// vocabulary of the serial [`run_path_group`] test path and the flattened
+/// all-groups-at-once matrix batch, which must produce identical cells.
+struct GroupPlan {
+    path: MatrixPath,
+    shielded: bool,
+    shards: usize,
+    seeds: Vec<u64>,
+    budgets: Vec<u64>,
+}
+
+fn plan_group(
+    cfg: &FaultMatrixConfig,
+    group_index: u64,
+    path: MatrixPath,
+    shielded: bool,
+) -> GroupPlan {
+    let group_seed = cell_seed(cfg.seed, group_index);
+    let shards = crate::shard::effective_shards(cfg.shards, cfg.samples_per_cell) as usize;
+    GroupPlan {
+        path,
+        shielded,
+        shards,
+        seeds: crate::shard::shard_seeds(group_seed, shards as u32),
+        budgets: crate::shard::split_samples(cfg.samples_per_cell, shards as u32),
+    }
+}
+
+/// A shard's warm state: checkpoint, events dispatched during the warm-up,
+/// and how many samples the warm-up actually collected.
+type WarmShard = (sp_kernel::Checkpoint, u64, u64);
+
+/// One cell-shard's output: histogram, event delta, captured flight traces.
+type CellShardOutput = (LatencyHistogram, u64, Vec<WorstCaseTrace>);
+
+/// Build one shard's simulation, warm it fault-free to a quarter of the
+/// shard budget, checkpoint.
+fn warm_shard(plan: &GroupPlan, faults: &[FaultSpec], shard: usize) -> WarmShard {
+    let (mut sim, _armory, pid) =
+        build_cell_sim(plan.path, faults, plan.shielded, plan.seeds[shard]);
+    collect_cell_samples(&mut sim, pid, plan.path, plan.budgets[shard] / 4);
+    let warm_len = sim.obs.latencies(pid).len() as u64;
+    (sim.checkpoint(), sim.events_dispatched(), warm_len)
+}
+
+/// Fork one `(cell, shard)` run from its shard's warm checkpoint: rebuild,
+/// restore, arm the cell's fault (baseline arms nothing), sample the rest of
+/// the budget.
+fn run_cell_shard(
+    plan: &GroupPlan,
+    faults: &[FaultSpec],
+    warm: &WarmShard,
+    cell: usize,
+    shard: usize,
+    flight_top_k: usize,
+) -> CellShardOutput {
+    let fault = if cell == 0 { None } else { Some(&faults[cell - 1]) };
+    let (ck, warm_events, warm_len) = warm;
+
+    let (mut sim, mut armory, pid) =
+        build_cell_sim(plan.path, faults, plan.shielded, plan.seeds[shard]);
+    sim.restore(ck);
+    if let Some(f) = fault {
+        armory.arm(&mut sim, &f.name).expect("arm");
+    }
+    // Arm after the restore so captured windows cover the forked stretch
+    // (pure observation — the cell's trajectory is unchanged).
+    if flight_top_k > 0 {
+        sim.arm_flight(flight_top_k);
+    }
+    // Post-fork target: the remaining three quarters of the budget on top
+    // of whatever the warm-up actually collected, so every cell samples
+    // its faulted regime even when the warm-up overshot its quarter.
+    let target = warm_len + (plan.budgets[shard] - plan.budgets[shard] / 4);
+    collect_cell_samples(&mut sim, pid, plan.path, target);
+
+    let mut histogram = LatencyHistogram::new();
+    for &l in sim.obs.latencies(pid) {
+        histogram.record(l);
+    }
+    // The shared warm-up's event work is accounted to the baseline cell
+    // only, so group event totals are not inflated per fork.
+    let events = sim.events_dispatched() - if cell == 0 { 0 } else { *warm_events };
+    (histogram, events, sim.flight.top().to_vec())
+}
+
+/// Merge one group's `cells × shards` outputs (laid out `cell * shards +
+/// shard`) into per-cell summaries, in cell order with shard-order trace
+/// merges — the deterministic final step shared by both execution paths.
+fn merge_group(
+    plan: &GroupPlan,
+    faults: &[FaultSpec],
+    outputs: &[CellShardOutput],
+    flight_top_k: usize,
+) -> (Vec<MatrixCell>, Vec<CellFlight>) {
+    let cell_count = faults.len() + 1;
+    debug_assert_eq!(outputs.len(), cell_count * plan.shards);
+    let mut cells = Vec::with_capacity(cell_count);
+    let mut flights = Vec::with_capacity(cell_count);
+    for cell in 0..cell_count {
+        let mut histogram = LatencyHistogram::new();
+        let mut events = 0u64;
+        let mut per_shard = Vec::with_capacity(plan.shards);
+        for shard in 0..plan.shards {
+            let (h, e, t) = &outputs[cell * plan.shards + shard];
+            histogram.merge(h);
+            events += e;
+            per_shard.push(t.clone());
+        }
+        let fault = if cell == 0 { "baseline".to_string() } else { faults[cell - 1].name.clone() };
+        cells.push(MatrixCell {
+            fault: fault.clone(),
+            path: plan.path.name().into(),
+            shielded: plan.shielded,
+            summary: LatencySummary::from_histogram(&histogram),
+            events,
+        });
+        flights.push(CellFlight {
+            fault,
+            path: plan.path.name().into(),
+            shielded: plan.shielded,
+            traces: crate::flight::merge_top(per_shard, flight_top_k),
+        });
+    }
+    (cells, flights)
+}
+
 /// Run all six cells of one `(path, shielded)` group — baseline + every
 /// fault — from shared warm checkpoints.
 ///
@@ -317,11 +445,16 @@ fn cell_seed(base: u64, index: u64) -> u64 {
 /// of the shard budget and checkpointed; every cell then forks from that
 /// checkpoint, arms its fault (baseline arms nothing), and runs on to the
 /// full budget. The warm-up is paid once per shard instead of once per cell,
-/// and all `cells × shards` forks run in parallel threads. Warm-up samples
-/// count toward every cell's histogram; they are drawn under exactly the
-/// cell's no-fault conditions, so the baseline percentiles the bands compare
-/// against are unaffected and the faulted cells' worst cases still come from
-/// their faulted stretches.
+/// and all warms and `cells × shards` forks run on the fleet pool. Warm-up
+/// samples count toward every cell's histogram; they are drawn under exactly
+/// the cell's no-fault conditions, so the baseline percentiles the bands
+/// compare against are unaffected and the faulted cells' worst cases still
+/// come from their faulted stretches.
+///
+/// The production matrix runs all four groups through the flattened batch in
+/// [`run_fault_matrix_with_flight`]; this serial-per-group path is kept as
+/// the reference the tests compare that batch against, cell for cell.
+#[cfg_attr(not(test), allow(dead_code))]
 fn run_path_group(
     cfg: &FaultMatrixConfig,
     group_index: u64,
@@ -330,81 +463,14 @@ fn run_path_group(
     shielded: bool,
     flight_top_k: usize,
 ) -> (Vec<MatrixCell>, Vec<CellFlight>) {
-    let group_seed = cell_seed(cfg.seed, group_index);
-    let shards = crate::shard::effective_shards(cfg.shards, cfg.samples_per_cell) as usize;
-    let seeds = crate::shard::shard_seeds(group_seed, shards as u32);
-    let budgets = crate::shard::split_samples(cfg.samples_per_cell, shards as u32);
-
-    let checkpoints: Vec<(sp_kernel::Checkpoint, u64, u64)> = (0..shards)
-        .map(|i| {
-            let (mut sim, _armory, pid) = build_cell_sim(path, faults, shielded, seeds[i]);
-            collect_cell_samples(&mut sim, pid, path, budgets[i] / 4);
-            let warm_len = sim.obs.latencies(pid).len() as u64;
-            (sim.checkpoint(), sim.events_dispatched(), warm_len)
-        })
-        .collect();
-
+    let plan = plan_group(cfg, group_index, path, shielded);
+    let checkpoints = crate::shard::run_indexed(plan.shards, |i| warm_shard(&plan, faults, i));
     let cell_count = faults.len() + 1;
-    let outputs = crate::shard::run_indexed(cell_count * shards, |j| {
-        let cell = j / shards;
-        let shard = j % shards;
-        let fault = if cell == 0 { None } else { Some(&faults[cell - 1]) };
-        let (ck, warm_events, warm_len) = &checkpoints[shard];
-
-        let (mut sim, mut armory, pid) = build_cell_sim(path, faults, shielded, seeds[shard]);
-        sim.restore(ck);
-        if let Some(f) = fault {
-            armory.arm(&mut sim, &f.name).expect("arm");
-        }
-        // Arm after the restore so captured windows cover the forked stretch
-        // (pure observation — the cell's trajectory is unchanged).
-        if flight_top_k > 0 {
-            sim.arm_flight(flight_top_k);
-        }
-        // Post-fork target: the remaining three quarters of the budget on top
-        // of whatever the warm-up actually collected, so every cell samples
-        // its faulted regime even when the warm-up overshot its quarter.
-        let target = warm_len + (budgets[shard] - budgets[shard] / 4);
-        collect_cell_samples(&mut sim, pid, path, target);
-
-        let mut histogram = LatencyHistogram::new();
-        for &l in sim.obs.latencies(pid) {
-            histogram.record(l);
-        }
-        // The shared warm-up's event work is accounted to the baseline cell
-        // only, so group event totals are not inflated per fork.
-        let events = sim.events_dispatched() - if cell == 0 { 0 } else { *warm_events };
-        (histogram, events, sim.flight.top().to_vec())
+    let outputs = crate::shard::run_indexed(cell_count * plan.shards, |j| {
+        let (cell, shard) = (j / plan.shards, j % plan.shards);
+        run_cell_shard(&plan, faults, &checkpoints[shard], cell, shard, flight_top_k)
     });
-
-    let mut cells = Vec::with_capacity(cell_count);
-    let mut flights = Vec::with_capacity(cell_count);
-    for cell in 0..cell_count {
-        let mut histogram = LatencyHistogram::new();
-        let mut events = 0u64;
-        let mut per_shard = Vec::with_capacity(shards);
-        for shard in 0..shards {
-            let (h, e, t) = &outputs[cell * shards + shard];
-            histogram.merge(h);
-            events += e;
-            per_shard.push(t.clone());
-        }
-        let fault = if cell == 0 { "baseline".to_string() } else { faults[cell - 1].name.clone() };
-        cells.push(MatrixCell {
-            fault: fault.clone(),
-            path: path.name().into(),
-            shielded,
-            summary: LatencySummary::from_histogram(&histogram),
-            events,
-        });
-        flights.push(CellFlight {
-            fault,
-            path: path.name().into(),
-            shielded,
-            traces: crate::flight::merge_top(per_shard, flight_top_k),
-        });
-    }
-    (cells, flights)
+    merge_group(&plan, faults, &outputs, flight_top_k)
 }
 
 /// Run the full matrix: `(1 baseline + 5 faults) × 2 paths × 2 shield
@@ -415,6 +481,12 @@ pub fn run_fault_matrix(cfg: &FaultMatrixConfig) -> FaultMatrixReport {
     run_fault_matrix_with_flight(cfg, 0).0
 }
 
+/// Phase-B job output for the flattened matrix batch.
+enum MatrixJobOut {
+    Cell(CellShardOutput),
+    Reshield(RecoveryReport),
+}
+
 /// [`run_fault_matrix`] with the flight recorder armed in every cell's
 /// forks: each cell additionally reports the causal windows behind its
 /// `top_k` worst samples *from the faulted (post-warm-up) stretch*. Warm-up
@@ -423,28 +495,77 @@ pub fn run_fault_matrix(cfg: &FaultMatrixConfig) -> FaultMatrixReport {
 /// window; the faulted cells the bands judge take their worst case from the
 /// faulted stretch the recorder covers. The report itself is bit-identical
 /// to [`run_fault_matrix`]'s. With `top_k == 0` nothing is armed.
+///
+/// Execution is flattened across the whole matrix rather than group by
+/// group: phase A warms every `(group, shard)` concurrently on the fleet,
+/// phase B runs all `groups × cells × shards` forks *plus* the reshield
+/// scenario as one batch, and phase C merges per group in index order — so
+/// the pool sees `4 × 6 × shards + 1` jobs at once instead of four serial
+/// six-job bursts, while every cell stays bit-identical to the serial
+/// [`run_path_group`] path (asserted in tests).
 pub fn run_fault_matrix_with_flight(
     cfg: &FaultMatrixConfig,
     top_k: usize,
 ) -> (FaultMatrixReport, Vec<CellFlight>) {
     let faults = matrix_presets();
-    let mut cells = Vec::new();
-    let mut flights = Vec::new();
-    let mut group = 0u64;
-    for path in MatrixPath::ALL {
-        for shielded in [true, false] {
-            let (group_cells, group_flights) =
-                run_path_group(cfg, group, path, &faults, shielded, top_k);
-            cells.extend(group_cells);
-            flights.extend(group_flights);
-            group += 1;
+    let plans: Vec<GroupPlan> = MatrixPath::ALL
+        .iter()
+        .flat_map(|&path| [true, false].map(|shielded| (path, shielded)))
+        .enumerate()
+        .map(|(group, (path, shielded))| plan_group(cfg, group as u64, path, shielded))
+        .collect();
+    let shards = plans[0].shards;
+    debug_assert!(plans.iter().all(|p| p.shards == shards));
+
+    // Phase A: every (group, shard) warm-up in one fleet batch.
+    let warm = crate::shard::run_indexed(plans.len() * shards, |j| {
+        warm_shard(&plans[j / shards], &faults, j % shards)
+    });
+
+    // Phase B: all groups' cells × shards plus the reshield scenario, one
+    // batch. The reshield job rides along so the pool's idle workers pick it
+    // up instead of it serializing after the cells.
+    let cell_count = faults.len() + 1;
+    let per_group = cell_count * shards;
+    let total = plans.len() * per_group;
+    let outputs = crate::shard::run_indexed(total + 1, |j| {
+        if j == total {
+            let reshield = run_scenario(&reshield_transient_scenario())
+                .expect("reshield scenario runs")
+                .recovery
+                .expect("reshield scenario requests a transient");
+            return MatrixJobOut::Reshield(reshield);
+        }
+        let (group, rem) = (j / per_group, j % per_group);
+        let (cell, shard) = (rem / shards, rem % shards);
+        MatrixJobOut::Cell(run_cell_shard(
+            &plans[group],
+            &faults,
+            &warm[group * shards + shard],
+            cell,
+            shard,
+            top_k,
+        ))
+    });
+
+    // Phase C: merge each group's cells in index order.
+    let mut cell_outs: Vec<CellShardOutput> = Vec::with_capacity(total);
+    let mut reshield = None;
+    for out in outputs {
+        match out {
+            MatrixJobOut::Cell(c) => cell_outs.push(c),
+            MatrixJobOut::Reshield(r) => reshield = Some(r),
         }
     }
-
-    let reshield = run_scenario(&reshield_transient_scenario())
-        .expect("reshield scenario runs")
-        .recovery
-        .expect("reshield scenario requests a transient");
+    let mut cells = Vec::new();
+    let mut flights = Vec::new();
+    for (group, plan) in plans.iter().enumerate() {
+        let slice = &cell_outs[group * per_group..(group + 1) * per_group];
+        let (group_cells, group_flights) = merge_group(plan, &faults, slice, top_k);
+        cells.extend(group_cells);
+        flights.extend(group_flights);
+    }
+    let reshield = reshield.expect("reshield job ran");
 
     let mut report = FaultMatrixReport { config: cfg.clone(), cells, reshield, violations: vec![] };
     report.violations = check_bands(&report, &faults);
@@ -536,6 +657,28 @@ mod tests {
         assert_eq!(
             serde_json::to_string(&a).unwrap(),
             serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    /// The flattened all-groups batch (phase A warms, phase B cells +
+    /// reshield, phase C merge) must produce exactly the cells the serial
+    /// group-by-group reference path produces — whatever the worker count.
+    #[test]
+    fn flattened_matrix_matches_group_by_group() {
+        let cfg = FaultMatrixConfig { samples_per_cell: 800, shards: 2, seed: 0xFA17_5EED };
+        let faults = matrix_presets();
+        let mut expected = Vec::new();
+        let mut group = 0u64;
+        for path in MatrixPath::ALL {
+            for shielded in [true, false] {
+                expected.extend(run_path_group(&cfg, group, path, &faults, shielded, 0).0);
+                group += 1;
+            }
+        }
+        let (report, _) = run_fault_matrix_with_flight(&cfg, 0);
+        assert_eq!(
+            serde_json::to_string(&report.cells).unwrap(),
+            serde_json::to_string(&expected).unwrap()
         );
     }
 

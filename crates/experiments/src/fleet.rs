@@ -1,0 +1,392 @@
+//! Scenario fleets: submit a batch of heterogeneous experiment specs, get a
+//! deterministic per-spec report back.
+//!
+//! The paper's claim is a property of *many* configurations — kernel variant
+//! × shield config × workload × fault timeline — not one run. A
+//! [`FleetSpec`] names one such configuration (wrapping any of the repo's
+//! runnable experiment kinds), and [`Fleet::submit`] executes a whole batch
+//! on the [`sp_fleet`] work-stealing pool, one OS-thread worker per core.
+//!
+//! # Determinism contract
+//!
+//! Each spec is a pure function of its own `(config, seed)`; the pool merges
+//! verdicts in spec-index order. Therefore a [`FleetReport`]'s verdicts —
+//! histograms, summaries, flight-trace latencies, error strings — are
+//! bit-for-bit identical across worker counts {1, 2, …}, across steal
+//! orders, and across repeated runs. Only [`FleetReport::wall_ms`] and
+//! [`FleetReport::stats`] (telemetry) vary; [`FleetReport::artifact_json`]
+//! excludes them so the artifact itself is comparable byte-for-byte.
+
+use crate::determinism::{run_determinism, DeterminismConfig, DeterminismResult};
+use crate::rcim::{run_rcim_with_flight, RcimConfig, RcimResult};
+use crate::realfeel::{run_realfeel_with_flight, RealfeelConfig, RealfeelResult};
+use crate::scenario::{run_scenario, ScenarioReport, ScenarioSpec};
+use sp_fleet::{FleetStats, PoolConfig};
+use sp_kernel::{KernelVariant, WorstCaseTrace};
+
+/// One named experiment in a fleet batch.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Display name, used in verdicts and artifacts.
+    pub name: String,
+    /// The experiment to run.
+    pub job: FleetJob,
+}
+
+/// The experiment kinds a fleet can execute. Every kind is a pure function
+/// of its config (seed and budget included), which is what makes fleet
+/// output independent of scheduling.
+#[derive(Debug, Clone)]
+pub enum FleetJob {
+    /// A declarative [`ScenarioSpec`]: kernel variant, devices, workloads,
+    /// shield, fault timeline. The one kind that can fail (spec validation).
+    Scenario(Box<ScenarioSpec>),
+    /// A figs-5/6-style realfeel run (internally sharded per its config).
+    Realfeel(RealfeelConfig),
+    /// A fig-7-style RCIM run (internally sharded per its config).
+    Rcim(RcimConfig),
+    /// A figs-1–4-style determinism loop run.
+    Determinism(DeterminismConfig),
+}
+
+impl FleetSpec {
+    /// A realfeel spec named after its config label.
+    pub fn realfeel(cfg: RealfeelConfig) -> Self {
+        FleetSpec { name: cfg.label(), job: FleetJob::Realfeel(cfg) }
+    }
+
+    /// An RCIM spec named after its config label.
+    pub fn rcim(cfg: RcimConfig) -> Self {
+        FleetSpec { name: cfg.label(), job: FleetJob::Rcim(cfg) }
+    }
+
+    /// A determinism-loop spec named after its config label.
+    pub fn determinism(cfg: DeterminismConfig) -> Self {
+        FleetSpec { name: cfg.label(), job: FleetJob::Determinism(cfg) }
+    }
+
+    /// A declarative-scenario spec named after the scenario.
+    pub fn scenario(spec: ScenarioSpec) -> Self {
+        FleetSpec { name: spec.name.clone(), job: FleetJob::Scenario(Box::new(spec)) }
+    }
+}
+
+/// A successful spec's result.
+#[derive(Debug, Clone)]
+pub enum FleetOutcome {
+    /// Result of a [`FleetJob::Scenario`].
+    Scenario(ScenarioReport),
+    /// Result of a [`FleetJob::Realfeel`].
+    Realfeel(RealfeelResult),
+    /// Result of a [`FleetJob::Rcim`].
+    Rcim(RcimResult),
+    /// Result of a [`FleetJob::Determinism`].
+    Determinism(DeterminismResult),
+}
+
+impl FleetOutcome {
+    fn to_value(&self) -> serde::Value {
+        let (kind, v) = match self {
+            FleetOutcome::Scenario(r) => ("scenario", serde_json::to_value(r)),
+            FleetOutcome::Realfeel(r) => ("realfeel", serde_json::to_value(r)),
+            FleetOutcome::Rcim(r) => ("rcim", serde_json::to_value(r)),
+            FleetOutcome::Determinism(r) => ("determinism", serde_json::to_value(r)),
+        };
+        serde::Value::Object(vec![
+            ("kind".into(), serde::Value::Str(kind.into())),
+            ("result".into(), v.expect("reports serialize")),
+        ])
+    }
+}
+
+/// One spec's verdict: its outcome (or error) plus any worst-case flight
+/// traces the run captured (latency figures only, and only when the fleet
+/// armed the recorder via [`Fleet::with_top_k`]).
+#[derive(Debug)]
+pub struct FleetVerdict {
+    /// Position of the spec in the submitted batch.
+    pub index: usize,
+    /// The spec's display name.
+    pub name: String,
+    /// The result, or a human-readable error (e.g. scenario validation).
+    pub outcome: Result<FleetOutcome, String>,
+    /// Merged worst-case windows, worst first (empty when not captured).
+    pub traces: Vec<WorstCaseTrace>,
+}
+
+/// What a whole batch produced. `verdicts` is in spec-index order and fully
+/// deterministic; `workers`, `stats` and `wall_ms` describe the execution
+/// and legitimately vary run to run.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Per-spec verdicts, in submission order.
+    pub verdicts: Vec<FleetVerdict>,
+    /// Worker threads the batch ran on.
+    pub workers: u32,
+    /// Work-stealing telemetry for the batch.
+    pub stats: FleetStats,
+    /// Batch wall-clock in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl FleetReport {
+    /// The verdict for a named spec (first match).
+    pub fn verdict(&self, name: &str) -> Option<&FleetVerdict> {
+        self.verdicts.iter().find(|v| v.name == name)
+    }
+
+    /// Serialize the deterministic portion of the report: every verdict's
+    /// name, outcome (full result JSON) or error, and captured trace
+    /// latencies — but *not* wall-clock or scheduling telemetry. For a fixed
+    /// batch this string is byte-identical across worker counts and runs;
+    /// the CI smoke compares two runs of it directly.
+    pub fn artifact_json(&self) -> String {
+        let verdicts: Vec<serde::Value> = self
+            .verdicts
+            .iter()
+            .map(|v| {
+                let (ok, payload) = match &v.outcome {
+                    Ok(out) => (true, out.to_value()),
+                    Err(e) => (false, serde::Value::Str(e.clone())),
+                };
+                serde::Value::Object(vec![
+                    ("index".into(), serde::Value::U64(v.index as u64)),
+                    ("name".into(), serde::Value::Str(v.name.clone())),
+                    ("ok".into(), serde::Value::Bool(ok)),
+                    ("outcome".into(), payload),
+                    (
+                        "trace_latencies_ns".into(),
+                        serde::Value::Array(
+                            v.traces
+                                .iter()
+                                .map(|t| serde::Value::U64(t.latency.as_ns()))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let root = serde::Value::Object(vec![
+            ("specs".into(), serde::Value::U64(self.verdicts.len() as u64)),
+            ("verdicts".into(), serde::Value::Array(verdicts)),
+        ]);
+        serde_json::to_string_pretty(&root).expect("artifact serializes")
+    }
+}
+
+/// The batch runner: configure workers and flight capture, then
+/// [`submit`](Fleet::submit) specs.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    workers: u32,
+    top_k: usize,
+}
+
+impl Default for Fleet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fleet {
+    /// A fleet on [`sp_fleet::default_workers`] threads, flight recorder off.
+    pub fn new() -> Self {
+        Fleet { workers: sp_fleet::default_workers(), top_k: 0 }
+    }
+
+    /// Override the worker-thread count (results are unaffected; only
+    /// wall-clock changes).
+    pub fn with_workers(mut self, workers: u32) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Arm the flight recorder on latency specs: each verdict carries the
+    /// merged top-`top_k` worst-case windows. Capture is pure observation —
+    /// outcomes are bit-identical with it on or off.
+    pub fn with_top_k(mut self, top_k: usize) -> Self {
+        self.top_k = top_k;
+        self
+    }
+
+    /// Run every spec on the work-stealing pool and merge verdicts in
+    /// spec-index order. See the module docs for the determinism contract.
+    pub fn submit(&self, specs: Vec<FleetSpec>) -> FleetReport {
+        let top_k = self.top_k;
+        let t0 = std::time::Instant::now();
+        let (verdicts, stats) =
+            sp_fleet::run_with(PoolConfig::auto(self.workers), specs.len(), |i| {
+                let spec = &specs[i];
+                let (outcome, traces) = run_job(&spec.job, top_k);
+                FleetVerdict { index: i, name: spec.name.clone(), outcome, traces }
+            });
+        FleetReport {
+            verdicts,
+            workers: stats.workers,
+            stats,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+}
+
+fn run_job(
+    job: &FleetJob,
+    top_k: usize,
+) -> (Result<FleetOutcome, String>, Vec<WorstCaseTrace>) {
+    match job {
+        FleetJob::Scenario(spec) => match run_scenario(spec) {
+            Ok(r) => (Ok(FleetOutcome::Scenario(r)), Vec::new()),
+            Err(e) => (Err(e.to_string()), Vec::new()),
+        },
+        FleetJob::Realfeel(cfg) => {
+            let (r, traces) = run_realfeel_with_flight(cfg, top_k);
+            (Ok(FleetOutcome::Realfeel(r)), traces)
+        }
+        FleetJob::Rcim(cfg) => {
+            let (r, traces) = run_rcim_with_flight(cfg, top_k);
+            (Ok(FleetOutcome::Rcim(r)), traces)
+        }
+        FleetJob::Determinism(cfg) => {
+            (Ok(FleetOutcome::Determinism(run_determinism(cfg))), Vec::new())
+        }
+    }
+}
+
+/// Cross-product builder for realfeel sweeps: kernel variants × shield
+/// configs × seeds, each at a fixed sample budget and shard count. The
+/// result is a spec list ready for [`Fleet::submit`]; order is the nested
+/// iteration order (variant-major), so the batch is itself deterministic.
+#[derive(Debug, Clone)]
+pub struct FleetGrid {
+    /// Kernel variants to cross.
+    pub variants: Vec<KernelVariant>,
+    /// Shield configs to cross (`None` = unshielded, `Some(cpu)` = that CPU
+    /// fully shielded with the measured task and IRQ bound in).
+    pub shields: Vec<Option<u32>>,
+    /// Root seeds to cross.
+    pub seeds: Vec<u64>,
+    /// Per-spec sample budget.
+    pub samples: u64,
+    /// Per-spec shard count (PR-1 contract: part of the reproducibility key).
+    pub shards: u32,
+}
+
+impl FleetGrid {
+    /// Expand the grid into realfeel specs, variant-major.
+    pub fn realfeel_specs(&self) -> Vec<FleetSpec> {
+        let mut specs = Vec::new();
+        for &variant in &self.variants {
+            for &shield in &self.shields {
+                for &seed in &self.seeds {
+                    let cfg = RealfeelConfig {
+                        variant,
+                        shield,
+                        rtc_hz: 2048,
+                        samples: self.samples,
+                        seed,
+                        shards: self.shards.max(1),
+                    };
+                    let name = format!("{} seed={seed:#x}", cfg.label());
+                    specs.push(FleetSpec { name, job: FleetJob::Realfeel(cfg) });
+                }
+            }
+        }
+        specs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::fig7_scenario;
+
+    fn small_batch() -> Vec<FleetSpec> {
+        let mut short7 = fig7_scenario();
+        short7.run_secs = 0.3;
+        vec![
+            FleetSpec::realfeel(RealfeelConfig::fig6_redhawk_shielded().with_samples(2_000)),
+            FleetSpec::rcim(RcimConfig::fig7_redhawk_shielded().with_samples(2_000)),
+            FleetSpec::scenario(short7),
+            FleetSpec::determinism(
+                DeterminismConfig::fig2_redhawk_shielded().with_iterations(8),
+            ),
+        ]
+    }
+
+    #[test]
+    fn submit_merges_in_spec_order_and_is_worker_invariant() {
+        let reference = Fleet::new().with_workers(1).submit(small_batch());
+        assert_eq!(reference.verdicts.len(), 4);
+        for (i, v) in reference.verdicts.iter().enumerate() {
+            assert_eq!(v.index, i);
+            assert!(v.outcome.is_ok(), "{:?}", v.outcome);
+        }
+        let art = reference.artifact_json();
+        for workers in [2, 8] {
+            let report = Fleet::new().with_workers(workers).submit(small_batch());
+            assert_eq!(report.artifact_json(), art, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn scenario_errors_become_verdict_errors() {
+        let mut bad = fig7_scenario();
+        bad.measured.clear();
+        let report = Fleet::new().with_workers(2).submit(vec![
+            FleetSpec::scenario(bad),
+            FleetSpec::determinism(DeterminismConfig::fig2_redhawk_shielded().with_iterations(8)),
+        ]);
+        assert!(report.verdicts[0].outcome.is_err());
+        assert!(report.verdicts[1].outcome.is_ok(), "one bad spec must not sink the batch");
+        assert!(report.artifact_json().contains("\"ok\": false"));
+    }
+
+    #[test]
+    fn flight_capture_rides_along_and_is_pure_observation() {
+        let specs = || {
+            vec![FleetSpec::realfeel(
+                RealfeelConfig::fig6_redhawk_shielded().with_samples(3_000).with_shards(2),
+            )]
+        };
+        let plain = Fleet::new().with_workers(2).submit(specs());
+        let armed = Fleet::new().with_workers(2).with_top_k(3).submit(specs());
+        let traces = &armed.verdicts[0].traces;
+        assert!(!traces.is_empty() && traces.len() <= 3);
+        let Ok(FleetOutcome::Realfeel(r)) = &armed.verdicts[0].outcome else {
+            panic!("wrong outcome kind");
+        };
+        assert_eq!(traces[0].latency, r.summary.max, "worst trace is the max");
+        // Outcomes are bit-identical with the recorder on or off — only the
+        // trace list differs.
+        let Ok(FleetOutcome::Realfeel(p)) = &plain.verdicts[0].outcome else {
+            panic!("wrong outcome kind");
+        };
+        assert_eq!(
+            serde_json::to_string(&p.histogram).unwrap(),
+            serde_json::to_string(&r.histogram).unwrap()
+        );
+    }
+
+    #[test]
+    fn grid_expands_the_cross_product_in_stable_order() {
+        let grid = FleetGrid {
+            variants: vec![KernelVariant::Vanilla24, KernelVariant::RedHawk],
+            shields: vec![None, Some(1)],
+            seeds: vec![1, 2],
+            samples: 1_000,
+            shards: 1,
+        };
+        let specs = grid.realfeel_specs();
+        assert_eq!(specs.len(), 8);
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        let mut uniq = names.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 8, "names must be unique: {names:?}");
+        // Variant-major order: the first four are Vanilla24.
+        for s in &specs[..4] {
+            let FleetJob::Realfeel(cfg) = &s.job else { panic!() };
+            assert_eq!(cfg.variant, KernelVariant::Vanilla24);
+        }
+    }
+}

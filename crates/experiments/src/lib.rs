@@ -17,6 +17,7 @@
 
 pub mod determinism;
 pub mod faultmatrix;
+pub mod fleet;
 pub mod flight;
 pub mod rcim;
 pub mod realfeel;
@@ -27,6 +28,7 @@ pub mod scenario;
 pub mod shard;
 
 pub use determinism::{run_determinism, DeterminismConfig, DeterminismResult};
+pub use fleet::{Fleet, FleetGrid, FleetJob, FleetOutcome, FleetReport, FleetSpec, FleetVerdict};
 pub use flight::{merge_top, trace_meta};
 pub use rcim::{run_rcim, run_rcim_with_flight, RcimConfig, RcimResult};
 pub use realfeel::{run_realfeel, run_realfeel_with_flight, RealfeelConfig, RealfeelResult};
@@ -38,7 +40,8 @@ pub use faultmatrix::{
     FaultMatrixReport, MatrixCell,
 };
 pub use runner::{
-    run_all_figures, run_all_figures_flight, run_all_figures_with, FigureSuite, SuiteFlight,
+    run_all_figures, run_all_figures_flight, run_all_figures_with, FigureSuite, FigureTiming,
+    SuiteFlight, SuiteTimings,
 };
 pub use scenario::{
     run_scenario, run_scenario_sharded, MeasuredResult, RecoveryReport, ScenarioError,

@@ -1,10 +1,11 @@
-//! Run the full figure suite, optionally in parallel (each experiment is an
-//! independent single-threaded simulation, so they parallelise perfectly).
+//! Run the full figure suite on the `sp-fleet` work-stealing pool: each
+//! figure is one fleet job, and the latency figures' internal shard fan-outs
+//! ride the same pool, so the whole suite saturates the machine without
+//! spawning a thread per shard.
 
 use crate::determinism::{run_determinism, DeterminismConfig, DeterminismResult};
-use crate::realfeel::{run_realfeel_with_flight, RealfeelConfig, RealfeelResult};
 use crate::rcim::{run_rcim_with_flight, RcimConfig, RcimResult};
-use parking_lot::Mutex;
+use crate::realfeel::{run_realfeel_with_flight, RealfeelConfig, RealfeelResult};
 use sp_kernel::WorstCaseTrace;
 
 /// Results of the complete figure suite.
@@ -33,14 +34,57 @@ pub struct SuiteFlight {
     pub fig7: Vec<WorstCaseTrace>,
 }
 
-/// Wall-clock spent in each figure (throughput accounting for the
-/// `BENCH_simulator.json` emitter). The figures run concurrently, so entries
-/// overlap and do not sum to the suite wall-clock.
+/// One figure's execution-time accounting (throughput metadata for the
+/// `BENCH_simulator.json` emitter — never part of the deterministic result).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FigureTiming {
+    /// Figure id (`fig1`…`fig7`).
+    pub id: String,
+    /// Wall-clock of the figure job, milliseconds.
+    pub wall_ms: f64,
+    /// Sum of the figure's inner shard-job walls, milliseconds (zero for
+    /// figures that don't fan out).
+    pub fanout_busy_ms: f64,
+    /// Wall-clock of the figure's fan-out calls themselves, milliseconds.
+    pub fanout_span_ms: f64,
+}
+
+impl FigureTiming {
+    /// Estimated speedup of this figure over a fully serial run: the serial
+    /// equivalent is the figure's wall with its fan-out span replaced by the
+    /// fan-out's summed job walls. 1.0 means no internal parallelism.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 1.0;
+        }
+        let serial_est = (self.wall_ms - self.fanout_span_ms + self.fanout_busy_ms)
+            .max(self.wall_ms);
+        serial_est / self.wall_ms
+    }
+}
+
+/// Wall-clock spent in each figure. The figures run concurrently on the
+/// fleet, so entries overlap and do not sum to the suite wall-clock.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SuiteTimings {
-    /// `(figure id, wall-clock milliseconds)` in fig1..fig7 order.
-    pub figures: Vec<(String, f64)>,
+    /// Per-figure accounting in fig1..fig7 order.
+    pub figures: Vec<FigureTiming>,
     pub suite_wall_ms: f64,
+    /// Worker threads the suite-level fleet batch ran on.
+    #[serde(default)]
+    pub workers: u32,
+}
+
+impl SuiteTimings {
+    /// Suite-level parallel speedup: summed figure walls over the suite
+    /// wall. 1.0 means the figures ran effectively serially.
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.suite_wall_ms <= 0.0 {
+            return 1.0;
+        }
+        let total: f64 = self.figures.iter().map(|f| f.wall_ms).sum();
+        (total / self.suite_wall_ms).max(1.0)
+    }
 }
 
 /// Scale factor for sample counts/iterations: 1.0 reproduces the defaults,
@@ -61,6 +105,18 @@ pub fn run_all_figures_with(scale: f64, shards: u32) -> FigureSuite {
 pub fn run_all_figures_timed(scale: f64, shards: u32) -> (FigureSuite, SuiteTimings) {
     let (suite, timings, _) = run_all_figures_flight(scale, shards, 0);
     (suite, timings)
+}
+
+enum FigJob {
+    Det(DeterminismConfig),
+    Real(RealfeelConfig),
+    Rcim(RcimConfig),
+}
+
+enum FigOut {
+    Det(DeterminismResult),
+    Real(RealfeelResult, Vec<WorstCaseTrace>),
+    Rcim(RcimResult, Vec<WorstCaseTrace>),
 }
 
 /// [`run_all_figures_timed`] with the flight recorder armed on the latency
@@ -97,67 +153,70 @@ pub fn run_all_figures_flight(
     let f7 = RcimConfig::fig7_redhawk_shielded();
     let f7 = f7.clone().with_samples(samples(f7.samples)).with_shards(shards);
 
-    let t0 = std::time::Instant::now();
-    let det: Mutex<Vec<Option<(DeterminismResult, f64)>>> =
-        Mutex::new(vec![None, None, None, None]);
-    let mut lat5: Option<(RealfeelResult, Vec<WorstCaseTrace>, f64)> = None;
-    let mut lat6: Option<(RealfeelResult, Vec<WorstCaseTrace>, f64)> = None;
-    let mut lat7: Option<(RcimResult, Vec<WorstCaseTrace>, f64)> = None;
-
-    crossbeam::scope(|scope| {
-        for (i, cfg) in d_cfgs.iter().enumerate() {
-            let det = &det;
-            scope.spawn(move |_| {
-                let t = std::time::Instant::now();
-                let r = run_determinism(cfg);
-                det.lock()[i] = Some((r, t.elapsed().as_secs_f64() * 1e3));
-            });
-        }
-        scope.spawn(|_| {
-            let t = std::time::Instant::now();
-            let (r, tr) = run_realfeel_with_flight(&f5, top_k);
-            lat5 = Some((r, tr, t.elapsed().as_secs_f64() * 1e3));
-        });
-        scope.spawn(|_| {
-            let t = std::time::Instant::now();
-            let (r, tr) = run_realfeel_with_flight(&f6, top_k);
-            lat6 = Some((r, tr, t.elapsed().as_secs_f64() * 1e3));
-        });
-        scope.spawn(|_| {
-            let t = std::time::Instant::now();
-            let (r, tr) = run_rcim_with_flight(&f7, top_k);
-            lat7 = Some((r, tr, t.elapsed().as_secs_f64() * 1e3));
-        });
-    })
-    .expect("experiment thread panicked");
-
-    let mut det = det.into_inner();
-    let [d1, d2, d3, d4] = [
-        det[0].take().expect("fig1"),
-        det[1].take().expect("fig2"),
-        det[2].take().expect("fig3"),
-        det[3].take().expect("fig4"),
+    let [d1, d2, d3, d4] = d_cfgs;
+    let jobs = [
+        FigJob::Det(d1),
+        FigJob::Det(d2),
+        FigJob::Det(d3),
+        FigJob::Det(d4),
+        FigJob::Real(f5),
+        FigJob::Real(f6),
+        FigJob::Rcim(f7),
     ];
-    let (lat5, fl5, ms5) = lat5.expect("fig5");
-    let (lat6, fl6, ms6) = lat6.expect("fig6");
-    let (lat7, fl7, ms7) = lat7.expect("fig7");
-    let timings = SuiteTimings {
-        figures: vec![
-            ("fig1".into(), d1.1),
-            ("fig2".into(), d2.1),
-            ("fig3".into(), d3.1),
-            ("fig4".into(), d4.1),
-            ("fig5".into(), ms5),
-            ("fig6".into(), ms6),
-            ("fig7".into(), ms7),
-        ],
-        suite_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-    };
+
+    let t0 = std::time::Instant::now();
+    let workers = sp_fleet::default_workers();
+    let mut outs = sp_fleet::run_indexed(jobs.len(), |i| {
+        let t = std::time::Instant::now();
+        // Reset this worker thread's fan-out accumulator so the delta after
+        // the job is this figure's alone (workers run figures sequentially).
+        let _ = crate::shard::take_fanout();
+        let out = match &jobs[i] {
+            FigJob::Det(cfg) => FigOut::Det(run_determinism(cfg)),
+            FigJob::Real(cfg) => {
+                let (r, tr) = run_realfeel_with_flight(cfg, top_k);
+                FigOut::Real(r, tr)
+            }
+            FigJob::Rcim(cfg) => {
+                let (r, tr) = run_rcim_with_flight(cfg, top_k);
+                FigOut::Rcim(r, tr)
+            }
+        };
+        let (busy_ns, span_ns) = crate::shard::take_fanout();
+        let timing = FigureTiming {
+            id: format!("fig{}", i + 1),
+            wall_ms: t.elapsed().as_secs_f64() * 1e3,
+            fanout_busy_ms: busy_ns as f64 / 1e6,
+            fanout_span_ms: span_ns as f64 / 1e6,
+        };
+        (out, timing)
+    });
+    let suite_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut figures = Vec::with_capacity(outs.len());
+    let mut det = Vec::new();
+    let mut real = Vec::new();
+    let mut rcim = None;
+    for (out, timing) in outs.drain(..) {
+        figures.push(timing);
+        match out {
+            FigOut::Det(r) => det.push(r),
+            FigOut::Real(r, tr) => real.push((r, tr)),
+            FigOut::Rcim(r, tr) => rcim = Some((r, tr)),
+        }
+    }
+    let timings = SuiteTimings { figures, suite_wall_ms, workers };
+
+    let mut det = det.into_iter();
+    let mut real = real.into_iter();
+    let (lat5, fl5) = real.next().expect("fig5");
+    let (lat6, fl6) = real.next().expect("fig6");
+    let (lat7, fl7) = rcim.expect("fig7");
     let suite = FigureSuite {
-        fig1: d1.0,
-        fig2: d2.0,
-        fig3: d3.0,
-        fig4: d4.0,
+        fig1: det.next().expect("fig1"),
+        fig2: det.next().expect("fig2"),
+        fig3: det.next().expect("fig3"),
+        fig4: det.next().expect("fig4"),
         fig5: lat5,
         fig6: lat6,
         fig7: lat7,

@@ -1,0 +1,107 @@
+//! Determinism contract of the `sp-fleet` scenario-fleet engine.
+//!
+//! The reproducibility key is `(seed, shards)` — never the worker count.
+//! For a fixed key, every fleet product (histograms, verdicts, merged
+//! flight traces, matrix cells) must be bit-identical across worker counts
+//! {1, 2, 8}, across repeated runs, and `shards = 1` on one worker must
+//! equal the classic serial path.
+
+use sp_experiments::{
+    run_fault_matrix_with_flight, run_realfeel, run_realfeel_with_flight, DeterminismConfig,
+    FaultMatrixConfig, Fleet, FleetOutcome, FleetSpec, RcimConfig, RealfeelConfig,
+};
+
+fn batch() -> Vec<FleetSpec> {
+    vec![
+        FleetSpec::realfeel(RealfeelConfig::fig6_redhawk_shielded().with_samples(2_500).with_shards(3)),
+        FleetSpec::rcim(RcimConfig::fig7_redhawk_shielded().with_samples(2_500).with_shards(2)),
+        FleetSpec::determinism(DeterminismConfig::fig2_redhawk_shielded().with_iterations(8)),
+    ]
+}
+
+/// Satellite: fixed `(seed, shards)` ⇒ the full fleet artifact — per-spec
+/// verdicts, result payloads and captured trace latencies — is bit-identical
+/// across worker counts {1, 2, 8} *and* across two repeated runs at each
+/// count.
+#[test]
+fn fleet_artifact_is_identical_across_worker_counts_and_repeats() {
+    let reference = Fleet::new().with_workers(1).with_top_k(2).submit(batch()).artifact_json();
+    for workers in [1u32, 2, 8] {
+        for repeat in 0..2 {
+            let report = Fleet::new().with_workers(workers).with_top_k(2).submit(batch());
+            assert_eq!(report.workers, workers.min(batch().len() as u32).max(1));
+            assert_eq!(
+                report.artifact_json(),
+                reference,
+                "drift at workers={workers} repeat={repeat}"
+            );
+        }
+    }
+}
+
+/// `shards = 1` on one worker is the classic serial path: a fleet-submitted
+/// single-shard experiment equals calling the experiment function directly.
+#[test]
+fn single_shard_on_one_worker_matches_classic_serial_run() {
+    let cfg = RealfeelConfig::fig6_redhawk_shielded().with_samples(3_000).with_shards(1);
+    let serial = serde_json::to_string(&run_realfeel(&cfg)).unwrap();
+
+    let report = Fleet::new().with_workers(1).submit(vec![FleetSpec::realfeel(cfg)]);
+    let Ok(FleetOutcome::Realfeel(r)) = &report.verdicts[0].outcome else {
+        panic!("wrong outcome kind");
+    };
+    assert_eq!(serde_json::to_string(r).unwrap(), serial);
+}
+
+/// Satellite: merged top-K flight traces under concurrent shards — the
+/// merged worst sample equals the histogram max regardless of which worker
+/// found it, and the whole merged top-K list is worker-count invariant.
+#[test]
+fn merged_worst_trace_explains_the_max_for_every_worker_count() {
+    let cfg = RealfeelConfig::fig6_redhawk_shielded().with_samples(4_000).with_shards(4);
+    let mut all_latency_lists = Vec::new();
+    for workers in [1u32, 2, 8] {
+        let (result, traces) =
+            sp_fleet::with_workers(workers, || run_realfeel_with_flight(&cfg, 3));
+        assert!(!traces.is_empty(), "no window captured at workers={workers}");
+        assert_eq!(
+            traces[0].latency, result.summary.max,
+            "merged worst must explain the histogram max (workers={workers})"
+        );
+        for pair in traces.windows(2) {
+            assert!(pair[0].latency >= pair[1].latency, "merged top-K not worst-first");
+        }
+        all_latency_lists.push(traces.iter().map(|t| t.latency).collect::<Vec<_>>());
+    }
+    assert_eq!(all_latency_lists[0], all_latency_lists[1]);
+    assert_eq!(all_latency_lists[1], all_latency_lists[2]);
+}
+
+/// The flattened fault-matrix batch is worker-count invariant too: cells,
+/// verdicts and captured per-cell traces all agree between a single-worker
+/// and a four-worker run.
+#[test]
+fn fault_matrix_is_worker_count_invariant() {
+    let cfg = FaultMatrixConfig { samples_per_cell: 800, shards: 2, seed: 0xFA17_5EED };
+    let runs: Vec<_> = [1u32, 4]
+        .iter()
+        .map(|&w| sp_fleet::with_workers(w, || run_fault_matrix_with_flight(&cfg, 1)))
+        .collect();
+    let (ra, fa) = &runs[0];
+    let (rb, fb) = &runs[1];
+    assert_eq!(
+        serde_json::to_string(&ra.cells).unwrap(),
+        serde_json::to_string(&rb.cells).unwrap()
+    );
+    assert_eq!(ra.violations, rb.violations);
+    let key = |flights: &[sp_experiments::CellFlight]| {
+        flights
+            .iter()
+            .map(|f| {
+                let lat: Vec<_> = f.traces.iter().map(|t| t.latency).collect();
+                (f.fault.clone(), f.path.clone(), f.shielded, lat)
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(key(fa), key(fb));
+}

@@ -1,0 +1,403 @@
+//! The work-stealing pool: per-worker deques, a global injector, scoped OS
+//! threads, and index-ordered result collection.
+//!
+//! # Scheduling model
+//!
+//! A batch of `n` jobs (indices `0..n`) runs on `W` worker threads. All
+//! indices start in the **injector** (a global FIFO). Each worker loops:
+//!
+//! 1. pop a job from the *back* of its own deque and run it;
+//! 2. if the deque is empty, grab a batch from the injector into the deque;
+//! 3. if the injector is empty too, scan the other workers and **steal the
+//!    front half** of the first non-empty deque found;
+//! 4. if a full scan finds nothing, the batch is finished — jobs never
+//!    spawn jobs, so total pending work is monotonically decreasing and
+//!    an empty scan is a sound termination condition.
+//!
+//! Queues are mutex-protected `VecDeque`s rather than lock-free Chase–Lev
+//! deques: fleet jobs are entire simulations (milliseconds to seconds
+//! each), so queue operations are nanoseconds against millisecond jobs and
+//! the mutex never becomes the bottleneck — the `fleet_dispatch_ns` /
+//! `fleet_steal_overhead_ns` microbenches in `BENCH_simulator.json` hold
+//! the runner to that claim.
+//!
+//! # Determinism
+//!
+//! Workers record `(index, output)` pairs privately and the pool reassembles
+//! them in index order after the scope joins. Steal order, worker count and
+//! finish order are therefore invisible in the output: `run_with` is a pure
+//! function of `(n, f)`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How a batch's job indices are initially placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// All jobs start in the global injector (the default): workers pull
+    /// batches on demand, so early finishers naturally take more work.
+    Injector,
+    /// All jobs start in worker 0's deque: every job another worker runs
+    /// must be stolen. Used by the `fleet_steal_overhead_ns` microbench to
+    /// price the steal path; not useful for real workloads.
+    Worker0,
+}
+
+/// Configuration of one batch execution.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Worker threads to run the batch on (clamped to at least 1; also
+    /// capped at the job count, since extra workers would just idle).
+    pub workers: u32,
+    /// Jobs a worker grabs from the injector per refill; `0` picks
+    /// `clamp(n / (workers * 4), 1, 32)` so refills stay frequent enough
+    /// for stealing to balance uneven tails.
+    pub grab: usize,
+    /// Initial placement of the job indices.
+    pub placement: Placement,
+}
+
+impl PoolConfig {
+    /// Injector placement with automatic grab sizing on `workers` threads.
+    pub fn auto(workers: u32) -> Self {
+        PoolConfig { workers, grab: 0, placement: Placement::Injector }
+    }
+}
+
+/// What one batch execution did, for telemetry and the overhead benches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetStats {
+    /// Worker threads the batch actually used.
+    pub workers: u32,
+    /// Jobs executed (equals the batch size).
+    pub jobs: u64,
+    /// Jobs run straight off the owning worker's deque.
+    pub local_pops: u64,
+    /// Injector→deque refill operations.
+    pub injector_batches: u64,
+    /// Steal operations (each moves up to half a victim's deque).
+    pub steals: u64,
+    /// Jobs that arrived on their executing worker via a steal.
+    pub stolen_jobs: u64,
+    /// Sum of per-job execution wall-clock, in nanoseconds. On `W` busy
+    /// workers a batch's wall-clock approaches `busy_ns / W`; the ratio is
+    /// the batch's effective parallel speedup.
+    pub busy_ns: u64,
+}
+
+/// Process-wide cumulative fleet counters, for `BENCH_simulator.json`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GlobalStats {
+    /// Batches executed since process start.
+    pub batches: u64,
+    /// Jobs executed across all batches.
+    pub jobs: u64,
+    /// Steal operations across all batches.
+    pub steals: u64,
+    /// Jobs that arrived via a steal.
+    pub stolen_jobs: u64,
+}
+
+static G_BATCHES: AtomicU64 = AtomicU64::new(0);
+static G_JOBS: AtomicU64 = AtomicU64::new(0);
+static G_STEALS: AtomicU64 = AtomicU64::new(0);
+static G_STOLEN_JOBS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot the process-wide cumulative counters. `reproduce_all` diffs two
+/// snapshots around the suite to report how much work flowed through the
+/// fleet.
+pub fn stats_snapshot() -> GlobalStats {
+    GlobalStats {
+        batches: G_BATCHES.load(Ordering::Relaxed),
+        jobs: G_JOBS.load(Ordering::Relaxed),
+        steals: G_STEALS.load(Ordering::Relaxed),
+        stolen_jobs: G_STOLEN_JOBS.load(Ordering::Relaxed),
+    }
+}
+
+std::thread_local! {
+    static WORKER_OVERRIDE: std::cell::Cell<Option<u32>> = const { std::cell::Cell::new(None) };
+}
+
+/// Default worker count: the scoped [`with_workers`] override if one is
+/// active on this thread, else `SP_WORKERS`, else the machine's available
+/// parallelism. Always at least 1.
+pub fn default_workers() -> u32 {
+    if let Some(w) = WORKER_OVERRIDE.with(|c| c.get()) {
+        return w.max(1);
+    }
+    if let Some(w) = std::env::var("SP_WORKERS").ok().and_then(|v| v.parse::<u32>().ok()) {
+        return w.max(1);
+    }
+    std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(1)
+}
+
+/// Run `f` with [`default_workers`] pinned to `workers` on this thread —
+/// every `run_indexed` call made (directly) inside `f` uses that worker
+/// count. The override is scoped: it is restored on exit, panics included.
+/// This is how the determinism tests hold `(seed, shards)` fixed while
+/// sweeping worker counts.
+pub fn with_workers<R>(workers: u32, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<u32>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WORKER_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(WORKER_OVERRIDE.with(|c| c.replace(Some(workers))));
+    f()
+}
+
+/// Run `f(0), …, f(n-1)` on the work-stealing pool with [`default_workers`]
+/// threads and return the outputs in index order. Drop-in replacement for
+/// the old thread-per-job fan-out, minus the oversubscription.
+pub fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_with(PoolConfig::auto(default_workers()), n, f).0
+}
+
+/// Run a batch under an explicit [`PoolConfig`], also returning the batch's
+/// [`FleetStats`]. Output order is job-index order; the stats are the only
+/// thing the scheduling can influence.
+pub fn run_with<T, F>(cfg: PoolConfig, n: usize, f: F) -> (Vec<T>, FleetStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = (cfg.workers.max(1) as usize).min(n.max(1));
+    let mut stats = FleetStats { workers: workers as u32, jobs: n as u64, ..Default::default() };
+    if n == 0 {
+        return (Vec::new(), stats);
+    }
+
+    // Single worker: run inline on the caller thread. Same results by
+    // construction; no spawn cost, and `shards == 1` keeps the classic
+    // serial profile exactly.
+    if workers == 1 {
+        let t0 = std::time::Instant::now();
+        let out: Vec<T> = (0..n).map(&f).collect();
+        stats.local_pops = n as u64;
+        stats.busy_ns = t0.elapsed().as_nanos() as u64;
+        bump_globals(&stats);
+        return (out, stats);
+    }
+
+    let injector: Mutex<VecDeque<usize>> = Mutex::new(VecDeque::new());
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    match cfg.placement {
+        Placement::Injector => injector.lock().unwrap().extend(0..n),
+        Placement::Worker0 => deques[0].lock().unwrap().extend(0..n),
+    }
+    let grab = if cfg.grab == 0 { (n / (workers * 4)).clamp(1, 32) } else { cfg.grab.max(1) };
+
+    let local_pops = AtomicU64::new(0);
+    let injector_batches = AtomicU64::new(0);
+    let steals = AtomicU64::new(0);
+    let stolen_jobs = AtomicU64::new(0);
+    let busy_ns = AtomicU64::new(0);
+
+    let mut per_worker: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                let injector = &injector;
+                let deques = &deques;
+                let f = &f;
+                let (local_pops, injector_batches, steals, stolen_jobs, busy_ns) =
+                    (&local_pops, &injector_batches, &steals, &stolen_jobs, &busy_ns);
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, T)> = Vec::new();
+                    // Jobs taken in a steal run before the next local pop;
+                    // counted separately so the telemetry can say how much
+                    // work moved between workers.
+                    let mut stolen_run = 0u64;
+                    loop {
+                        let job = {
+                            let mut mine = deques[me].lock().unwrap();
+                            mine.pop_back()
+                        };
+                        if let Some(i) = job {
+                            if stolen_run > 0 {
+                                stolen_run -= 1;
+                                stolen_jobs.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                local_pops.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let t0 = std::time::Instant::now();
+                            out.push((i, f(i)));
+                            busy_ns
+                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            continue;
+                        }
+                        // Refill from the injector.
+                        {
+                            let mut inj = injector.lock().unwrap();
+                            if !inj.is_empty() {
+                                let take = grab.min(inj.len());
+                                let batch: Vec<usize> = inj.drain(..take).collect();
+                                drop(inj);
+                                deques[me].lock().unwrap().extend(batch);
+                                injector_batches.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        }
+                        // Steal the front half of the first non-empty
+                        // victim deque, scanning from our right neighbour.
+                        let mut found = false;
+                        for k in 1..workers {
+                            let victim = (me + k) % workers;
+                            let batch: Vec<usize> = {
+                                let mut v = deques[victim].lock().unwrap();
+                                let take = v.len().div_ceil(2);
+                                v.drain(..take).collect()
+                            };
+                            if !batch.is_empty() {
+                                stolen_run = batch.len() as u64;
+                                deques[me].lock().unwrap().extend(batch);
+                                steals.fetch_add(1, Ordering::Relaxed);
+                                found = true;
+                                break;
+                            }
+                        }
+                        if !found {
+                            // Injector and every deque were empty on a full
+                            // scan; no job creates jobs, so we are done.
+                            break;
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            per_worker.push(h.join().expect("fleet worker panicked"));
+        }
+    });
+
+    stats.local_pops = local_pops.into_inner();
+    stats.injector_batches = injector_batches.into_inner();
+    stats.steals = steals.into_inner();
+    stats.stolen_jobs = stolen_jobs.into_inner();
+    stats.busy_ns = busy_ns.into_inner();
+    bump_globals(&stats);
+
+    // Reassemble in index order, independent of scheduling.
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for chunk in per_worker {
+        for (i, v) in chunk {
+            debug_assert!(slots[i].is_none(), "job {i} ran twice");
+            slots[i] = Some(v);
+        }
+    }
+    let out = slots.into_iter().map(|s| s.expect("fleet job produced no output")).collect();
+    (out, stats)
+}
+
+fn bump_globals(stats: &FleetStats) {
+    G_BATCHES.fetch_add(1, Ordering::Relaxed);
+    G_JOBS.fetch_add(stats.jobs, Ordering::Relaxed);
+    G_STEALS.fetch_add(stats.steals, Ordering::Relaxed);
+    G_STOLEN_JOBS.fetch_add(stats.stolen_jobs, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_are_index_ordered_for_every_worker_count() {
+        for workers in [1u32, 2, 3, 8, 17] {
+            let (out, stats) = run_with(PoolConfig::auto(workers), 100, |i| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>(), "workers={workers}");
+            assert_eq!(stats.jobs, 100);
+            assert_eq!(
+                stats.local_pops + stats.stolen_jobs,
+                100,
+                "every job is either local or stolen: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_batches_work() {
+        let (out, _) = run_with::<u32, _>(PoolConfig::auto(8), 0, |_| unreachable!());
+        assert!(out.is_empty());
+        let (out, stats) = run_with(PoolConfig::auto(8), 1, |i| i + 41);
+        assert_eq!(out, vec![41]);
+        assert_eq!(stats.workers, 1, "workers cap at the job count");
+    }
+
+    #[test]
+    fn worker0_placement_forces_steals() {
+        let cfg = PoolConfig { workers: 4, grab: 0, placement: Placement::Worker0 };
+        // Slow jobs so the other workers reliably wake before worker 0
+        // drains its own deque.
+        let (out, stats) = run_with(cfg, 64, |i| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            i
+        });
+        assert_eq!(out.len(), 64);
+        assert!(stats.steals > 0, "no steals happened: {stats:?}");
+        assert!(stats.stolen_jobs > 0);
+    }
+
+    #[test]
+    fn uneven_jobs_still_complete_and_balance() {
+        // One job is 100x the others; stealing must keep the rest flowing.
+        let (out, stats) = run_with(PoolConfig::auto(4), 40, |i| {
+            let us = if i == 0 { 5_000 } else { 50 };
+            std::thread::sleep(std::time::Duration::from_micros(us));
+            i as u64
+        });
+        assert_eq!(out.iter().sum::<u64>(), (0..40).sum::<u64>());
+        assert_eq!(stats.jobs, 40);
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let reference = run_with(PoolConfig::auto(1), 64, |i| i.wrapping_mul(0x9E37)).0;
+        for workers in [2u32, 4, 8] {
+            let got = run_with(PoolConfig::auto(workers), 64, |i| i.wrapping_mul(0x9E37)).0;
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn with_workers_scopes_the_override() {
+        assert_eq!(with_workers(3, default_workers), 3);
+        let nested = with_workers(5, || (default_workers(), with_workers(2, default_workers)));
+        assert_eq!(nested, (5, 2));
+        // Restored after the scope (whatever the ambient default is, it is
+        // not the override).
+        let ambient = default_workers();
+        assert_ne!(with_workers(ambient + 7, default_workers), ambient);
+        assert_eq!(default_workers(), ambient);
+    }
+
+    #[test]
+    fn global_counters_accumulate() {
+        let before = stats_snapshot();
+        run_with(PoolConfig::auto(2), 10, |i| i);
+        let after = stats_snapshot();
+        assert!(after.batches > before.batches);
+        assert!(after.jobs >= before.jobs + 10);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_with(PoolConfig::auto(2), 8, |i| {
+                if i == 5 {
+                    panic!("job 5 exploded");
+                }
+                i
+            })
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -1801,6 +1801,16 @@ pub struct Checkpoint {
     events_dispatched: u64,
 }
 
+// The work-stealing fleet shares one warm checkpoint across worker threads
+// by reference (`Send + Sync`) and hands clones across thread boundaries
+// (`Send`). Checkpoints are plain data — any interior mutability or Rc-like
+// sharing slipped into a field would silently serialize the fleet, so pin
+// the bounds at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Checkpoint>()
+};
+
 /// One row of the simulator's interrupt inventory.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IrqInfo {

@@ -174,6 +174,42 @@ fn one_checkpoint_forks_many_identical_runs() {
     assert_eq!(prints[1], prints[2]);
 }
 
+/// The fleet handoff pattern: one warm checkpoint shared by reference
+/// (`Sync`) across OS worker threads, each restoring into its own rebuilt
+/// simulator. Every thread's continuation must be bit-identical to a fork
+/// restored on the owning thread — crossing a thread boundary is invisible.
+#[test]
+fn checkpoint_hands_off_across_threads() {
+    let (mut warm, _, _) = build(79);
+    warm.run_for(Nanos::from_ms(20));
+    let ck = warm.checkpoint();
+
+    let (mut local, pid, storm) = build(79);
+    local.restore(&ck);
+    local.run_for(Nanos::from_ms(30));
+    let reference = fingerprint(&local, pid, storm);
+
+    let prints: Vec<_> = std::thread::scope(|scope| {
+        (0..4)
+            .map(|_| {
+                let ck = &ck;
+                scope.spawn(move || {
+                    let (mut fork, pid, storm) = build(79);
+                    fork.restore(ck);
+                    fork.run_for(Nanos::from_ms(30));
+                    fingerprint(&fork, pid, storm)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("fork thread panicked"))
+            .collect()
+    });
+    for fp in prints {
+        assert_eq!(fp, reference, "cross-thread restore drifted");
+    }
+}
+
 /// `reseed` forks a *different* trajectory from the same checkpoint while
 /// staying deterministic per label: same label ⇒ same run, different label
 /// ⇒ different draws.

@@ -48,12 +48,14 @@
 //! | [`sp_devices`] | RTC, RCIM, NIC, disk, GPU device models |
 //! | [`sp_core`] | **the contribution**: `/proc/shield` + [`ShieldPlan`](sp_core::ShieldPlan) |
 //! | [`sp_workloads`] | stress-kernel, scp/disknoise, X11perf load generators |
-//! | [`sp_experiments`] | one scenario per paper figure + parallel runner |
+//! | [`sp_fleet`] | work-stealing job pool: real OS threads, deterministic index-ordered results |
+//! | [`sp_experiments`] | one scenario per paper figure + fleet runner and batch API |
 
 pub use simcore;
 pub use sp_core;
 pub use sp_devices;
 pub use sp_experiments;
+pub use sp_fleet;
 pub use sp_hw;
 pub use sp_kernel;
 pub use sp_metrics;
