@@ -11,13 +11,23 @@
 //!   --topk <k>       worst-case windows captured per latency figure,
 //!                    default 3 (or `SP_TRACE_TOPK`); 0 disables capture
 //!   --json <path>    dump the raw suite as JSON
+//!   --autopilot      also run the closed-loop adaptive-shielding study
+//!                    (autopilot + static baselines over the diurnal
+//!                    request-serving day) and write `AUTOPILOT_trace.json`,
+//!                    the worker-count-invariant decision-trace artifact
+//!   --sla <us>       p99.9 SLA bound for the autopilot study, default 100
 //!   --strict         exit non-zero unless all seven verdicts are "in band",
-//!                    the suite clears the events/sec regression floor, and
+//!                    the suite clears the events/sec regression floor,
 //!                    each latency figure's worst-case trace artifact was
-//!                    written and explains that figure's maximum
+//!                    written and explains that figure's maximum, and — when
+//!                    `--autopilot` ran — the study passed all three gates
+//!                    (zero steady-state SLA violations, throughput ≥ 1.5×
+//!                    the best static shield, every reconfig transient
+//!                    recovered in budget)
 //!
 //! Every run also writes `BENCH_simulator.json` (per-figure wall-clock,
-//! events/sec, shard count, and data-structure microbenchmarks) and — when
+//! events/sec, shard count, data-structure microbenchmarks, and — with
+//! `--autopilot` — the controller telemetry) and — when
 //! capture is on — `worst_case_trace_fig{5,6,7}.json`, Perfetto-loadable
 //! traces of the event window behind each latency figure's worst sample,
 //! plus a one-screen cause-chain report on stdout.
@@ -30,6 +40,7 @@ use sp_bench::{
 };
 use sp_experiments::report::{render_determinism, render_rcim, render_realfeel};
 use sp_experiments::runner::run_all_figures_flight;
+use sp_experiments::{run_autopilot_study, AutopilotConfig, AutopilotStudy};
 use sp_kernel::WorstCaseTrace;
 use std::fmt::Write as _;
 
@@ -91,6 +102,64 @@ struct Microbench {
     fleet_steal_overhead_ns: f64,
 }
 
+/// Controller telemetry for `BENCH_simulator.json`, distilled from the
+/// autopilot study's decision trace. Everything but `wall_ms` is
+/// deterministic per `(config, seed)`.
+#[derive(serde::Serialize)]
+struct AutopilotBench {
+    sla_us: u64,
+    cycles: u32,
+    seed: u64,
+    /// Reconfigurations the controller performed (engage excluded).
+    reconfigs: u64,
+    windows: u64,
+    violating_windows: u64,
+    transient_violations: u64,
+    steady_violations: u64,
+    /// Simulated time spent in violating control windows, ms.
+    time_in_violation_ms: f64,
+    /// Ladder rung active at run end.
+    final_level: usize,
+    /// Shield mask active at run end (bits).
+    final_shield_mask: u64,
+    /// Autopilot best-effort throughput over the best static rung's.
+    throughput_ratio: f64,
+    /// Label of the best static rung (the throughput denominator).
+    best_static: String,
+    zero_steady: bool,
+    throughput_ok: bool,
+    transients_recovered: bool,
+    pass: bool,
+    /// Study wall-clock (autopilot + every static baseline), ms.
+    wall_ms: f64,
+}
+
+impl AutopilotBench {
+    fn from_study(study: &AutopilotStudy, wall_ms: f64) -> Self {
+        let t = &study.autopilot.trace.telemetry;
+        AutopilotBench {
+            sla_us: study.config.sla_us,
+            cycles: study.config.cycles,
+            seed: study.config.seed,
+            reconfigs: t.reconfigs,
+            windows: t.windows,
+            violating_windows: t.violating_windows,
+            transient_violations: t.transient_violations,
+            steady_violations: t.steady_violations,
+            time_in_violation_ms: t.time_in_violation_ns as f64 / 1e6,
+            final_level: study.autopilot.trace.final_level,
+            final_shield_mask: study.autopilot.trace.final_shield_mask,
+            throughput_ratio: study.throughput_ratio,
+            best_static: study.statics[study.best_static].label.clone(),
+            zero_steady: study.verdict.zero_steady,
+            throughput_ok: study.verdict.throughput_ok,
+            transients_recovered: study.verdict.transients_recovered,
+            pass: study.verdict.pass,
+            wall_ms,
+        }
+    }
+}
+
 #[derive(serde::Serialize)]
 struct BenchReport {
     scale: f64,
@@ -107,6 +176,8 @@ struct BenchReport {
     figures: Vec<FigureBench>,
     fleet: FleetTelemetry,
     microbench: Microbench,
+    /// Present when the run included `--autopilot`.
+    autopilot: Option<AutopilotBench>,
 }
 
 fn main() {
@@ -117,6 +188,13 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned());
     let strict = args.iter().any(|a| a == "--strict");
+    let autopilot_on = args.iter().any(|a| a == "--autopilot");
+    let sla_us = args
+        .iter()
+        .position(|a| a == "--sla")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(100);
 
     eprintln!(
         "running all 7 figures at scale {scale}, {shards} shard(s), {workers} worker(s), \
@@ -162,6 +240,52 @@ fn main() {
                 }
             }
         }
+    }
+
+    // Closed-loop adaptive shielding: the autopilot study plus its
+    // decision-trace artifact. The trace is a pure function of
+    // (config, seed) — byte-identical across worker counts — which is what
+    // CI `cmp`s between runs.
+    let mut autopilot_bench = None;
+    let mut autopilot_failures: Vec<String> = Vec::new();
+    if autopilot_on {
+        let cfg = AutopilotConfig { sla_us, ..AutopilotConfig::canonical().scaled(scale) };
+        eprintln!(
+            "running autopilot study: sla {}us, {} cycle(s), seed {:#x}...",
+            cfg.sla_us, cfg.cycles, cfg.seed
+        );
+        let t = std::time::Instant::now();
+        let study = run_autopilot_study(&cfg);
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        print_autopilot(&study);
+        match serde_json::to_string_pretty(&study.autopilot.trace) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write("AUTOPILOT_trace.json", json) {
+                    autopilot_failures.push(format!("trace artifact write failed: {e}"));
+                } else {
+                    eprintln!("decision trace written to AUTOPILOT_trace.json");
+                }
+            }
+            Err(e) => autopilot_failures.push(format!("trace does not serialize: {e}")),
+        }
+        if !study.verdict.zero_steady {
+            autopilot_failures.push(format!(
+                "{} steady-state SLA violation(s)",
+                study.autopilot.trace.telemetry.steady_violations
+            ));
+        }
+        if !study.verdict.throughput_ok {
+            autopilot_failures.push(format!(
+                "throughput ratio {:.2} under the {:.2} floor (best static: {})",
+                study.throughput_ratio,
+                cfg.min_throughput_ratio,
+                study.statics[study.best_static].label
+            ));
+        }
+        if !study.verdict.transients_recovered {
+            autopilot_failures.push("a reconfig transient failed to recover in budget".into());
+        }
+        autopilot_bench = Some(AutopilotBench::from_study(&study, wall_ms));
     }
 
     // Paper-vs-measured table.
@@ -215,7 +339,7 @@ fn main() {
         steals: fleet_after.steals - fleet_before.steals,
         stolen_jobs: fleet_after.stolen_jobs - fleet_before.stolen_jobs,
     };
-    let report = build_bench_report(&suite, &timings, scale, shards, fleet);
+    let report = build_bench_report(&suite, &timings, scale, shards, fleet, autopilot_bench);
     if let Err(e) = write_bench_report(&report) {
         eprintln!("note: could not write BENCH_simulator.json: {e}");
     } else {
@@ -267,6 +391,20 @@ fn main() {
             );
             std::process::exit(1);
         }
+        if !autopilot_failures.is_empty() {
+            eprintln!("STRICT: autopilot study failed:");
+            for f in &autopilot_failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        if let Some(ab) = &report.autopilot {
+            eprintln!(
+                "STRICT: autopilot held the {} us SLA with zero steady violations at {:.2}x \
+                 best-static throughput",
+                ab.sla_us, ab.throughput_ratio
+            );
+        }
         eprintln!(
             "STRICT: all 7 figures in band, {:.0} events/sec clears the floor, \
              fleet overhead {:.0}/{:.0} ns/job under budget{}",
@@ -294,12 +432,75 @@ const FLEET_STEAL_NS_BUDGET: f64 = 60_000.0;
 
 /// Assemble the `BENCH_simulator.json` payload: per-figure wall-clock and
 /// event throughput, plus microbenchmarks of the hot-path data structures.
+/// Render the autopilot study as a terminal section: the decision history,
+/// the static-baseline table, and the verdict line.
+fn print_autopilot(study: &AutopilotStudy) {
+    println!("\nautopilot: closed-loop adaptive shielding ({})", study.config.label());
+    for d in &study.autopilot.trace.decisions {
+        let p = d
+            .p99_9_ns
+            .map(|p| format!("{:.1} us", p as f64 / 1e3))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "  t={:7.2}s window {:3}  level {} -> {}  {:?}  (window p99.9 {p}, n={})",
+            d.at_ns as f64 / 1e9,
+            d.window,
+            d.from,
+            d.to,
+            d.cause,
+            d.window_samples
+        );
+    }
+    println!(
+        "  telemetry: {} windows, {} violating ({} transient / {} steady), {} reconfigs, \
+         final mask {:#06b}",
+        study.autopilot.trace.telemetry.windows,
+        study.autopilot.trace.telemetry.violating_windows,
+        study.autopilot.trace.telemetry.transient_violations,
+        study.autopilot.trace.telemetry.steady_violations,
+        study.autopilot.trace.telemetry.reconfigs,
+        study.autopilot.trace.final_shield_mask,
+    );
+    println!("  | config | p99.9 | max | violating windows | best-effort CPU-s/s |");
+    println!("  |---|---|---|---|---|");
+    let row = |r: &sp_experiments::AutopilotRun| {
+        println!(
+            "  | {} | {} | {} | {} | {:.3} |",
+            r.label,
+            r.latency.p999,
+            r.latency.max,
+            r.trace.telemetry.violating_windows,
+            r.be_rate
+        );
+    };
+    row(&study.autopilot);
+    for s in &study.statics {
+        row(s);
+    }
+    println!(
+        "  throughput ratio vs best static ({}): {:.2}x — verdict: {}",
+        study.statics[study.best_static].label,
+        study.throughput_ratio,
+        if study.verdict.pass { "PASS" } else { "FAIL" }
+    );
+    for r in &study.autopilot.recoveries {
+        match r.recovery_secs {
+            Some(s) => println!(
+                "  reconfig at {:.2}s: recovered to <{} us in {:.3}s",
+                r.from_secs, r.bound_us, s
+            ),
+            None => println!("  reconfig at {:.2}s: NEVER RECOVERED", r.from_secs),
+        }
+    }
+}
+
 fn build_bench_report(
     suite: &sp_experiments::FigureSuite,
     timings: &sp_experiments::runner::SuiteTimings,
     scale: f64,
     shards: u32,
     fleet: FleetTelemetry,
+    autopilot: Option<AutopilotBench>,
 ) -> BenchReport {
     let events = |id: &str| -> Option<u64> {
         match id {
@@ -370,6 +571,7 @@ fn build_bench_report(
             fleet_dispatch_ns: microbench::fleet_dispatch_ns(),
             fleet_steal_overhead_ns: microbench::fleet_steal_overhead_ns(),
         },
+        autopilot,
     }
 }
 

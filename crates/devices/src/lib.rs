@@ -9,7 +9,9 @@
 //! * [`NicDevice`] — the Ethernet controller (scp/ttcp traffic, `net_rx`
 //!   bottom halves),
 //! * [`DiskDevice`] — the SCSI disk (blocking I/O, completion interrupts),
-//! * [`GpuDevice`] — the graphics controller under X11perf.
+//! * [`GpuDevice`] — the graphics controller under X11perf,
+//! * [`TrafficDevice`] — the coalesced request-serving traffic queue driven
+//!   by a declarative diurnal/burst [`TrafficProfile`].
 //!
 //! Plus [`OnOffPoisson`], the bursty arrival process they share.
 //!
@@ -17,7 +19,7 @@
 //! dispatch to them through the closed [`sp_kernel::AnyDevice`] enum instead
 //! of a vtable; this crate re-exports them under their historical paths.
 
-pub use sp_kernel::devices::{disk, gpu, nic, profile, rcim, rtc};
+pub use sp_kernel::devices::{disk, gpu, nic, profile, rcim, rtc, traffic};
 
 pub use disk::DiskDevice;
 pub use gpu::GpuDevice;
@@ -25,3 +27,4 @@ pub use nic::NicDevice;
 pub use profile::{OnOffPoisson, OnOffState};
 pub use rcim::{RcimDevice, RcimExternalInput};
 pub use rtc::RtcDevice;
+pub use traffic::{TrafficDevice, TrafficPhase, TrafficProfile};

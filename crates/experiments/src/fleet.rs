@@ -17,6 +17,7 @@
 //! [`FleetReport::stats`] (telemetry) vary; [`FleetReport::artifact_json`]
 //! excludes them so the artifact itself is comparable byte-for-byte.
 
+use crate::autopilot::{run_autopilot_study, AutopilotConfig, AutopilotStudy};
 use crate::determinism::{run_determinism, DeterminismConfig, DeterminismResult};
 use crate::rcim::{run_rcim_with_flight, RcimConfig, RcimResult};
 use crate::realfeel::{run_realfeel_with_flight, RealfeelConfig, RealfeelResult};
@@ -47,6 +48,9 @@ pub enum FleetJob {
     Rcim(RcimConfig),
     /// A figs-1–4-style determinism loop run.
     Determinism(DeterminismConfig),
+    /// A closed-loop autopilot study (autopilot + static baselines +
+    /// verdict) over the diurnal request-serving day.
+    Autopilot(AutopilotConfig),
 }
 
 impl FleetSpec {
@@ -69,6 +73,11 @@ impl FleetSpec {
     pub fn scenario(spec: ScenarioSpec) -> Self {
         FleetSpec { name: spec.name.clone(), job: FleetJob::Scenario(Box::new(spec)) }
     }
+
+    /// An autopilot-study spec named after its config label.
+    pub fn autopilot(cfg: AutopilotConfig) -> Self {
+        FleetSpec { name: cfg.label(), job: FleetJob::Autopilot(cfg) }
+    }
 }
 
 /// A successful spec's result.
@@ -82,6 +91,8 @@ pub enum FleetOutcome {
     Rcim(RcimResult),
     /// Result of a [`FleetJob::Determinism`].
     Determinism(DeterminismResult),
+    /// Result of a [`FleetJob::Autopilot`].
+    Autopilot(Box<AutopilotStudy>),
 }
 
 impl FleetOutcome {
@@ -91,6 +102,7 @@ impl FleetOutcome {
             FleetOutcome::Realfeel(r) => ("realfeel", serde_json::to_value(r)),
             FleetOutcome::Rcim(r) => ("rcim", serde_json::to_value(r)),
             FleetOutcome::Determinism(r) => ("determinism", serde_json::to_value(r)),
+            FleetOutcome::Autopilot(r) => ("autopilot", serde_json::to_value(r)),
         };
         serde::Value::Object(vec![
             ("kind".into(), serde::Value::Str(kind.into())),
@@ -249,6 +261,9 @@ fn run_job(
         FleetJob::Determinism(cfg) => {
             (Ok(FleetOutcome::Determinism(run_determinism(cfg))), Vec::new())
         }
+        FleetJob::Autopilot(cfg) => {
+            (Ok(FleetOutcome::Autopilot(Box::new(run_autopilot_study(cfg)))), Vec::new())
+        }
     }
 }
 
@@ -272,6 +287,24 @@ pub struct FleetGrid {
 }
 
 impl FleetGrid {
+    /// Expand the grid's seed axis into single-cycle autopilot-study specs
+    /// (the variant and shield axes don't apply: the autopilot plant is
+    /// RedHawk by construction and chooses its own shields). Every cell is a
+    /// full study — closed loop plus static baselines — so a multi-seed
+    /// fan-out is the robustness sweep for the adaptive-shielding claim.
+    pub fn autopilot_specs(&self) -> Vec<FleetSpec> {
+        self.seeds
+            .iter()
+            .map(|&seed| {
+                FleetSpec::autopilot(AutopilotConfig {
+                    seed,
+                    cycles: 1,
+                    ..AutopilotConfig::canonical()
+                })
+            })
+            .collect()
+    }
+
     /// Expand the grid into realfeel specs, variant-major.
     pub fn realfeel_specs(&self) -> Vec<FleetSpec> {
         let mut specs = Vec::new();

@@ -15,6 +15,7 @@
 //! [`runner::run_all_figures`] executes the whole suite (in parallel);
 //! [`report`] renders paper-style text figures.
 
+pub mod autopilot;
 pub mod determinism;
 pub mod faultmatrix;
 pub mod fleet;
@@ -27,6 +28,10 @@ pub mod runner;
 pub mod scenario;
 pub mod shard;
 
+pub use autopilot::{
+    run_autopilot, run_autopilot_forked, run_autopilot_study, run_static_level, AutopilotConfig,
+    AutopilotRun, AutopilotStudy, AutopilotVerdict,
+};
 pub use determinism::{run_determinism, DeterminismConfig, DeterminismResult};
 pub use fleet::{Fleet, FleetGrid, FleetJob, FleetOutcome, FleetReport, FleetSpec, FleetVerdict};
 pub use flight::{merge_top, trace_meta};

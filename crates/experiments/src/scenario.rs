@@ -181,7 +181,7 @@ fn default_settle() -> usize {
 }
 
 /// Outcome of a [`TransientSpec`] measurement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecoveryReport {
     pub task: String,
     pub bound_us: u64,
@@ -600,7 +600,9 @@ fn apply_action(
 
 /// Find the first run of `settle` consecutive in-bound samples at or after
 /// `from_secs` and report how long after the reconfiguration it began.
-fn compute_recovery(
+/// Shared with the autopilot experiments, which grade every controller
+/// reconfiguration with the same verdict a scripted timeline gets.
+pub(crate) fn compute_recovery(
     spec: &TransientSpec,
     t0: Instant,
     lats: &[Nanos],

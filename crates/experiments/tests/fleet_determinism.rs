@@ -6,10 +6,18 @@
 //! {1, 2, 8}, across repeated runs, and `shards = 1` on one worker must
 //! equal the classic serial path.
 
+use proptest::prelude::*;
+use simcore::Nanos;
+use sp_autopilot::{Autopilot, ControllerConfig, DecisionCause, PlantBindings, ShieldLevel};
 use sp_experiments::{
-    run_fault_matrix_with_flight, run_realfeel, run_realfeel_with_flight, DeterminismConfig,
-    FaultMatrixConfig, Fleet, FleetOutcome, FleetSpec, RcimConfig, RealfeelConfig,
+    run_autopilot, run_autopilot_forked, run_fault_matrix_with_flight, run_realfeel,
+    run_realfeel_with_flight, AutopilotConfig, DeterminismConfig, FaultMatrixConfig, Fleet,
+    FleetOutcome, FleetSpec, RcimConfig, RealfeelConfig,
 };
+use sp_hw::{CpuId, CpuMask, MachineConfig};
+use sp_kernel::devices::{TrafficPhase, TrafficProfile};
+use sp_kernel::Simulator;
+use sp_workloads::{request_kernel_config, request_serving, RequestService};
 
 fn batch() -> Vec<FleetSpec> {
     vec![
@@ -75,6 +83,163 @@ fn merged_worst_trace_explains_the_max_for_every_worker_count() {
     }
     assert_eq!(all_latency_lists[0], all_latency_lists[1]);
     assert_eq!(all_latency_lists[1], all_latency_lists[2]);
+}
+
+fn autopilot_batch() -> Vec<FleetSpec> {
+    vec![
+        FleetSpec::autopilot(AutopilotConfig {
+            seed: 11,
+            cycles: 1,
+            ..AutopilotConfig::canonical()
+        }),
+        FleetSpec::determinism(DeterminismConfig::fig2_redhawk_shielded().with_iterations(8)),
+    ]
+}
+
+/// Satellite: the autopilot study — decision trace, telemetry, static
+/// baselines and verdict — is part of the fleet artifact, and the whole
+/// artifact is bit-identical across worker counts {1, 2, 8}. The `workers=1`
+/// pass doubles as the repeat check: it rebuilds everything the reference
+/// run built and must land on the same bytes.
+#[test]
+fn autopilot_fleet_artifact_is_identical_across_worker_counts_and_repeats() {
+    let reference = Fleet::new().with_workers(1).submit(autopilot_batch()).artifact_json();
+    assert!(reference.contains("autopilot"), "artifact should carry the autopilot outcome");
+    for workers in [1u32, 2, 8] {
+        let report = Fleet::new().with_workers(workers).submit(autopilot_batch());
+        assert_eq!(
+            report.artifact_json(),
+            reference,
+            "autopilot artifact drift at workers={workers}"
+        );
+    }
+}
+
+/// Satellite: a warm-checkpoint fork taken mid-run finishes with the same
+/// decision trace (and the same full run payload) as the straight-through
+/// run, regardless of the ambient fleet worker pool. Seed 12 escalates
+/// during its burst, so the compared traces contain a real reconfiguration.
+#[test]
+fn autopilot_fork_matches_straight_run_for_every_worker_count() {
+    let cfg = AutopilotConfig { seed: 12, cycles: 1, ..AutopilotConfig::canonical() };
+    let straight = sp_fleet::with_workers(1, || run_autopilot(&cfg));
+    assert!(
+        straight.trace.decisions.iter().any(|d| d.cause != DecisionCause::Engage),
+        "seed 12 should reconfigure at least once, or this comparison is vacuous"
+    );
+    let reference = serde_json::to_string(&straight).unwrap();
+    for workers in [2u32, 8] {
+        let forked = sp_fleet::with_workers(workers, || run_autopilot_forked(&cfg));
+        assert_eq!(
+            serde_json::to_string(&forked).unwrap(),
+            reference,
+            "fork diverged from the straight run at workers={workers}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Controller purity, property-tested on a compressed plant.
+// ---------------------------------------------------------------------
+
+/// A two-phase calm/slam profile at the canonical 8 kHz coalescing rate:
+/// enough traffic shape to provoke real escalations and relaxes, but 1.5 s
+/// of it runs in well under a second of wall time.
+fn mini_profile() -> TrafficProfile {
+    TrafficProfile {
+        phases: vec![
+            TrafficPhase {
+                name: "calm".into(),
+                duration: Nanos::from_ms(250),
+                irq_hz: 8_000,
+                batch: 25,
+            },
+            TrafficPhase {
+                name: "slam".into(),
+                duration: Nanos::from_ms(250),
+                irq_hz: 8_000,
+                batch: 1_500,
+            },
+        ],
+        cycle: true,
+    }
+}
+
+fn mini_plant(seed: u64) -> (Simulator, RequestService) {
+    let mut sim =
+        Simulator::new(MachineConfig::quad_xeon_server(), request_kernel_config(), seed);
+    let svc = request_serving(&mut sim, mini_profile(), CpuId(3), 3);
+    sim.start();
+    (sim, svc)
+}
+
+fn mini_controller(trip: u32, span_extra: u32, relax: u32, cooldown: u32) -> ControllerConfig {
+    ControllerConfig {
+        sla: Nanos::from_us(100),
+        period: Nanos::from_ms(100),
+        trip,
+        trip_span: trip + span_extra,
+        relax,
+        relax_margin_pct: 65,
+        cooldown,
+        min_window: 200,
+        levels: ShieldLevel::ladder(CpuMask::first_n(4), CpuId(3)),
+        start_level: 0,
+    }
+}
+
+fn mini_run(
+    seed: u64,
+    ctl: &ControllerConfig,
+    total: Nanos,
+    fork_at: Option<Nanos>,
+) -> String {
+    let (mut sim, svc) = mini_plant(seed);
+    let plant = PlantBindings {
+        server: svc.server,
+        server_irq: svc.device,
+        server_cpu: svc.server_cpu,
+        best_effort: svc.best_effort.clone(),
+    };
+    let t0 = sim.now();
+    let mut ap = Autopilot::new(ctl.clone(), plant).unwrap();
+    ap.engage(&mut sim).unwrap();
+    if let Some(at) = fork_at {
+        ap.run_until(&mut sim, t0 + at).unwrap();
+        let ck = sim.checkpoint();
+        let (mut fork, _) = mini_plant(seed);
+        fork.restore(&ck);
+        let mut fork_ap = ap.clone();
+        fork_ap.run_until(&mut fork, t0 + total).unwrap();
+        return serde_json::to_string(&fork_ap.trace()).unwrap();
+    }
+    ap.run_until(&mut sim, t0 + total).unwrap();
+    serde_json::to_string(&ap.trace()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Satellite: for random seeds and control-law shapes, the serialized
+    /// decision trace is a pure function of `(config, seed)` — byte-equal
+    /// across a straight rerun and across a warm-checkpoint fork taken
+    /// mid-flight.
+    #[test]
+    fn autopilot_trace_is_a_pure_function_of_config_and_seed(
+        seed in 0u64..1_000,
+        trip in 1u32..=2,
+        span_extra in 0u32..=2,
+        relax in 1u32..=2,
+        cooldown in 0u32..=1,
+    ) {
+        let ctl = mini_controller(trip, span_extra, relax, cooldown);
+        let total = Nanos::from_ms(1_500);
+        let straight = mini_run(seed, &ctl, total, None);
+        let repeat = mini_run(seed, &ctl, total, None);
+        prop_assert_eq!(&straight, &repeat, "straight rerun drifted");
+        let forked = mini_run(seed, &ctl, total, Some(Nanos::from_ms(750)));
+        prop_assert_eq!(&straight, &forked, "checkpoint fork drifted");
+    }
 }
 
 /// The flattened fault-matrix batch is worker-count invariant too: cells,

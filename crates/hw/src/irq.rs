@@ -30,6 +30,9 @@ impl IrqLine {
     pub const DISK: IrqLine = IrqLine(18);
     /// Graphics controller.
     pub const GPU: IrqLine = IrqLine(19);
+    /// Front-end NIC queue carrying coalesced request traffic (the
+    /// autopilot's production request-serving workload).
+    pub const TRAFFIC: IrqLine = IrqLine(20);
 }
 
 /// How the interrupt controller distributes assertions among allowed CPUs.

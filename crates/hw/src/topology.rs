@@ -35,6 +35,15 @@ impl MachineConfig {
         MachineConfig { physical_cores: 2, hyperthreading: false, clock_ghz: 2.0 }
     }
 
+    /// A quad-socket 2.0 GHz Xeon server (no HT) — the request-serving
+    /// testbed for the adaptive-shield autopilot. Four logical CPUs give the
+    /// shield ladder real steps: shielding {}, {3}, {2,3} or {1,2,3} while
+    /// CPU 0 always stays unshielded (the kernel rejects shielding every
+    /// online CPU).
+    pub fn quad_xeon_server() -> Self {
+        MachineConfig { physical_cores: 4, hyperthreading: false, clock_ghz: 2.0 }
+    }
+
     pub fn logical_cpus(&self) -> u32 {
         if self.hyperthreading { self.physical_cores * 2 } else { self.physical_cores }
     }

@@ -10,6 +10,8 @@
 //! * [`GpuDevice`] — the graphics controller under X11perf,
 //! * [`StormDevice`] — the arm/disarm fault injector (IRQ storm, softirq
 //!   flood, stuck ISR),
+//! * [`TrafficDevice`] — the coalesced request-serving traffic queue driven
+//!   by a declarative diurnal/burst [`TrafficProfile`],
 //! * [`OnOffPoisson`] — the bursty arrival process they share.
 //!
 //! Devices used to be registered as `Box<dyn Device>`; every `on_timer`,
@@ -25,6 +27,7 @@ pub mod profile;
 pub mod rcim;
 pub mod rtc;
 pub mod storm;
+pub mod traffic;
 
 pub use disk::DiskDevice;
 pub use gpu::GpuDevice;
@@ -33,6 +36,7 @@ pub use profile::{OnOffPoisson, OnOffState};
 pub use rcim::{RcimDevice, RcimExternalInput};
 pub use rtc::RtcDevice;
 pub use storm::{StormDevice, CTRL_ARM, CTRL_DISARM};
+pub use traffic::{TrafficDevice, TrafficPhase, TrafficProfile};
 
 use crate::device::{Device, DeviceCtx, DeviceState, IsrOutcome};
 use crate::ids::Pid;
@@ -51,6 +55,7 @@ pub enum AnyDevice {
     Disk(DiskDevice),
     Gpu(GpuDevice),
     Storm(StormDevice),
+    Traffic(TrafficDevice),
     /// Escape hatch for out-of-tree devices (test mocks, experiments);
     /// dispatches through the vtable like the pre-enum code did.
     Custom(Box<dyn Device>),
@@ -75,6 +80,7 @@ macro_rules! dispatch {
             AnyDevice::Disk(d) => d.$method($($arg),*),
             AnyDevice::Gpu(d) => d.$method($($arg),*),
             AnyDevice::Storm(d) => d.$method($($arg),*),
+            AnyDevice::Traffic(d) => d.$method($($arg),*),
             AnyDevice::Custom(d) => d.$method($($arg),*),
         }
     };
@@ -181,6 +187,12 @@ impl From<GpuDevice> for AnyDevice {
 impl From<StormDevice> for AnyDevice {
     fn from(d: StormDevice) -> Self {
         AnyDevice::Storm(d)
+    }
+}
+
+impl From<TrafficDevice> for AnyDevice {
+    fn from(d: TrafficDevice) -> Self {
+        AnyDevice::Traffic(d)
     }
 }
 

@@ -180,6 +180,29 @@ impl Observations {
         self.watched_latency_times.get(&pid).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Cursor-based feed of latency samples for in-simulation consumers (the
+    /// `sp-autopilot` control task): returns the samples recorded for `pid`
+    /// since `cursor` plus the advanced cursor to pass next time. Reading
+    /// never mutates anything, so a feed consumer is pure observation — the
+    /// trajectory is bit-identical with or without it. The cursor is an
+    /// index into [`Observations::latencies`], which is part of the
+    /// checkpoint image, so feed state survives warm-checkpoint forks (a
+    /// consumer that carries its cursor across `restore` sees exactly the
+    /// samples a straight run would).
+    pub fn latency_feed(&self, pid: Pid, cursor: usize) -> (&[Nanos], usize) {
+        let all = self.latencies(pid);
+        let start = cursor.min(all.len());
+        (&all[start..], all.len())
+    }
+
+    /// Completion-instant window matching [`Observations::latency_feed`]:
+    /// the instants for the same `cursor..` sample range (requires
+    /// [`Observations::watch_latency_times`], empty otherwise).
+    pub fn latency_time_feed(&self, pid: Pid, cursor: usize) -> &[Instant] {
+        let all = self.latency_times(pid);
+        &all[cursor.min(all.len())..]
+    }
+
     /// Recorded lap instants for a watched task.
     pub fn laps(&self, pid: Pid) -> &[Instant] {
         self.watched_laps.get(&pid).map(Vec::as_slice).unwrap_or(&[])

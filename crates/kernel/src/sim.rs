@@ -307,6 +307,13 @@ impl Simulator {
         self.line_to_dev.get(&line.0).copied()
     }
 
+    /// Read-only view of a registered device — a pure observation feed for
+    /// controllers and telemetry (device state is part of the checkpoint
+    /// image, so decisions taken from it replay identically across forks).
+    pub fn device(&self, dev: DeviceId) -> &AnyDevice {
+        self.devices[dev.index()].dev.as_ref().expect("device reentrancy")
+    }
+
     /// Interrupts handled by `dev`, per CPU (a /proc/interrupts row).
     pub fn irq_counts(&self, dev: DeviceId) -> &[u64] {
         &self.irq_counts[dev.index()]

@@ -6,17 +6,23 @@
 //!   (the looping `scp` of a kernel boot image) and [`disknoise`];
 //! * §6.1 stress-kernel suite: [`stress_kernel`] (NFS-COMPILE, TTCP,
 //!   FIFOS_MMAP, P3_FPU, FS, CRASHME);
-//! * §6.3 additions: [`x11perf_driver`] and [`ttcp_ethernet_profile`].
+//! * §6.3 additions: [`x11perf_driver`] and [`ttcp_ethernet_profile`];
+//! * the autopilot's production request-serving plant: [`request_serving`]
+//!   and the canonical [`diurnal_burst_profile`].
 //!
 //! Each generator registers the syscall shapes it needs and spawns ordinary
 //! `SCHED_OTHER` tasks; interrupt traffic comes from the devices they drive.
 
 pub mod background;
 pub mod profiles;
+pub mod requests;
 pub mod stress;
 
 pub use background::{
     disknoise, scp_nic_profile, scp_receiver, ttcp_ethernet_profile, x11perf_driver,
+};
+pub use requests::{
+    diurnal_burst_profile, request_kernel_config, request_serving, RequestService,
 };
 pub use stress::{
     crashme, fifos_mmap, fs_torture, nfs_compile, p3_fpu, stress_kernel, ttcp_loopback,

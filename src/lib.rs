@@ -47,11 +47,13 @@
 //! | [`sp_kernel`] | the simulated kernel: schedulers, interrupts, locks, syscalls |
 //! | [`sp_devices`] | RTC, RCIM, NIC, disk, GPU device models |
 //! | [`sp_core`] | **the contribution**: `/proc/shield` + [`ShieldPlan`](sp_core::ShieldPlan) |
-//! | [`sp_workloads`] | stress-kernel, scp/disknoise, X11perf load generators |
+//! | [`sp_workloads`] | stress-kernel, scp/disknoise, X11perf, request-serving load generators |
+//! | [`sp_autopilot`] | closed-loop adaptive shielding: deterministic feedback controller |
 //! | [`sp_fleet`] | work-stealing job pool: real OS threads, deterministic index-ordered results |
 //! | [`sp_experiments`] | one scenario per paper figure + fleet runner and batch API |
 
 pub use simcore;
+pub use sp_autopilot;
 pub use sp_core;
 pub use sp_devices;
 pub use sp_experiments;
