@@ -131,7 +131,7 @@ fn bench_schedulers(c: &mut Criterion) {
 
 fn bench_modelled_pick_cost(c: &mut Criterion) {
     // Not wall time: sampling the *modelled* pick-cost distributions.
-    let costs = KernelCosts::default();
+    let costs = KernelCosts::default().prepare();
     let mut rng = SimRng::new(7);
     c.bench_function("modelled_pick_cost_sampling", |b| {
         let s = O1Scheduler::new(2);
@@ -155,6 +155,37 @@ fn bench_cpumask(c: &mut Criterion) {
     });
 }
 
+/// Scalar vs batched bounded-Pareto draws — the hot-loop sampling shape
+/// (every kernel path cost is `base + bounded Pareto`). The two paths are
+/// bit-identical by contract (see simcore's property tests); this measures
+/// what the batched refill buys: one memo/constant resolution per batch and
+/// the RNG state held in registers across the refill loop.
+fn bench_pareto_draws(c: &mut Criterion) {
+    const DRAWS: usize = 1_024;
+    let dist = simcore::DurationDist::bounded_pareto(Nanos(100), Nanos(10_000), 1.2);
+    let prepared = dist.prepare();
+    let mut group = c.benchmark_group("pareto_draw");
+    group.bench_function("pareto_scalar_draw_ns", |b| {
+        let mut rng = SimRng::new(11);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..DRAWS {
+                acc = acc.wrapping_add(prepared.sample(&mut rng).as_ns());
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("pareto_batch_draw_ns", |b| {
+        let mut rng = SimRng::new(11);
+        let mut buf = vec![Nanos::ZERO; DRAWS];
+        b.iter(|| {
+            prepared.sample_into(&mut rng, &mut buf);
+            black_box(buf[DRAWS - 1])
+        });
+    });
+    group.finish();
+}
+
 fn bench_histogram(c: &mut Criterion) {
     let mut rng = SimRng::new(4);
     let samples: Vec<Nanos> =
@@ -176,6 +207,7 @@ criterion_group!(
     bench_schedulers,
     bench_modelled_pick_cost,
     bench_cpumask,
+    bench_pareto_draws,
     bench_histogram
 );
 criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Emit the hot-path microbenchmark medians as one JSON object, without
+//! running the full `reproduce_all` suite — the quick probe behind the CI
+//! perf ratchet and local before/after comparisons. Each run re-measures on
+//! the current build; compare two runs taken back-to-back on the same host
+//! (the medians are host-dependent).
+
+use sp_bench::microbench;
+
+fn main() {
+    // Order matters for warm-up fairness: the simulator probes first (they
+    // dominate), then the queue structures, then the fleet paths.
+    let sim_event_baseline_ns = microbench::sim_event_baseline_ns();
+    let sim_event_disarmed_injector_ns = microbench::sim_event_disarmed_injector_ns();
+    let sim_event_armed_recorder_ns = microbench::sim_event_armed_recorder_ns();
+    let sim_event_soa_ns = microbench::sim_event_soa_ns();
+    let queue_wheel_push_pop_ns = microbench::queue_wheel_push_pop_ns();
+    let queue_wheel_cancel_ns = microbench::queue_wheel_cancel_ns();
+    let fleet_dispatch_ns = microbench::fleet_dispatch_ns();
+    println!("{{");
+    println!("  \"sim_event_baseline_ns\": {sim_event_baseline_ns:.1},");
+    println!("  \"sim_event_disarmed_injector_ns\": {sim_event_disarmed_injector_ns:.1},");
+    println!("  \"sim_event_armed_recorder_ns\": {sim_event_armed_recorder_ns:.1},");
+    println!("  \"sim_event_soa_ns\": {sim_event_soa_ns:.1},");
+    println!("  \"queue_wheel_push_pop_ns\": {queue_wheel_push_pop_ns:.1},");
+    println!("  \"queue_wheel_cancel_ns\": {queue_wheel_cancel_ns:.1},");
+    println!("  \"fleet_dispatch_ns\": {fleet_dispatch_ns:.1}");
+    println!("}}");
+}

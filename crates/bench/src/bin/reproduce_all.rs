@@ -96,6 +96,9 @@ struct Microbench {
     /// …and with the worst-case flight recorder armed (ring streaming +
     /// top-K offers), the price of capture when it is on.
     sim_event_armed_recorder_ns: f64,
+    /// …and with ~24 extra live compute/sleep tasks: the busy-task-table
+    /// workload the struct-of-arrays state layout targets.
+    sim_event_soa_ns: f64,
     /// `sp-fleet` pool overhead per no-op job via the injector path.
     fleet_dispatch_ns: f64,
     /// Same, on the all-steals topology (every cross-worker job stolen).
@@ -377,6 +380,13 @@ fn main() {
             }
             std::process::exit(1);
         }
+        if report.microbench.sim_event_baseline_ns > SIM_EVENT_NS_CEILING {
+            eprintln!(
+                "STRICT: hot loop {:.0} ns/event over the {SIM_EVENT_NS_CEILING} ceiling",
+                report.microbench.sim_event_baseline_ns
+            );
+            std::process::exit(1);
+        }
         if report.microbench.fleet_dispatch_ns > FLEET_DISPATCH_NS_BUDGET {
             eprintln!(
                 "STRICT: fleet dispatch overhead {:.0} ns/job over the {FLEET_DISPATCH_NS_BUDGET} budget",
@@ -417,11 +427,20 @@ fn main() {
 }
 
 /// Simulator-throughput regression floor enforced by `--strict` (and hence
-/// CI, which runs at scale 0.02 in release mode). The timing-wheel suite
-/// sustains well over a million events/sec there; the floor is a tripwire
-/// for order-of-magnitude regressions, not a tight bound, so modest CI
-/// hardware doesn't flake.
-const EVENTS_PER_SEC_FLOOR: f64 = 100_000.0;
+/// CI, which runs at scale 0.02 in release mode). The batched-sampling +
+/// SoA hot loop sustains several million events/sec there; 250k is still a
+/// tripwire for large regressions rather than a tight bound, so modest CI
+/// hardware doesn't flake, but it now catches a 10x slowdown that the old
+/// 100k floor would have waved through.
+const EVENTS_PER_SEC_FLOOR: f64 = 250_000.0;
+
+/// Per-event hot-loop cost ceiling enforced by `--strict`: the paired
+/// fig-6-style probe must keep `sim_event_baseline_ns` under this. The
+/// optimized loop measures ~130 ns/event on a 1-core VM and ~250 ns before
+/// the batched-sampling/SoA work, so 600 ns tolerates slow or loaded CI
+/// hardware while still tripping on anything that gives back the whole
+/// optimization twice over.
+const SIM_EVENT_NS_CEILING: f64 = 600.0;
 
 /// Per-job fleet-pool overhead budgets enforced by `--strict`: the pool must
 /// stay invisible next to multi-millisecond simulation jobs. Generous enough
@@ -568,6 +587,7 @@ fn build_bench_report(
             sim_event_baseline_ns: microbench::sim_event_baseline_ns(),
             sim_event_disarmed_injector_ns: microbench::sim_event_disarmed_injector_ns(),
             sim_event_armed_recorder_ns: microbench::sim_event_armed_recorder_ns(),
+            sim_event_soa_ns: microbench::sim_event_soa_ns(),
             fleet_dispatch_ns: microbench::fleet_dispatch_ns(),
             fleet_steal_overhead_ns: microbench::fleet_steal_overhead_ns(),
         },

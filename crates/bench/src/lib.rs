@@ -390,11 +390,53 @@ pub mod microbench {
         (t.elapsed().as_secs_f64(), sim.events_dispatched())
     }
 
-    /// The three hot-loop variants, measured *paired*: every round runs
-    /// baseline, disarmed-injectors and armed-recorder probes back-to-back
-    /// on the same seed, and each variant is reported as the baseline median
-    /// plus its median per-round delta, clamped at zero. Independent
-    /// self-timed rounds used to let wall-clock noise report the
+    /// Same scenario as [`injection_probe`] plus a fleet of low-priority
+    /// compute/sleep tasks — enough live tasks that the per-event cost is
+    /// dominated by walking the struct-of-arrays task state (run queues,
+    /// accounting columns, per-task timer slots) rather than by the two or
+    /// three tasks the base probe keeps. This is the workload the SoA layout
+    /// refactor targets; its paired delta over the baseline probe prices the
+    /// marginal per-event cost of a busy task table.
+    fn soa_probe(seed: u64, sim_ms: u64) -> (f64, u64) {
+        use simcore::{DurationDist, Nanos};
+        use sp_devices::{DiskDevice, NicDevice, OnOffPoisson, RtcDevice};
+        use sp_hw::MachineConfig;
+        use sp_kernel::{KernelConfig, Op, Program, SchedPolicy, Simulator, TaskSpec, WaitApi};
+        use sp_workloads::{stress_kernel, StressDevices};
+
+        let mut sim = Simulator::new(MachineConfig::dual_xeon_p3(), KernelConfig::redhawk(), seed);
+        let rtc = sim.add_device(RtcDevice::new(2048));
+        let nic = sim
+            .add_device(NicDevice::new(Some(OnOffPoisson::continuous(Nanos::from_ms(
+                20,
+            )))));
+        let disk = sim.add_device(DiskDevice::new());
+        stress_kernel(&mut sim, StressDevices { nic, disk });
+        for i in 0..24u32 {
+            let prog = Program::forever(vec![
+                Op::Compute(DurationDist::uniform(Nanos::from_us(20), Nanos::from_us(120))),
+                Op::Sleep(DurationDist::uniform(Nanos::from_us(50), Nanos::from_us(400))),
+            ]);
+            sim.spawn(TaskSpec::new(
+                format!("soa{i}"),
+                SchedPolicy::nice((i % 20) as i8 - 10),
+                prog,
+            ));
+        }
+        let prog = Program::forever(vec![Op::WaitIrq { device: rtc, api: WaitApi::ReadDevice }]);
+        let pid = sim.spawn(TaskSpec::new("waiter", SchedPolicy::fifo(90), prog).mlockall());
+        sim.watch_latency(pid);
+        sim.start();
+        let t = std::time::Instant::now();
+        sim.run_for(Nanos::from_ms(sim_ms));
+        (t.elapsed().as_secs_f64(), sim.events_dispatched())
+    }
+
+    /// The four hot-loop variants, measured *paired*: every round runs
+    /// baseline, disarmed-injectors, armed-recorder and busy-task-table
+    /// probes back-to-back on the same seed, and each variant is reported as
+    /// the baseline median plus its median per-round delta, clamped at zero.
+    /// Independent self-timed rounds used to let wall-clock noise report the
     /// disarmed-injector loop as *faster* than the baseline — a nonsense
     /// ordering for a strict superset of the same work. Pairing charges each
     /// variant exactly its own marginal cost, so the report is monotone by
@@ -403,27 +445,32 @@ pub mod microbench {
         baseline: f64,
         disarmed: f64,
         armed: f64,
+        soa: f64,
     }
 
     fn sim_event_costs() -> &'static SimEventCosts {
         static COSTS: std::sync::OnceLock<SimEventCosts> = std::sync::OnceLock::new();
         COSTS.get_or_init(|| {
-            let (mut base, mut d_dis, mut d_arm) = (Vec::new(), Vec::new(), Vec::new());
+            let (mut base, mut d_dis, mut d_arm, mut d_soa) =
+                (Vec::new(), Vec::new(), Vec::new(), Vec::new());
             for round in 0..5u64 {
                 let seed = 0x1D7E + round;
                 let per_event = |(wall, events): (f64, u64)| wall * 1e9 / events.max(1) as f64;
                 let b = per_event(injection_probe(seed, 400, false, false));
                 let d = per_event(injection_probe(seed, 400, true, false));
                 let a = per_event(injection_probe(seed, 400, false, true));
+                let s = per_event(soa_probe(seed, 400));
                 base.push(b);
                 d_dis.push(d - b);
                 d_arm.push(a - b);
+                d_soa.push(s - b);
             }
             let baseline = median_ns(base);
             SimEventCosts {
                 baseline,
                 disarmed: baseline + median_ns(d_dis).max(0.0),
                 armed: baseline + median_ns(d_arm).max(0.0),
+                soa: baseline + median_ns(d_soa).max(0.0),
             }
         })
     }
@@ -455,6 +502,15 @@ pub mod microbench {
     /// timed rounds occasionally produced.
     pub fn sim_event_disarmed_injector_ns() -> f64 {
         sim_event_costs().disarmed
+    }
+
+    /// ns per simulator event with ~24 extra live compute/sleep tasks — the
+    /// busy-task-table workload the struct-of-arrays state layout targets.
+    /// The paired delta over [`sim_event_baseline_ns`] prices what each
+    /// event pays for a populated task table (scheduler scans, accounting
+    /// columns, per-task timers); a layout regression shows up here first.
+    pub fn sim_event_soa_ns() -> f64 {
+        sim_event_costs().soa
     }
 
     /// ns per checkpoint+restore round trip of a warm fig-6-style simulator

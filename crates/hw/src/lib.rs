@@ -14,6 +14,6 @@ pub mod tsc;
 
 pub use cpumask::{CpuId, CpuMask};
 pub use irq::{IrqLine, IrqRouting, RoutingPolicy};
-pub use memory::{exec_context, ContentionModel, ExecContext};
+pub use memory::{exec_context, exec_context_mask, ContentionModel, ExecContext};
 pub use topology::MachineConfig;
 pub use tsc::Tsc;

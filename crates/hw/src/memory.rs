@@ -101,6 +101,27 @@ pub fn exec_context(
     ExecContext { sibling_busy, busy_other_cores: busy_cores.count_ones() }
 }
 
+/// [`exec_context`] over a busy *bitmask* (bit `c` set ⇔ logical CPU `c`
+/// busy) — equivalent results in a handful of bit operations, with no
+/// per-CPU iteration. This is the simulator's hot-path entry: it derives a
+/// context on every activity installation.
+#[inline]
+pub fn exec_context_mask(machine: &MachineConfig, cpu: CpuId, busy: u64) -> ExecContext {
+    let n = machine.logical_cpus();
+    debug_assert!(n >= 64 || busy >> n == 0, "busy bits beyond the machine");
+    if machine.hyperthreading {
+        // Logical CPUs 2p and 2p+1 share core p: fold sibling pairs onto
+        // the even bits, then count busy cores other than ours.
+        let sibling_busy = busy & (1u64 << (cpu.0 ^ 1)) != 0;
+        let cores = (busy | (busy >> 1)) & 0x5555_5555_5555_5555;
+        let others = cores & !(1u64 << (cpu.0 & !1));
+        ExecContext { sibling_busy, busy_other_cores: others.count_ones() }
+    } else {
+        let others = busy & !(1u64 << cpu.0);
+        ExecContext { sibling_busy: false, busy_other_cores: others.count_ones() }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +175,28 @@ mod tests {
         let ctx_p3 = exec_context(&no_ht, CpuId(0), |c| c.0 == 1);
         assert!(!ctx_p3.sibling_busy);
         assert_eq!(ctx_p3.busy_other_cores, 1);
+    }
+
+    #[test]
+    fn mask_context_matches_closure_context() {
+        // The bit-twiddled fast path must agree with the reference
+        // derivation for every busy pattern on every paper machine.
+        let machines = [
+            MachineConfig::dual_xeon_p4(true),
+            MachineConfig::dual_xeon_p4(false),
+            MachineConfig::dual_xeon_p3(),
+            MachineConfig::quad_xeon_server(),
+        ];
+        for m in machines {
+            let n = m.logical_cpus();
+            for busy in 0u64..(1 << n) {
+                for cpu in m.cpus() {
+                    let slow = exec_context(&m, cpu, |c| busy & (1 << c.0) != 0);
+                    let fast = exec_context_mask(&m, cpu, busy);
+                    assert_eq!(slow, fast, "machine {m:?} cpu {cpu:?} busy {busy:#b}");
+                }
+            }
+        }
     }
 
     #[test]

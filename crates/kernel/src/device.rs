@@ -187,6 +187,14 @@ pub trait Device: std::fmt::Debug + Send {
         None
     }
 
+    /// The simulator hands the drained [`IsrOutcome::wake`] buffer back
+    /// (cleared, capacity intact) after processing the wakes, so devices
+    /// that `mem::take` a subscriber list on each fire can store it and
+    /// reuse the allocation for the next subscription round instead of
+    /// growing a fresh `Vec` per interrupt. Purely an allocation-recycling
+    /// hook — ignoring it (the default) is always correct.
+    fn reclaim_wake_buf(&mut self, _buf: Vec<Pid>) {}
+
     /// Out-of-band control message delivered through
     /// [`crate::Simulator::device_control`] — the fault-injection arm/disarm
     /// path. The device may schedule events or assert its IRQ in response,
@@ -216,8 +224,8 @@ pub(crate) struct DeviceSlot {
     pub dev: Option<crate::devices::AnyDevice>,
     /// Private random stream so one device's draws don't perturb another's.
     pub rng: SimRng,
-    /// [`Device::reader_exit_work`] cached at registration, so the wake path
-    /// doesn't clone a `DurationDist` (mix/shifted variants heap-allocate)
-    /// on every subscriber wake.
-    pub exit_work: Option<DurationDist>,
+    /// [`Device::reader_exit_work`] cached (and compiled) at registration, so
+    /// the wake path neither clones a `DurationDist` (mix/shifted variants
+    /// heap-allocate) nor resolves sampling constants per wake.
+    pub exit_work: Option<simcore::PreparedDist>,
 }

@@ -4,7 +4,7 @@
 
 use crate::device::{Device, DeviceCtx, DeviceState, IsrOutcome};
 use crate::ids::{Pid, SoftirqClass};
-use simcore::{DurationDist, Nanos, SimRng};
+use simcore::{DurationDist, Nanos, PreparedDist, SimRng};
 use sp_hw::IrqLine;
 use std::collections::VecDeque;
 
@@ -14,9 +14,12 @@ const TAG_COMPLETE: u64 = 0;
 pub struct DiskDevice {
     queue: VecDeque<Pid>,
     busy: bool,
-    service: DurationDist,
-    isr: DurationDist,
-    bh: DurationDist,
+    service: PreparedDist,
+    isr: PreparedDist,
+    bh: PreparedDist,
+    /// Recycled wake-list allocation (see [`Device::reclaim_wake_buf`]);
+    /// capacity cache only, never snapshot state.
+    wake_spare: Vec<Pid>,
     pub completions: u64,
 }
 
@@ -29,12 +32,16 @@ impl DiskDevice {
             service: DurationDist::mix(vec![
                 (0.6, DurationDist::uniform(Nanos::from_us(300), Nanos::from_ms(2))),
                 (0.4, DurationDist::uniform(Nanos::from_ms(2), Nanos::from_ms(20))),
-            ]),
+            ])
+            .prepare(),
             isr: DurationDist::shifted(
                 Nanos::from_us(5),
                 DurationDist::bounded_pareto(Nanos(300), Nanos::from_us(12), 1.2),
-            ),
-            bh: DurationDist::bounded_pareto(Nanos::from_us(10), Nanos::from_us(150), 1.2),
+            )
+            .prepare(),
+            bh: DurationDist::bounded_pareto(Nanos::from_us(10), Nanos::from_us(150), 1.2)
+                .prepare(),
+            wake_spare: Vec::new(),
             completions: 0,
         }
     }
@@ -81,7 +88,7 @@ impl Device for DiskDevice {
     }
 
     fn on_isr(&mut self, ctx: &mut DeviceCtx, rng: &mut SimRng) -> IsrOutcome {
-        let mut out = IsrOutcome::none();
+        let mut out = IsrOutcome { wake: std::mem::take(&mut self.wake_spare), softirq: None };
         if let Some(pid) = self.queue.pop_front() {
             self.completions += 1;
             out.wake.push(pid);
@@ -94,6 +101,10 @@ impl Device for DiskDevice {
             ctx.schedule(service, TAG_COMPLETE);
         }
         out.with_softirq(SoftirqClass::Block, self.bh.sample(rng))
+    }
+
+    fn reclaim_wake_buf(&mut self, buf: Vec<Pid>) {
+        self.wake_spare = buf;
     }
 
     fn snapshot(&self) -> DeviceState {

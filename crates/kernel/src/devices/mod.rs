@@ -133,6 +133,11 @@ impl Device for AnyDevice {
     }
 
     #[inline]
+    fn reclaim_wake_buf(&mut self, buf: Vec<Pid>) {
+        dispatch!(self, reclaim_wake_buf(buf))
+    }
+
+    #[inline]
     fn control(&mut self, cmd: u64, ctx: &mut DeviceCtx, rng: &mut SimRng) {
         dispatch!(self, control(cmd, ctx, rng))
     }

@@ -7,7 +7,7 @@
 //! constant offset, so the generators model it explicitly.
 
 use serde::{Deserialize, Serialize};
-use simcore::{DurationDist, Nanos, SimRng};
+use simcore::{DurationDist, Nanos, PreparedDist, SimRng};
 
 /// An interrupt-arrival process that alternates ON and OFF phases; arrivals
 /// are Poisson with the given mean gap while ON.
@@ -53,6 +53,17 @@ impl OnOffPoisson {
         }
     }
 
+    /// Compile the three distributions for per-arrival sampling; devices do
+    /// this once at construction so the arrival loop never touches the
+    /// memoized-constant path.
+    pub fn prepare(&self) -> PreparedOnOff {
+        PreparedOnOff {
+            gap: self.gap.prepare(),
+            on_len: self.on_len.prepare(),
+            off_len: self.off_len.prepare(),
+        }
+    }
+
     /// Long-run average arrival rate in Hz.
     pub fn average_rate_hz(&self, rng: &mut SimRng) -> f64 {
         // Estimate by sampling; used only by tests and reports.
@@ -68,6 +79,15 @@ impl OnOffPoisson {
     }
 }
 
+/// An [`OnOffPoisson`] compiled by [`OnOffPoisson::prepare`] — sampling is
+/// bit-identical to drawing from the source profile.
+#[derive(Debug, Clone)]
+pub struct PreparedOnOff {
+    pub gap: PreparedDist,
+    pub on_len: PreparedDist,
+    pub off_len: PreparedDist,
+}
+
 /// Driver state for an [`OnOffPoisson`] process inside a device.
 #[derive(Debug, Clone, Default)]
 pub struct OnOffState {
@@ -76,7 +96,7 @@ pub struct OnOffState {
 
 impl OnOffState {
     /// Length of the next phase after flipping.
-    pub fn flip(&mut self, profile: &OnOffPoisson, rng: &mut SimRng) -> Nanos {
+    pub fn flip(&mut self, profile: &PreparedOnOff, rng: &mut SimRng) -> Nanos {
         self.on = !self.on;
         if self.on {
             profile.on_len.sample(rng)
@@ -85,7 +105,7 @@ impl OnOffState {
         }
     }
 
-    pub fn next_gap(&self, profile: &OnOffPoisson, rng: &mut SimRng) -> Nanos {
+    pub fn next_gap(&self, profile: &PreparedOnOff, rng: &mut SimRng) -> Nanos {
         profile.gap.sample(rng)
     }
 }
@@ -113,7 +133,7 @@ mod tests {
 
     #[test]
     fn state_flips() {
-        let p = OnOffPoisson::bursty(100, Nanos::from_ms(10), Nanos::from_ms(20));
+        let p = OnOffPoisson::bursty(100, Nanos::from_ms(10), Nanos::from_ms(20)).prepare();
         let mut rng = SimRng::new(3);
         let mut st = OnOffState::default();
         assert!(!st.on);

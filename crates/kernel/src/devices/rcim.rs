@@ -8,10 +8,10 @@
 //! part of the measured path: we model it (plus the driver's return path) as
 //! [`Device::reader_exit_work`].
 
-use super::profile::{OnOffPoisson, OnOffState};
+use super::profile::{OnOffPoisson, OnOffState, PreparedOnOff};
 use crate::device::{Device, DeviceCtx, DeviceState, IsrOutcome};
 use crate::ids::Pid;
-use simcore::{DurationDist, Nanos, SimRng};
+use simcore::{DurationDist, Nanos, PreparedDist, SimRng};
 use sp_hw::IrqLine;
 
 const TAG_PERIOD: u64 = 0;
@@ -21,7 +21,7 @@ const TAG_PERIOD: u64 = 0;
 pub struct RcimDevice {
     period: Nanos,
     subscribers: Vec<Pid>,
-    isr: DurationDist,
+    isr: PreparedDist,
     exit_work: DurationDist,
     pub fired: u64,
     pub missed: u64,
@@ -39,7 +39,8 @@ impl RcimDevice {
             isr: DurationDist::shifted(
                 Nanos::from_ns(5_300),
                 DurationDist::bounded_pareto(Nanos(100), Nanos::from_us(9), 1.15),
-            ),
+            )
+            .prepare(),
             // Driver return + mapped count-register read (PCI read, ~µs).
             exit_work: DurationDist::shifted(
                 Nanos::from_ns(500),
@@ -95,6 +96,12 @@ impl Device for RcimDevice {
         IsrOutcome { wake: std::mem::take(&mut self.subscribers), softirq: None }
     }
 
+    fn reclaim_wake_buf(&mut self, buf: Vec<Pid>) {
+        if self.subscribers.capacity() == 0 {
+            self.subscribers = buf;
+        }
+    }
+
     fn reader_exit_work(&self) -> Option<DurationDist> {
         Some(self.exit_work.clone())
     }
@@ -122,10 +129,10 @@ impl Device for RcimDevice {
 #[derive(Debug)]
 pub struct RcimExternalInput {
     line: IrqLine,
-    edges: OnOffPoisson,
+    edges: PreparedOnOff,
     state: OnOffState,
     subscribers: Vec<Pid>,
-    isr: DurationDist,
+    isr: PreparedDist,
     exit_work: DurationDist,
     pub edges_seen: u64,
     pub missed: u64,
@@ -140,13 +147,14 @@ impl RcimExternalInput {
     pub fn new(line: IrqLine, edges: OnOffPoisson) -> Self {
         RcimExternalInput {
             line,
-            edges,
+            edges: edges.prepare(),
             state: OnOffState::default(),
             subscribers: Vec::new(),
             isr: DurationDist::shifted(
                 Nanos::from_ns(4_000),
                 DurationDist::bounded_pareto(Nanos(100), Nanos::from_us(5), 1.2),
-            ),
+            )
+            .prepare(),
             exit_work: DurationDist::shifted(
                 Nanos::from_ns(500),
                 DurationDist::bounded_pareto(Nanos(50), Nanos::from_ns(900), 1.4),
@@ -211,6 +219,12 @@ impl Device for RcimExternalInput {
             return IsrOutcome::none();
         }
         IsrOutcome { wake: std::mem::take(&mut self.subscribers), softirq: None }
+    }
+
+    fn reclaim_wake_buf(&mut self, buf: Vec<Pid>) {
+        if self.subscribers.capacity() == 0 {
+            self.subscribers = buf;
+        }
     }
 
     fn reader_exit_work(&self) -> Option<DurationDist> {

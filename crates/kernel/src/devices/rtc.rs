@@ -4,7 +4,7 @@
 
 use crate::device::{Device, DeviceCtx, DeviceState, IsrOutcome};
 use crate::ids::Pid;
-use simcore::{DurationDist, Nanos, SimRng};
+use simcore::{DurationDist, Nanos, PreparedDist, SimRng};
 use sp_hw::IrqLine;
 
 const TAG_PERIOD: u64 = 0;
@@ -14,7 +14,7 @@ const TAG_PERIOD: u64 = 0;
 pub struct RtcDevice {
     period: Nanos,
     subscribers: Vec<Pid>,
-    isr: DurationDist,
+    isr: PreparedDist,
     /// Interrupts fired (including ones nobody was waiting for).
     pub fired: u64,
     /// Fired while no reader was waiting — the benchmark missed them.
@@ -32,7 +32,8 @@ impl RtcDevice {
             isr: DurationDist::shifted(
                 Nanos::from_ns(1_800),
                 DurationDist::bounded_pareto(Nanos(100), Nanos::from_us(3), 1.3),
-            ),
+            )
+            .prepare(),
             fired: 0,
             missed: 0,
         }
@@ -81,6 +82,12 @@ impl Device for RtcDevice {
             return IsrOutcome::none();
         }
         IsrOutcome { wake: std::mem::take(&mut self.subscribers), softirq: None }
+    }
+
+    fn reclaim_wake_buf(&mut self, buf: Vec<Pid>) {
+        if self.subscribers.capacity() == 0 {
+            self.subscribers = buf;
+        }
     }
 
     fn snapshot(&self) -> DeviceState {

@@ -11,7 +11,7 @@
 
 use crate::device::{Device, DeviceCtx, DeviceState, IsrOutcome};
 use crate::ids::{Pid, SoftirqClass};
-use simcore::{DurationDist, Nanos, SimRng};
+use simcore::{DurationDist, Nanos, PreparedDist, SimRng};
 use sp_hw::IrqLine;
 
 /// `device_control` command: start asserting.
@@ -25,11 +25,11 @@ pub struct StormDevice {
     label: &'static str,
     line: IrqLine,
     /// Inter-assert gap while armed.
-    gap: DurationDist,
+    gap: PreparedDist,
     /// Per-interrupt handler cost.
-    isr: DurationDist,
+    isr: PreparedDist,
     /// Bottom-half payload raised by each interrupt.
-    softirq: Option<(SoftirqClass, DurationDist)>,
+    softirq: Option<(SoftirqClass, PreparedDist)>,
     armed: bool,
     /// Bumped on every arm; scheduled events carry it as their tag so events
     /// scheduled before a disarm can't re-seed a later arm cycle.
@@ -50,10 +50,12 @@ impl StormDevice {
             isr: DurationDist::shifted(
                 Nanos::from_us(5),
                 DurationDist::bounded_pareto(Nanos(200), Nanos::from_us(6), 1.2),
-            ),
+            )
+            .prepare(),
             softirq: Some((
                 SoftirqClass::NetRx,
-                DurationDist::bounded_pareto(Nanos::from_us(40), Nanos::from_us(1_200), 1.1),
+                DurationDist::bounded_pareto(Nanos::from_us(40), Nanos::from_us(1_200), 1.1)
+                    .prepare(),
             )),
             armed: false,
             epoch: 0,
@@ -69,8 +71,11 @@ impl StormDevice {
             label: "inject-softirq-flood",
             line,
             gap: rate_to_gap(rate_hz),
-            isr: DurationDist::constant(Nanos::from_us(2)),
-            softirq: Some((SoftirqClass::Tasklet, DurationDist::bounded_pareto(lo, burst, 1.1))),
+            isr: DurationDist::constant(Nanos::from_us(2)).prepare(),
+            softirq: Some((
+                SoftirqClass::Tasklet,
+                DurationDist::bounded_pareto(lo, burst, 1.1).prepare(),
+            )),
             armed: false,
             epoch: 0,
             asserted: 0,
@@ -84,8 +89,8 @@ impl StormDevice {
         StormDevice {
             label: "inject-stuck-isr",
             line,
-            gap: DurationDist::constant(Nanos(1_000_000_000 / rate_hz)),
-            isr: DurationDist::constant(stuck),
+            gap: DurationDist::constant(Nanos(1_000_000_000 / rate_hz)).prepare(),
+            isr: DurationDist::constant(stuck).prepare(),
             softirq: None,
             armed: false,
             epoch: 0,
@@ -98,9 +103,9 @@ impl StormDevice {
     }
 }
 
-fn rate_to_gap(rate_hz: f64) -> DurationDist {
+fn rate_to_gap(rate_hz: f64) -> PreparedDist {
     assert!(rate_hz > 0.0, "storm rate must be positive");
-    DurationDist::exponential(Nanos((1e9 / rate_hz) as u64))
+    DurationDist::exponential(Nanos((1e9 / rate_hz) as u64)).prepare()
 }
 
 impl Device for StormDevice {

@@ -13,7 +13,7 @@
 use crate::device::{Device, DeviceCtx, DeviceState, IsrOutcome};
 use crate::ids::Pid;
 use serde::{Deserialize, Serialize};
-use simcore::{DurationDist, Nanos, SimRng};
+use simcore::{DurationDist, Nanos, PreparedDist, SimRng};
 use sp_hw::IrqLine;
 
 /// One phase of a traffic profile: a coalesced-interrupt rate held for a
@@ -99,10 +99,10 @@ const COPYOUT_PER_REQ_NS: u64 = 12;
 pub struct TrafficDevice {
     profile: TrafficProfile,
     /// Per-phase arrival-gap distributions (derived, not snapshotted).
-    gaps: Vec<DurationDist>,
+    gaps: Vec<PreparedDist>,
     phase: usize,
     subscribers: Vec<Pid>,
-    isr: DurationDist,
+    isr: PreparedDist,
     exit_work: DurationDist,
     /// Coalesced interrupts asserted.
     pub irqs_fired: u64,
@@ -128,6 +128,7 @@ impl TrafficDevice {
                     Nanos(mean * 7 / 10),
                     DurationDist::exponential(Nanos(mean * 3 / 10)),
                 )
+                .prepare()
             })
             .collect();
         TrafficDevice {
@@ -140,7 +141,8 @@ impl TrafficDevice {
             isr: DurationDist::shifted(
                 Nanos::from_ns(2_000),
                 DurationDist::bounded_pareto(Nanos(200), Nanos::from_us(6), 1.2),
-            ),
+            )
+            .prepare(),
             // Fixed part of the driver return path; the per-request copy-out
             // is added per batch in `reader_exit_work`.
             exit_work: DurationDist::shifted(
@@ -223,6 +225,12 @@ impl Device for TrafficDevice {
             return IsrOutcome::none();
         }
         IsrOutcome { wake: std::mem::take(&mut self.subscribers), softirq: None }
+    }
+
+    fn reclaim_wake_buf(&mut self, buf: Vec<Pid>) {
+        if self.subscribers.capacity() == 0 {
+            self.subscribers = buf;
+        }
     }
 
     fn reader_exit_work(&self) -> Option<DurationDist> {

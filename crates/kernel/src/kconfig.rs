@@ -72,6 +72,16 @@ pub struct KernelConfig {
     /// High-resolution sleep (POSIX timers patch); without it, sleeps round
     /// up to the 10 ms jiffy like stock 2.4.
     pub hires_sleep: bool,
+    /// Dynamic-tick idle (a nohz-style anachronism, off in every kernel the
+    /// paper measured): a fully idle CPU parks its local timer and re-arms
+    /// it on the original tick grid when work arrives, so long idle windows
+    /// cost the event loop nothing. Ticks skipped while parked are counted
+    /// per CPU in the observations. Deterministic for a given seed, but a
+    /// run with this on is *not* event-for-event comparable to one with it
+    /// off (idle ticks draw costs and contend the bus in the stock model),
+    /// which is why it is a default-off opt-in rather than an optimisation.
+    #[serde(default)]
+    pub nohz_idle: bool,
     /// Local timer (per-CPU tick) frequency; 100 Hz in the 2.4 era.
     pub local_timer_hz: u32,
     /// How the interrupt controller distributes maskable IRQs.
@@ -97,6 +107,7 @@ impl KernelConfig {
             shield_support: redhawk,
             file_layer_lockfree: false,
             hires_sleep: redhawk,
+            nohz_idle: false,
             local_timer_hz: 100,
             // Xeon-era IO-APIC in logical/lowest-priority mode spreads
             // maskable interrupts over the online CPUs.

@@ -51,6 +51,9 @@ pub struct CpuAccounting {
     pub switches: u64,
     /// Local timer ticks processed.
     pub ticks: u64,
+    /// Ticks skipped while the local timer was parked by `nohz_idle`
+    /// (dynamic-tick idle); always zero with the knob off.
+    pub ticks_elided: u64,
 }
 
 impl CpuAccounting {
@@ -286,6 +289,7 @@ mod tests {
             irqs: 1,
             switches: 1,
             ticks: 1,
+            ticks_elided: 0,
         };
         assert_eq!(acc.busy(), Nanos(190));
         assert_eq!(acc.stolen(), Nanos(32));

@@ -25,8 +25,9 @@ use crate::task::{
     BlockReason, KernelPlan, Phase, PlanEnd, PlannedStep, Task, TaskSpec, TaskState,
 };
 use simcore::flight::{ActivityClass, FlightEvent, FlightEventKind};
+use crate::params::{PreparedCosts, PreparedSections};
 use simcore::{EventKey, Instant, Nanos, SimRng, TraceKind, Tracer, WheelQueue};
-use sp_hw::{exec_context, CpuId, CpuMask, IrqRouting, MachineConfig};
+use sp_hw::{exec_context_mask, CpuId, CpuMask, IrqRouting, MachineConfig};
 use std::collections::{HashMap, VecDeque};
 
 /// Total pending softirq work a CPU may accumulate before drops (a starving
@@ -58,7 +59,6 @@ struct Activity {
     remaining: Nanos,
     since: Instant,
     slowdown: f64,
-    end: Option<(EventKey, u64)>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -72,22 +72,14 @@ struct CpuSim {
     current: Option<Activity>,
     /// Interrupted activities (task at the bottom, then softirq, then...).
     suspended: Vec<Activity>,
-    /// The task context installed on this CPU (running or suspended here).
-    task_ctx: Option<Pid>,
     pending_irqs: VecDeque<PendingIrq>,
     pending_softirq: VecDeque<(SoftirqClass, Nanos)>,
     pending_softirq_total: Nanos,
     need_resched: bool,
     local_timer_on: bool,
-    tick_key: Option<EventKey>,
     /// CPU is inside interrupt context (ISR/tick/softirq processing), even
     /// between activities while the handler's outcome is being applied.
     in_irq: bool,
-    /// CPU is executing something (for the contention model); stays true
-    /// across same-instant activity handoffs.
-    busy: bool,
-    /// When this CPU last stopped executing (for longest-idle placement).
-    last_busy_at: Instant,
 }
 
 impl CpuSim {
@@ -95,24 +87,13 @@ impl CpuSim {
         CpuSim {
             current: None,
             suspended: Vec::new(),
-            task_ctx: None,
             pending_irqs: VecDeque::new(),
             pending_softirq: VecDeque::new(),
             pending_softirq_total: Nanos::ZERO,
             need_resched: false,
             local_timer_on: true,
-            tick_key: None,
             in_irq: false,
-            busy: false,
-            last_busy_at: Instant::ZERO,
         }
-    }
-
-    fn is_fully_idle(&self) -> bool {
-        self.current.is_none()
-            && self.suspended.is_empty()
-            && self.task_ctx.is_none()
-            && !self.in_irq
     }
 }
 
@@ -121,11 +102,36 @@ impl CpuSim {
 pub struct Simulator {
     machine: MachineConfig,
     cfg: KernelConfig,
+    /// Fixed-path cost distributions from `cfg.costs`, pre-resolved at
+    /// construction so the hot loop samples without the per-draw
+    /// distribution-shape dispatch and memo-cache lookups.
+    costs: PreparedCosts,
+    /// Critical-section profile from `cfg.sections`, pre-resolved likewise.
+    sections: PreparedSections,
     now: Instant,
     queue: WheelQueue<Ev>,
     rng: SimRng,
     tasks: Vec<Task>,
     cpus: Vec<CpuSim>,
+    // Struct-of-arrays columns for the per-CPU fields the dispatch loop
+    // touches on every event, kept out of `CpuSim` so one cache line covers
+    // all CPUs instead of one line per CPU:
+    /// Bit `c` set ⇔ logical CPU `c` is executing something (for the
+    /// contention model); stays set across same-instant activity handoffs.
+    busy_mask: u64,
+    /// The task context installed on each CPU (running or suspended there).
+    cpu_task: Vec<Option<Pid>>,
+    /// When each CPU last stopped executing, in ns (longest-idle placement).
+    cpu_last_busy_ns: Vec<u64>,
+    /// The armed segment-end event of each CPU's current activity
+    /// (`None` while idle or spinning).
+    seg_end: Vec<Option<(EventKey, u64)>>,
+    /// The armed local-timer event per CPU (`None` when the timer is off —
+    /// or parked by `nohz_idle` while the CPU is fully idle).
+    tick_keys: Vec<Option<EventKey>>,
+    /// The instant each CPU's next tick is (or, while parked, would have
+    /// been) due — anchors `nohz_idle` re-arming to the original tick grid.
+    tick_next_ns: Vec<u64>,
     sched: SchedulerKind,
     locks: LockTable,
     devices: Vec<DeviceSlot>,
@@ -135,6 +141,10 @@ pub struct Simulator {
     /// Interrupts handled, per device per CPU (the /proc/interrupts counts).
     irq_counts: Vec<Vec<u64>>,
     syscalls: Vec<SyscallService>,
+    /// Plan-builder view of `syscalls`, compiled at registration: segment
+    /// distributions prepared, per-instance flags copied out flat, so
+    /// `build_syscall_plan` never walks the memoized-constant sampling path.
+    prepared_syscalls: Vec<PreparedSyscall>,
     pub obs: Observations,
     pub tracer: Tracer,
     /// Worst-case flight recorder; disarmed (zero-cost) by default. Like
@@ -149,12 +159,31 @@ pub struct Simulator {
     /// [`run_until`]: Simulator::run_until
     events_dispatched: u64,
     // Scratch buffers reused across dispatches so the hot loop stays
-    // allocation-free; contents are only valid while building a `CpuView`
-    // or a waiter snapshot, never across calls.
-    scratch_running: Vec<Option<Pid>>,
-    scratch_idle_since: Vec<u64>,
+    // allocation-free; contents are only valid while building a waiter
+    // snapshot, never across calls.
     scratch_spinners: Vec<Pid>,
     scratch_cmds: Vec<DeviceCmd>,
+    /// Retired `KernelPlan` step buffers, reused by the plan builders so the
+    /// syscall/wake cycle doesn't malloc+free a `Vec` per plan. Capacity
+    /// only — contents are cleared on recycle. Excluded from checkpoints.
+    plan_pool: Vec<Vec<PlannedStep>>,
+}
+
+/// A syscall profile compiled for the plan builder (see
+/// [`Simulator::register_syscall`]): the prepared form of each
+/// [`KernelSegment`], plus the flags the builder branches on.
+struct PreparedSegment {
+    dur: simcore::PreparedDist,
+    lock: Option<LockId>,
+    irqs_off: bool,
+    prob: f64,
+}
+
+struct PreparedSyscall {
+    segments: Box<[PreparedSegment]>,
+    io: Option<crate::syscall::IoSpec>,
+    takes_bkl: bool,
+    injectable: bool,
 }
 
 impl Simulator {
@@ -163,14 +192,24 @@ impl Simulator {
         cfg.validate().expect("invalid kernel config");
         let n = machine.logical_cpus() as usize;
         let sched = build_scheduler(cfg.o1_scheduler, machine.logical_cpus());
+        let costs = cfg.costs.prepare();
+        let sections = cfg.sections.prepare();
         Simulator {
             machine,
             cfg,
+            costs,
+            sections,
             now: Instant::ZERO,
             queue: WheelQueue::new(),
             rng: SimRng::new(seed),
             tasks: Vec::new(),
             cpus: (0..n).map(|_| CpuSim::new()).collect(),
+            busy_mask: 0,
+            cpu_task: vec![None; n],
+            cpu_last_busy_ns: vec![0; n],
+            seg_end: vec![None; n],
+            tick_keys: vec![None; n],
+            tick_next_ns: vec![0; n],
             sched,
             locks: LockTable::new(),
             devices: Vec::new(),
@@ -179,6 +218,7 @@ impl Simulator {
             irq_requested: Vec::new(),
             irq_counts: Vec::new(),
             syscalls: Vec::new(),
+            prepared_syscalls: Vec::new(),
             obs: Observations::new(n),
             tracer: Tracer::disabled(),
             flight: FlightRecorder::disarmed(),
@@ -186,10 +226,9 @@ impl Simulator {
             token_counter: 0,
             started: false,
             events_dispatched: 0,
-            scratch_running: Vec::with_capacity(n),
-            scratch_idle_since: Vec::with_capacity(n),
             scratch_spinners: Vec::with_capacity(n),
             scratch_cmds: Vec::new(),
+            plan_pool: Vec::new(),
         }
     }
 
@@ -220,9 +259,9 @@ impl Simulator {
         ));
         let rng = self.rng.fork(0x1000 + id.0 as u64);
         self.irq_counts.push(vec![0; self.cpus.len()]);
-        // Cached here so every wake-exit plan doesn't re-query (and clone a
-        // distribution out of) the device.
-        let exit_work = dev.reader_exit_work();
+        // Cached (and compiled) here so every wake-exit plan doesn't re-query
+        // the device or re-resolve sampling constants.
+        let exit_work = dev.reader_exit_work().map(|d| d.prepare());
         self.devices.push(DeviceSlot { dev: Some(dev), rng, exit_work });
         id
     }
@@ -231,6 +270,21 @@ impl Simulator {
     pub fn register_syscall(&mut self, svc: SyscallService) -> SyscallId {
         svc.validate().expect("invalid syscall profile");
         let id = SyscallId(self.syscalls.len() as u32);
+        self.prepared_syscalls.push(PreparedSyscall {
+            segments: svc
+                .segments
+                .iter()
+                .map(|seg| PreparedSegment {
+                    dur: seg.dur.prepare(),
+                    lock: seg.lock,
+                    irqs_off: seg.irqs_off,
+                    prob: seg.prob,
+                })
+                .collect(),
+            io: svc.io,
+            takes_bkl: svc.takes_bkl,
+            injectable: svc.injectable,
+        });
         self.syscalls.push(svc);
         id
     }
@@ -408,17 +462,19 @@ impl Simulator {
 
     /// Enable or disable the local timer interrupt on one CPU.
     pub fn set_local_timer(&mut self, cpu: CpuId, on: bool) {
-        let c = &mut self.cpus[cpu.index()];
-        if c.local_timer_on == on {
+        let i = cpu.index();
+        if self.cpus[i].local_timer_on == on {
             return;
         }
-        c.local_timer_on = on;
+        self.cpus[i].local_timer_on = on;
         if on {
             if self.started {
-                let key = self.queue.push(self.now + self.cfg.jiffy(), Ev::Tick { cpu: cpu.0 });
-                self.cpus[cpu.index()].tick_key = Some(key);
+                let at = self.now + self.cfg.jiffy();
+                let key = self.queue.push(at, Ev::Tick { cpu: cpu.0 });
+                self.tick_keys[i] = Some(key);
+                self.tick_next_ns[i] = at.as_ns();
             }
-        } else if let Some(key) = self.cpus[cpu.index()].tick_key.take() {
+        } else if let Some(key) = self.tick_keys[i].take() {
             self.queue.cancel(key);
         }
     }
@@ -483,15 +539,10 @@ impl Simulator {
         }
         match self.tasks[pid.index()].state {
             TaskState::Ready => {
-                Self::fill_view_scratch(
-                    &self.cpus,
-                    &mut self.scratch_running,
-                    &mut self.scratch_idle_since,
-                );
                 let view = CpuView {
                     online,
-                    running: &self.scratch_running,
-                    idle_since: &self.scratch_idle_since,
+                    running: &self.cpu_task,
+                    idle_since: &self.cpu_last_busy_ns,
                 };
                 if let Some(target) =
                     self.sched.on_affinity_change(pid, &mut self.tasks, &view)
@@ -524,8 +575,10 @@ impl Simulator {
         for cpu in 0..self.cpus.len() {
             if self.cpus[cpu].local_timer_on {
                 let phase = Nanos(jiffy.as_ns() * (cpu as u64 + 1) / (self.cpus.len() as u64 + 1));
-                let key = self.queue.push(self.now + phase, Ev::Tick { cpu: cpu as u32 });
-                self.cpus[cpu].tick_key = Some(key);
+                let at = self.now + phase;
+                let key = self.queue.push(at, Ev::Tick { cpu: cpu as u32 });
+                self.tick_keys[cpu] = Some(key);
+                self.tick_next_ns[cpu] = at.as_ns();
             }
         }
         // Devices.
@@ -541,11 +594,7 @@ impl Simulator {
     /// Advance virtual time to `t`, processing all events on the way.
     pub fn run_until(&mut self, t: Instant) {
         assert!(self.started, "call start() first");
-        while let Some(at) = self.queue.peek_time() {
-            if at > t {
-                break;
-            }
-            let (at, ev) = self.queue.pop().expect("peeked");
+        while let Some((at, ev)) = self.queue.pop_before(t) {
             debug_assert!(at >= self.now, "event from the past");
             self.now = at;
             self.events_dispatched += 1;
@@ -590,27 +639,37 @@ impl Simulator {
         self.token_counter
     }
 
+    #[inline]
     fn sample_slowdown(&mut self, cpu: usize) -> f64 {
-        // `ExecContext` is computed eagerly and is `Copy`, so the busy
-        // states can be read straight off `self.cpus` — no snapshot needed.
-        let cpus = &self.cpus;
-        let ctx = exec_context(&self.machine, CpuId(cpu as u32), |c| cpus[c.index()].busy);
+        let ctx = exec_context_mask(&self.machine, CpuId(cpu as u32), self.busy_mask);
         self.cfg.contention.sample_slowdown(ctx, &mut self.rng)
+    }
+
+    fn is_fully_idle(&self, cpu: usize) -> bool {
+        let c = &self.cpus[cpu];
+        c.current.is_none()
+            && c.suspended.is_empty()
+            && self.cpu_task[cpu].is_none()
+            && !c.in_irq
     }
 
     /// Install a fresh activity as current on an empty CPU.
     fn install(&mut self, cpu: usize, kind: ActKind, work: Nanos) {
         debug_assert!(self.cpus[cpu].current.is_none(), "cpu{cpu} busy");
-        let was_idle = !self.cpus[cpu].busy;
-        self.cpus[cpu].busy = true;
+        debug_assert!(self.seg_end[cpu].is_none(), "stale seg_end on cpu{cpu}");
+        let bit = 1u64 << cpu;
+        let was_idle = self.busy_mask & bit == 0;
+        self.busy_mask |= bit;
+        if was_idle && self.cfg.nohz_idle {
+            self.unpark_tick(cpu);
+        }
         let slowdown = self.sample_slowdown(cpu);
-        let mut act =
-            Activity { kind, remaining: work, since: self.now, slowdown, end: None };
+        let act = Activity { kind, remaining: work, since: self.now, slowdown };
         if !matches!(act.kind, ActKind::SpinWait { .. }) {
             let token = self.fresh_token();
             let wall = act.remaining.scale(act.slowdown).max(Nanos(1));
             let key = self.queue.push(self.now + wall, Ev::SegEnd { cpu: cpu as u32, token });
-            act.end = Some((key, token));
+            self.seg_end[cpu] = Some((key, token));
         }
         self.cpus[cpu].current = Some(act);
         if was_idle {
@@ -622,7 +681,7 @@ impl Simulator {
     /// deduct the work done, and leave it cancelled (no end event).
     fn checkpoint_current(&mut self, cpu: usize) -> Option<Activity> {
         let mut act = self.cpus[cpu].current.take()?;
-        if let Some((key, _)) = act.end.take() {
+        if let Some((key, _)) = self.seg_end[cpu].take() {
             self.queue.cancel(key);
         }
         let wall = self.now.since(act.since);
@@ -649,7 +708,7 @@ impl Simulator {
             let token = self.fresh_token();
             let wall = act.remaining.scale(act.slowdown).max(Nanos(1));
             let key = self.queue.push(self.now + wall, Ev::SegEnd { cpu: cpu as u32, token });
-            act.end = Some((key, token));
+            self.seg_end[cpu] = Some((key, token));
         }
         self.cpus[cpu].current = Some(act);
     }
@@ -661,7 +720,7 @@ impl Simulator {
             if cpu == changed {
                 continue;
             }
-            if self.cpus[cpu].current.as_ref().is_none_or(|a| a.end.is_none()) {
+            if self.seg_end[cpu].is_none() {
                 continue;
             }
             if let Some(mut act) = self.checkpoint_current(cpu) {
@@ -674,7 +733,7 @@ impl Simulator {
                 let wall = act.remaining.scale(act.slowdown).max(Nanos(1));
                 let key =
                     self.queue.push(self.now + wall, Ev::SegEnd { cpu: cpu as u32, token });
-                act.end = Some((key, token));
+                self.seg_end[cpu] = Some((key, token));
                 self.cpus[cpu].current = Some(act);
             }
         }
@@ -694,7 +753,7 @@ impl Simulator {
             ActKind::Tick => acc.tick += wall,
             ActKind::Switch { .. } => acc.switching += wall,
         }
-        if let Some(pid) = self.cpus[cpu].task_ctx {
+        if let Some(pid) = self.cpu_task[cpu] {
             if matches!(kind, ActKind::User | ActKind::Kernel { .. }) {
                 self.tasks[pid.index()].cpu_time += wall;
             }
@@ -767,8 +826,8 @@ impl Simulator {
     }
 
     fn begin_isr(&mut self, cpu: usize, pend: PendingIrq) {
-        let entry = self.cfg.costs.irq_entry.sample(&mut self.rng);
-        let exit = self.cfg.costs.irq_exit.sample(&mut self.rng);
+        let entry = self.costs.irq_entry.sample(&mut self.rng);
+        let exit = self.costs.irq_exit.sample(&mut self.rng);
         let body = {
             let slot = &mut self.devices[pend.dev.index()];
             let dev = slot.dev.as_mut().expect("device reentrancy");
@@ -796,12 +855,15 @@ impl Simulator {
         dev: DeviceId,
         f: impl FnOnce(&mut AnyDevice, &mut DeviceCtx, &mut SimRng),
     ) {
-        let mut taken = self.devices[dev.index()].dev.take().expect("device reentrancy");
-        let mut rng = self.devices[dev.index()].rng.clone();
         let mut ctx = DeviceCtx::with_buffer(self.now, std::mem::take(&mut self.scratch_cmds));
-        f(&mut taken, &mut ctx, &mut rng);
-        self.devices[dev.index()].dev = Some(taken);
-        self.devices[dev.index()].rng = rng;
+        {
+            // Callbacks only see the device slot and the command buffer, so
+            // the slot can be borrowed in place — no detach/re-attach move of
+            // the device image and no RNG-stream clone per event.
+            let slot = &mut self.devices[dev.index()];
+            let d = slot.dev.as_mut().expect("device reentrancy");
+            f(d, &mut ctx, &mut slot.rng);
+        }
         self.apply_device_commands(dev, &mut ctx);
         self.scratch_cmds = ctx.recycle();
     }
@@ -822,21 +884,59 @@ impl Simulator {
 
     fn handle_tick(&mut self, cpu: usize) {
         if !self.cpus[cpu].local_timer_on {
-            self.cpus[cpu].tick_key = None;
+            self.tick_keys[cpu] = None;
             return;
         }
-        let key = self.queue.push(self.now + self.cfg.jiffy(), Ev::Tick { cpu: cpu as u32 });
-        self.cpus[cpu].tick_key = Some(key);
+        let at = self.now + self.cfg.jiffy();
+        let key = self.queue.push(at, Ev::Tick { cpu: cpu as u32 });
+        self.tick_keys[cpu] = Some(key);
+        self.tick_next_ns[cpu] = at.as_ns();
         if !self.cpu_can_take_irq(cpu) {
             // Delivery masked; the tick is lost (real hardware would pend it,
             // but irq-off windows are ≪ a jiffy so the distinction is noise).
             return;
         }
-        let cost = self.cfg.costs.tick.sample(&mut self.rng);
+        let cost = self.costs.tick.sample(&mut self.rng);
         self.suspend_current(cpu);
         self.cpus[cpu].in_irq = true;
         self.obs.cpu[cpu].ticks += 1;
         self.install(cpu, ActKind::Tick, cost);
+    }
+
+    /// `nohz_idle`: cancel the local-timer event of a CPU that just became
+    /// fully idle. The tick grid position is remembered in `tick_next_ns`,
+    /// so re-arming lands exactly where the timer would have fired anyway.
+    #[cold]
+    fn park_tick(&mut self, cpu: usize) {
+        if !self.cpus[cpu].local_timer_on || !self.is_fully_idle(cpu) {
+            return;
+        }
+        if let Some(key) = self.tick_keys[cpu].take() {
+            self.queue.cancel(key);
+        }
+    }
+
+    /// `nohz_idle`: re-arm a parked local timer on the first grid instant
+    /// not yet in the past, counting the grid points that fell inside the
+    /// idle window as elided.
+    #[cold]
+    fn unpark_tick(&mut self, cpu: usize) {
+        if !self.cpus[cpu].local_timer_on || self.tick_keys[cpu].is_some() {
+            return;
+        }
+        let jiffy = self.cfg.jiffy().as_ns();
+        let next = self.tick_next_ns[cpu];
+        let now = self.now.as_ns();
+        let (fire, elided) = if now >= next {
+            let k = (now - next) / jiffy + 1;
+            (next + k * jiffy, k)
+        } else {
+            (next, 0)
+        };
+        self.obs.cpu[cpu].ticks_elided += elided;
+        let key = self.queue.push(Instant(fire), Ev::Tick { cpu: cpu as u32 });
+        self.tick_keys[cpu] = Some(key);
+        self.tick_next_ns[cpu] = fire;
     }
 
     // ------------------------------------------------------------------
@@ -844,34 +944,30 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn handle_seg_end(&mut self, cpu: usize, token: u64) {
-        let valid = self.cpus[cpu]
-            .current
-            .as_ref()
-            .and_then(|a| a.end)
-            .is_some_and(|(_, t)| t == token);
+        let valid = self.seg_end[cpu].is_some_and(|(_, t)| t == token);
         if !valid {
             debug_assert!(false, "stale SegEnd should have been cancelled");
             return;
         }
-        let mut act = self.cpus[cpu].current.take().expect("checked");
-        act.end = None;
+        self.seg_end[cpu] = None;
+        let act = self.cpus[cpu].current.take().expect("checked");
         let wall = self.now.since(act.since);
         self.account(cpu, &act.kind, wall);
         match act.kind {
             ActKind::User => {
-                let pid = self.cpus[cpu].task_ctx.expect("user work without task");
+                let pid = self.cpu_task[cpu].expect("user work without task");
                 self.advance_op(pid);
                 self.continue_on_cpu(cpu);
             }
             ActKind::Kernel { step } => {
-                let pid = self.cpus[cpu].task_ctx.expect("kernel work without task");
+                let pid = self.cpu_task[cpu].expect("kernel work without task");
                 if let Some(lock) = step.lock {
                     // Prefer a waiter that is actively spinning right now
                     // (its CPU's current activity is the spin): a waiter
                     // suspended under an interrupt cannot test-and-set.
                     self.scratch_spinners.clear();
-                    for c in &self.cpus {
-                        if let (Some(act), Some(p)) = (&c.current, c.task_ctx) {
+                    for (i, c) in self.cpus.iter().enumerate() {
+                        if let (Some(act), Some(p)) = (&c.current, self.cpu_task[i]) {
                             if matches!(act.kind, ActKind::SpinWait { .. }) {
                                 self.scratch_spinners.push(p);
                             }
@@ -895,7 +991,7 @@ impl Simulator {
                 self.after_irq(cpu);
             }
             ActKind::Tick => {
-                if let Some(pid) = self.cpus[cpu].task_ctx {
+                if let Some(pid) = self.cpu_task[cpu] {
                     if self.tasks[pid.index()].state == TaskState::Running
                         && self.sched.on_tick(CpuId(cpu as u32), pid, &mut self.tasks)
                     {
@@ -906,7 +1002,7 @@ impl Simulator {
             }
             ActKind::Switch { to } => {
                 self.obs.cpu[cpu].switches += 1;
-                debug_assert_eq!(self.cpus[cpu].task_ctx, Some(to));
+                debug_assert_eq!(self.cpu_task[cpu], Some(to));
                 self.continue_on_cpu(cpu);
             }
             ActKind::SpinWait { .. } => unreachable!("spin waits have no end event"),
@@ -915,12 +1011,12 @@ impl Simulator {
 
     fn finish_isr(&mut self, cpu: usize, dev: DeviceId, asserted: Instant) {
         // ISR body: ask the device what this interrupt meant.
-        let mut taken = self.devices[dev.index()].dev.take().expect("device reentrancy");
-        let mut rng = self.devices[dev.index()].rng.clone();
         let mut ctx = DeviceCtx::with_buffer(self.now, std::mem::take(&mut self.scratch_cmds));
-        let outcome = taken.on_isr(&mut ctx, &mut rng);
-        self.devices[dev.index()].dev = Some(taken);
-        self.devices[dev.index()].rng = rng;
+        let outcome = {
+            let slot = &mut self.devices[dev.index()];
+            let d = slot.dev.as_mut().expect("device reentrancy");
+            d.on_isr(&mut ctx, &mut slot.rng)
+        };
         self.apply_device_commands(dev, &mut ctx);
         self.scratch_cmds = ctx.recycle();
 
@@ -933,8 +1029,16 @@ impl Simulator {
                 self.obs.softirq_dropped += 1;
             }
         }
-        for pid in outcome.wake {
+        let mut wake = outcome.wake;
+        for &pid in &wake {
             self.wake_task(pid, Some(asserted));
+        }
+        if wake.capacity() > 0 {
+            // Hand the allocation back so the device's next subscription
+            // round reuses it instead of growing a fresh Vec.
+            wake.clear();
+            let slot = &mut self.devices[dev.index()];
+            slot.dev.as_mut().expect("device reentrancy").reclaim_wake_buf(wake);
         }
         self.after_irq(cpu);
     }
@@ -955,7 +1059,7 @@ impl Simulator {
             self.cpus[cpu].suspended.iter().any(|a| matches!(a.kind, ActKind::Softirq));
         let softirq_ok = !(deferred || nested);
         if !self.cpus[cpu].pending_softirq.is_empty() && softirq_ok {
-            self.begin_softirq_burst(cpu, self.cfg.sections.softirq_burst_cap);
+            self.begin_softirq_burst(cpu, self.sections.softirq_burst_cap);
             return;
         }
         // 3. Leaving interrupt context.
@@ -973,11 +1077,11 @@ impl Simulator {
         // its kernel plan directly. need_resched (if still set on a
         // non-preemptible kernel) is honoured at the next legal boundary
         // inside begin_task_step.
-        if let Some(pid) = self.cpus[cpu].task_ctx {
+        if let Some(pid) = self.cpu_task[cpu] {
             if self.tasks[pid.index()].state == TaskState::Running {
                 self.begin_task_step(cpu, pid);
             } else {
-                self.cpus[cpu].task_ctx = None;
+                self.cpu_task[cpu] = None;
                 self.begin_switch(cpu, false);
             }
             return;
@@ -1022,7 +1126,7 @@ impl Simulator {
     fn try_resched_here(&mut self, cpu: usize) -> bool {
         match self.cpus[cpu].suspended.last() {
             None => {
-                match self.cpus[cpu].task_ctx {
+                match self.cpu_task[cpu] {
                     None => {
                         // Interrupt arrived over idle.
                         self.cpus[cpu].need_resched = false;
@@ -1037,7 +1141,7 @@ impl Simulator {
                         if self.cfg.kernel_preempt {
                             self.tasks[pid.index()].state = TaskState::Ready;
                             self.sched.on_preempt(pid, &self.tasks);
-                            self.cpus[cpu].task_ctx = None;
+                            self.cpu_task[cpu] = None;
                             self.cpus[cpu].need_resched = false;
                             self.begin_switch(cpu, false);
                             true
@@ -1066,11 +1170,11 @@ impl Simulator {
                     return false;
                 }
                 let act = self.cpus[cpu].suspended.pop().expect("checked");
-                let pid = self.cpus[cpu].task_ctx.expect("task activity without ctx");
+                let pid = self.cpu_task[cpu].expect("task activity without ctx");
                 self.save_task_continuation(pid, act);
                 self.tasks[pid.index()].state = TaskState::Ready;
                 self.sched.on_preempt(pid, &self.tasks);
-                self.cpus[cpu].task_ctx = None;
+                self.cpu_task[cpu] = None;
                 self.cpus[cpu].need_resched = false;
                 self.begin_switch(cpu, false);
                 true
@@ -1096,14 +1200,14 @@ impl Simulator {
             return;
         }
         let act = self.checkpoint_current(c).expect("checked");
-        let pid = self.cpus[c].task_ctx.expect("task activity without ctx");
+        let pid = self.cpu_task[c].expect("task activity without ctx");
         self.save_task_continuation(pid, act);
         self.tasks[pid.index()].state = TaskState::Ready;
         self.sched.on_preempt(pid, &self.tasks);
-        self.cpus[c].task_ctx = None;
+        self.cpu_task[c] = None;
         self.cpus[c].need_resched = false;
         // IPI + schedule + switch.
-        let ipi = self.cfg.costs.ipi.sample(&mut self.rng);
+        let ipi = self.costs.ipi.sample(&mut self.rng);
         self.begin_switch_with_extra(c, ipi);
     }
 
@@ -1128,29 +1232,14 @@ impl Simulator {
     // Scheduling and switching
     // ------------------------------------------------------------------
 
-    /// Refill the reusable `CpuView` backing buffers from the current CPU
-    /// states. Kept inline in callers' borrow scope: the scratch fields are
-    /// disjoint from `sched`/`tasks`, so no per-wake allocation is needed.
-    fn fill_view_scratch(cpus: &[CpuSim], running: &mut Vec<Option<Pid>>, idle: &mut Vec<u64>) {
-        running.clear();
-        idle.clear();
-        for c in cpus {
-            running.push(c.task_ctx);
-            idle.push(c.last_busy_at.as_ns());
-        }
-    }
-
     fn make_runnable(&mut self, pid: Pid) {
         self.tasks[pid.index()].state = TaskState::Ready;
-        Self::fill_view_scratch(
-            &self.cpus,
-            &mut self.scratch_running,
-            &mut self.scratch_idle_since,
-        );
+        // The SoA columns back the scheduler's `CpuView` directly — no
+        // per-wake copying into scratch buffers.
         let view = CpuView {
             online: self.machine.online_mask(),
-            running: &self.scratch_running,
-            idle_since: &self.scratch_idle_since,
+            running: &self.cpu_task,
+            idle_since: &self.cpu_last_busy_ns,
         };
         if let Some(target) = self.sched.on_wake(pid, &mut self.tasks, &view) {
             self.kick_cpu(target);
@@ -1160,7 +1249,7 @@ impl Simulator {
     /// React to the scheduler requesting a reschedule on `target`.
     fn kick_cpu(&mut self, target: CpuId) {
         let c = target.index();
-        if self.cpus[c].is_fully_idle() {
+        if self.is_fully_idle(c) {
             self.begin_switch(c, true);
         } else {
             self.cpus[c].need_resched = true;
@@ -1180,13 +1269,10 @@ impl Simulator {
         // Build the kernel continuation the task runs when it gets a CPU.
         let plan = match reason {
             BlockReason::Sleep | BlockReason::IoWait(_) => {
-                let exit = self.cfg.costs.syscall_exit.sample(&mut self.rng);
-                KernelPlan {
-                    syscall: None,
-                    steps: vec![PlannedStep { work: exit, lock: None, irqs_off: false }],
-                    cur: 0,
-                    then: PlanEnd::ReturnToUser,
-                }
+                let mut steps = self.steps_buf();
+                let exit = self.costs.syscall_exit.sample(&mut self.rng);
+                steps.push(PlannedStep { work: exit, lock: None, irqs_off: false });
+                KernelPlan { syscall: None, steps, cur: 0, then: PlanEnd::ReturnToUser }
             }
             BlockReason::IrqWait(dev) => {
                 let api = self.tasks[pid.index()]
@@ -1195,7 +1281,12 @@ impl Simulator {
                 self.build_wait_exit_plan(dev, api)
             }
         };
-        self.tasks[pid.index()].phase = Phase::Kernel(plan);
+        // The overwritten phase is usually the finished wait-entry plan the
+        // task blocked under — recycle its step buffer.
+        let old = std::mem::replace(&mut self.tasks[pid.index()].phase, Phase::Kernel(plan));
+        if let Phase::Kernel(old) = old {
+            self.recycle_plan(old);
+        }
         self.tasks[pid.index()].woken_at = Some(self.now);
         self.tasks[pid.index()].ran_at = None;
         self.trace(TraceKind::Sched, None, || format!("wake {pid}"));
@@ -1212,7 +1303,7 @@ impl Simulator {
 
     fn begin_switch(&mut self, cpu: usize, from_idle: bool) {
         let extra = if from_idle {
-            self.cfg.costs.idle_exit.sample(&mut self.rng)
+            self.costs.idle_exit.sample(&mut self.rng)
         } else {
             Nanos::ZERO
         };
@@ -1221,16 +1312,16 @@ impl Simulator {
 
     fn begin_switch_with_extra(&mut self, cpu: usize, extra: Nanos) {
         debug_assert!(self.cpus[cpu].current.is_none());
-        debug_assert!(self.cpus[cpu].task_ctx.is_none());
-        let pick_cost = self.sched.pick_cost(&self.cfg.costs, &mut self.rng);
+        debug_assert!(self.cpu_task[cpu].is_none());
+        let pick_cost = self.sched.pick_cost(&self.costs, &mut self.rng);
         match self.sched.pick(CpuId(cpu as u32), &mut self.tasks) {
             Some(pid) => {
                 let t = &mut self.tasks[pid.index()];
                 debug_assert_eq!(t.state, TaskState::Ready);
                 t.state = TaskState::Running;
                 t.last_cpu = CpuId(cpu as u32);
-                self.cpus[cpu].task_ctx = Some(pid);
-                let switch = self.cfg.costs.context_switch.sample(&mut self.rng);
+                self.cpu_task[cpu] = Some(pid);
+                let switch = self.costs.context_switch.sample(&mut self.rng);
                 self.trace(TraceKind::Sched, Some(cpu as u32), || format!("switch to {pid}"));
                 self.install(cpu, ActKind::Switch { to: pid }, extra + pick_cost + switch);
             }
@@ -1243,9 +1334,13 @@ impl Simulator {
                 }
                 // Idle. (The failed pick's cost is negligible against the
                 // idle time that follows; not modelled.)
-                if self.cpus[cpu].busy {
-                    self.cpus[cpu].busy = false;
-                    self.cpus[cpu].last_busy_at = self.now;
+                let bit = 1u64 << cpu;
+                if self.busy_mask & bit != 0 {
+                    self.busy_mask &= !bit;
+                    self.cpu_last_busy_ns[cpu] = self.now.as_ns();
+                    if self.cfg.nohz_idle {
+                        self.park_tick(cpu);
+                    }
                     self.reprice_others(cpu);
                 }
             }
@@ -1257,23 +1352,23 @@ impl Simulator {
     fn continue_on_cpu(&mut self, cpu: usize) {
         // Honour a pending reschedule at this boundary first.
         if self.cpus[cpu].need_resched {
-            if let Some(pid) = self.cpus[cpu].task_ctx {
+            if let Some(pid) = self.cpu_task[cpu] {
                 if self.tasks[pid.index()].state == TaskState::Running {
                     self.tasks[pid.index()].state = TaskState::Ready;
                     self.sched.on_preempt(pid, &self.tasks);
                 }
-                self.cpus[cpu].task_ctx = None;
+                self.cpu_task[cpu] = None;
             }
             self.cpus[cpu].need_resched = false;
             self.begin_switch(cpu, false);
             return;
         }
-        match self.cpus[cpu].task_ctx {
+        match self.cpu_task[cpu] {
             Some(pid) if self.tasks[pid.index()].state == TaskState::Running => {
                 self.begin_task_step(cpu, pid);
             }
             _ => {
-                self.cpus[cpu].task_ctx = None;
+                self.cpu_task[cpu] = None;
                 self.begin_switch(cpu, false);
             }
         }
@@ -1289,7 +1384,10 @@ impl Simulator {
         match t.program.next_index(t.op_idx) {
             Some(next) => {
                 t.op_idx = next;
-                t.phase = Phase::Start;
+                let old = std::mem::replace(&mut t.phase, Phase::Start);
+                if let Phase::Kernel(plan) = old {
+                    self.recycle_plan(plan);
+                }
             }
             None => {
                 t.state = TaskState::Exited;
@@ -1304,10 +1402,10 @@ impl Simulator {
             self.tasks[pid.index()].ran_at = Some(self.now);
         }
         loop {
-            debug_assert_eq!(self.cpus[cpu].task_ctx, Some(pid));
+            debug_assert_eq!(self.cpu_task[cpu], Some(pid));
             let t = &self.tasks[pid.index()];
             if t.state == TaskState::Exited {
-                self.cpus[cpu].task_ctx = None;
+                self.cpu_task[cpu] = None;
                 self.begin_switch(cpu, false);
                 return;
             }
@@ -1354,7 +1452,13 @@ impl Simulator {
                             continue;
                         }
                         PlanEnd::ResumeUser(remaining) => {
-                            self.tasks[pid.index()].phase = Phase::User { remaining };
+                            let old = std::mem::replace(
+                                &mut self.tasks[pid.index()].phase,
+                                Phase::User { remaining },
+                            );
+                            if let Phase::Kernel(plan) = old {
+                                self.recycle_plan(plan);
+                            }
                             continue;
                         }
                         PlanEnd::CompleteIrqWait => {
@@ -1420,46 +1524,52 @@ impl Simulator {
                     }
                 }
                 Phase::Start => {
-                    let op = t
-                        .program
-                        .op(t.op_idx)
-                        .expect("op index in range")
-                        .clone();
-                    match op {
-                        Op::Compute(d) => {
+                    // Match the op in place — cloning it out would heap-copy
+                    // mix/shifted distributions on every program step. The
+                    // `Compute`/`Sleep` arms sample from the per-task prepared
+                    // table (built at spawn) instead of the raw distribution.
+                    let op_idx = t.op_idx;
+                    match t.program.op(op_idx).expect("op index in range") {
+                        Op::Compute(_) => {
+                            let d = t.prepared_ops[op_idx].as_ref().expect("compute op prepared");
                             let work = d.sample(&mut self.rng);
-                            let t = &mut self.tasks[pid.index()];
-                            if !t.mlocked && self.rng.chance(0.02) {
+                            let mlocked = t.mlocked;
+                            if !mlocked && self.rng.chance(0.02) {
                                 // First-touch page fault on an unlocked page.
-                                let cost = self.cfg.costs.page_fault.sample(&mut self.rng);
-                                t.phase = Phase::Kernel(KernelPlan {
+                                let cost = self.costs.page_fault.sample(&mut self.rng);
+                                let mut steps = self.steps_buf();
+                                steps.push(PlannedStep {
+                                    work: cost,
+                                    lock: Some(LockId::MM),
+                                    irqs_off: false,
+                                });
+                                self.tasks[pid.index()].phase = Phase::Kernel(KernelPlan {
                                     syscall: None,
-                                    steps: vec![PlannedStep {
-                                        work: cost,
-                                        lock: Some(LockId::MM),
-                                        irqs_off: false,
-                                    }],
+                                    steps,
                                     cur: 0,
                                     then: PlanEnd::ResumeUser(work),
                                 });
                             } else {
-                                t.phase = Phase::User { remaining: work };
+                                self.tasks[pid.index()].phase = Phase::User { remaining: work };
                             }
                             continue;
                         }
                         Op::Syscall(id) => {
+                            let id = *id;
                             let plan = self.build_syscall_plan(id);
                             self.tasks[pid.index()].phase = Phase::Kernel(plan);
                             continue;
                         }
                         Op::WaitIrq { device, api } => {
+                            let (device, api) = (*device, *api);
                             let plan = self.build_wait_entry_plan(device, api);
                             let t = &mut self.tasks[pid.index()];
                             t.wait_api = Some(api);
                             t.phase = Phase::Kernel(plan);
                             continue;
                         }
-                        Op::Sleep(d) => {
+                        Op::Sleep(_) => {
+                            let d = t.prepared_ops[op_idx].as_ref().expect("sleep op prepared");
                             let dur = d.sample(&mut self.rng);
                             let wake_at = self.sleep_deadline(dur);
                             self.queue.push(wake_at, Ev::SleepWake { pid: pid.0 });
@@ -1480,7 +1590,7 @@ impl Simulator {
                             if self.sched.queued_count() > 0 {
                                 self.tasks[pid.index()].state = TaskState::Ready;
                                 self.sched.on_yield(pid, &self.tasks);
-                                self.cpus[cpu].task_ctx = None;
+                                self.cpu_task[cpu] = None;
                                 self.begin_switch(cpu, false);
                                 return;
                             }
@@ -1489,7 +1599,7 @@ impl Simulator {
                         Op::Exit => {
                             self.tasks[pid.index()].state = TaskState::Exited;
                             self.sched.on_block(pid);
-                            self.cpus[cpu].task_ctx = None;
+                            self.cpu_task[cpu] = None;
                             self.begin_switch(cpu, false);
                             return;
                         }
@@ -1502,7 +1612,7 @@ impl Simulator {
     fn block_task(&mut self, cpu: usize, pid: Pid, reason: BlockReason) {
         self.tasks[pid.index()].state = TaskState::Blocked(reason);
         self.sched.on_block(pid);
-        self.cpus[cpu].task_ctx = None;
+        self.cpu_task[cpu] = None;
     }
 
     fn sleep_deadline(&self, dur: Nanos) -> Instant {
@@ -1524,7 +1634,7 @@ impl Simulator {
         self.tasks[pid.index()].spinning_on = None;
         self.trace(TraceKind::Lock, None, || format!("{lock} handed to {pid}"));
         let cpu = self.tasks[pid.index()].last_cpu.index();
-        debug_assert_eq!(self.cpus[cpu].task_ctx, Some(pid), "spinner moved CPUs");
+        debug_assert_eq!(self.cpu_task[cpu], Some(pid), "spinner moved CPUs");
         let step = match &self.tasks[pid.index()].phase {
             Phase::Kernel(plan) => plan.steps[plan.cur],
             _ => unreachable!("spinner without kernel phase"),
@@ -1579,32 +1689,51 @@ impl Simulator {
     // Plan builders
     // ------------------------------------------------------------------
 
+    /// A cleared step buffer from the retirement pool (or a fresh one).
+    #[inline]
+    fn steps_buf(&mut self) -> Vec<PlannedStep> {
+        self.plan_pool.pop().unwrap_or_default()
+    }
+
+    /// Return a finished plan's step buffer to the pool. Capacity is
+    /// retained; the pool is bounded so pathological plan churn can't hoard
+    /// memory.
+    #[inline]
+    fn recycle_plan(&mut self, plan: KernelPlan) {
+        let mut steps = plan.steps;
+        if self.plan_pool.len() < 32 {
+            steps.clear();
+            self.plan_pool.push(steps);
+        }
+    }
+
     fn build_syscall_plan(&mut self, id: SyscallId) -> KernelPlan {
-        let entry = self.cfg.costs.syscall_entry.sample(&mut self.rng);
-        let exit = self.cfg.costs.syscall_exit.sample(&mut self.rng);
-        let svc = &self.syscalls[id.index()];
+        let mut steps = self.steps_buf();
+        let entry = self.costs.syscall_entry.sample(&mut self.rng);
+        let exit = self.costs.syscall_exit.sample(&mut self.rng);
+        let svc = &self.prepared_syscalls[id.index()];
         let takes_bkl = svc.takes_bkl;
         let injectable = svc.injectable;
         let io = svc.io;
         let n_segs = svc.segments.len();
-        let mut steps = Vec::with_capacity(n_segs + 4);
+        steps.reserve(n_segs + 4);
         steps.push(PlannedStep { work: entry, lock: None, irqs_off: false });
         if takes_bkl {
-            let hold = self.cfg.sections.bkl_hold.sample(&mut self.rng);
+            let hold = self.sections.bkl_hold.sample(&mut self.rng);
             steps.push(PlannedStep { work: hold, lock: Some(LockId::BKL), irqs_off: false });
         }
         for i in 0..n_segs {
-            // `syscalls` and `rng` are disjoint fields, so the segment (and
-            // its duration distribution) can be borrowed across the samples
-            // without cloning.
-            let seg = &self.syscalls[id.index()].segments[i];
+            // `prepared_syscalls` and `rng` are disjoint fields, so the
+            // segment (and its duration distribution) can be borrowed across
+            // the samples without cloning.
+            let seg = &self.prepared_syscalls[id.index()].segments[i];
             if seg.prob >= 1.0 || self.rng.chance(seg.prob) {
                 let work = seg.dur.sample(&mut self.rng);
                 steps.push(PlannedStep { work, lock: seg.lock, irqs_off: seg.irqs_off });
             }
         }
-        if injectable && self.rng.chance(self.cfg.sections.long_section_prob) {
-            let work = self.cfg.sections.long_section.sample(&mut self.rng);
+        if injectable && self.rng.chance(self.sections.long_section_prob) {
+            let work = self.sections.long_section.sample(&mut self.rng);
             // The long section lands on one of the busy global locks.
             let lock = match self.rng.below(5) {
                 0 => LockId::FILE,
@@ -1624,8 +1753,9 @@ impl Simulator {
     }
 
     fn build_wait_entry_plan(&mut self, dev: DeviceId, api: WaitApi) -> KernelPlan {
-        let entry = self.cfg.costs.syscall_entry.sample(&mut self.rng);
-        let mut steps = vec![PlannedStep { work: entry, lock: None, irqs_off: false }];
+        let mut steps = self.steps_buf();
+        let entry = self.costs.syscall_entry.sample(&mut self.rng);
+        steps.push(PlannedStep { work: entry, lock: None, irqs_off: false });
         if let WaitApi::IoctlWait { driver_bkl_free } = api {
             if !(driver_bkl_free && self.cfg.bkl_ioctl_optout) {
                 // Generic ioctl grabs the BKL around the driver call; the
@@ -1644,8 +1774,8 @@ impl Simulator {
     }
 
     fn build_wait_exit_plan(&mut self, dev: DeviceId, api: WaitApi) -> KernelPlan {
-        let exit = self.cfg.costs.syscall_exit.sample(&mut self.rng);
-        let mut steps = Vec::with_capacity(4);
+        let mut steps = self.steps_buf();
+        let exit = self.costs.syscall_exit.sample(&mut self.rng);
         match api {
             WaitApi::ReadDevice => {
                 // Driver-side copy-out under its own irq-safe lock.
@@ -1658,9 +1788,9 @@ impl Simulator {
                 // lock (dnotify/fasync-style shared state) — the §6.2 tail.
                 // The §7 future-work kernel removes it entirely.
                 if !self.cfg.file_layer_lockfree
-                    && self.rng.chance(self.cfg.sections.read_exit_file_lock_prob)
+                    && self.rng.chance(self.sections.read_exit_file_lock_prob)
                 {
-                    let hold = self.cfg.sections.read_exit_lock_hold.sample(&mut self.rng);
+                    let hold = self.sections.read_exit_lock_hold.sample(&mut self.rng);
                     steps.push(PlannedStep { work: hold, lock: Some(LockId::FILE), irqs_off: false });
                 }
             }
@@ -1727,6 +1857,12 @@ impl Simulator {
             rng: self.rng.clone(),
             tasks: self.tasks.clone(),
             cpus: self.cpus.clone(),
+            busy_mask: self.busy_mask,
+            cpu_task: self.cpu_task.clone(),
+            cpu_last_busy_ns: self.cpu_last_busy_ns.clone(),
+            seg_end: self.seg_end.clone(),
+            tick_keys: self.tick_keys.clone(),
+            tick_next_ns: self.tick_next_ns.clone(),
             sched: self.sched.clone(),
             locks: self.locks.clone(),
             devices: self
@@ -1766,6 +1902,12 @@ impl Simulator {
         self.rng = ck.rng.clone();
         self.tasks.clone_from(&ck.tasks);
         self.cpus.clone_from(&ck.cpus);
+        self.busy_mask = ck.busy_mask;
+        self.cpu_task.clone_from(&ck.cpu_task);
+        self.cpu_last_busy_ns.clone_from(&ck.cpu_last_busy_ns);
+        self.seg_end.clone_from(&ck.seg_end);
+        self.tick_keys.clone_from(&ck.tick_keys);
+        self.tick_next_ns.clone_from(&ck.tick_next_ns);
         self.sched = ck.sched.clone();
         self.locks = ck.locks.clone();
         for (slot, (state, rng)) in self.devices.iter_mut().zip(&ck.devices) {
@@ -1793,6 +1935,12 @@ pub struct Checkpoint {
     rng: SimRng,
     tasks: Vec<Task>,
     cpus: Vec<CpuSim>,
+    busy_mask: u64,
+    cpu_task: Vec<Option<Pid>>,
+    cpu_last_busy_ns: Vec<u64>,
+    seg_end: Vec<Option<(EventKey, u64)>>,
+    tick_keys: Vec<Option<EventKey>>,
+    tick_next_ns: Vec<u64>,
     sched: SchedulerKind,
     locks: LockTable,
     /// Per-device `(internal state, RNG stream)`, index-aligned with the

@@ -1,7 +1,7 @@
 //! Tasks: the kernel's schedulable entities.
 
 use crate::ids::{DeviceId, LockId, Pid, SyscallId};
-use crate::program::{Program, WaitApi};
+use crate::program::{Op, Program, WaitApi};
 use serde::{Deserialize, Serialize};
 use simcore::{Instant, Nanos};
 use sp_hw::{CpuId, CpuMask};
@@ -168,6 +168,10 @@ pub struct Task {
     pub state: TaskState,
     pub last_cpu: CpuId,
     pub program: Program,
+    /// Per-op sampling plans, compiled once at spawn: `prepared_ops[i]` is
+    /// the prepared form of op `i`'s distribution (`Compute`/`Sleep` ops
+    /// only), so the step loop never walks the memoized-constant path.
+    pub prepared_ops: Box<[Option<simcore::PreparedDist>]>,
     pub op_idx: usize,
     pub phase: Phase,
     /// Lock this task is currently spinning on, if any.
@@ -192,6 +196,12 @@ impl Task {
     pub fn from_spec(pid: Pid, spec: TaskSpec, online: CpuMask) -> Self {
         let requested = spec.affinity & online;
         let requested = if requested.is_empty() { online } else { requested };
+        let prepared_ops = (0..spec.program.len())
+            .map(|i| match spec.program.op(i) {
+                Some(Op::Compute(d)) | Some(Op::Sleep(d)) => Some(d.prepare()),
+                _ => None,
+            })
+            .collect();
         Task {
             pid,
             name: spec.name,
@@ -202,6 +212,7 @@ impl Task {
             state: TaskState::Ready,
             last_cpu: requested.first().expect("non-empty affinity"),
             program: spec.program,
+            prepared_ops,
             op_idx: 0,
             phase: Phase::Start,
             spinning_on: None,

@@ -208,6 +208,118 @@ impl DurationDist {
         }
     }
 
+    /// Draw `out.len()` spans into `out`, bit-identical to calling
+    /// [`DurationDist::sample`] once per element.
+    ///
+    /// The batched path exists for speed, not for different statistics: the
+    /// parameter-derived constants (the memoized bounded-Pareto path, the
+    /// mean/median conversions) are resolved once per batch instead of once
+    /// per draw, and exactly one [`SimRng`] stream position is consumed per
+    /// element in the same order as the scalar path — so checkpoints, forks
+    /// and shards interleaved anywhere around (or inside) a batch see the
+    /// same stream the scalar path would have left behind.
+    pub fn sample_into(&self, rng: &mut SimRng, out: &mut [Nanos]) {
+        match self {
+            DurationDist::Constant(ns) => out.fill(Nanos(*ns)),
+            DurationDist::Uniform { lo, hi } => {
+                // `range_inclusive` may reject draws, so it cannot pre-fill a
+                // fixed-size raw buffer; the scalar call per element is
+                // already just a multiply-shift in the common case.
+                for slot in out.iter_mut() {
+                    *slot = Nanos(rng.range_inclusive(*lo, *hi));
+                }
+            }
+            DurationDist::Exponential { mean } => {
+                let mean = *mean as f64;
+                let mut raw = [0u64; DRAW_BATCH];
+                for chunk in out.chunks_mut(DRAW_BATCH) {
+                    let raw = &mut raw[..chunk.len()];
+                    rng.fill_u64(raw);
+                    for (slot, &bits) in chunk.iter_mut().zip(raw.iter()) {
+                        let u = 1.0 - u64_to_unit_f64(bits);
+                        *slot = Nanos(round_ns(-(u.ln()) * mean));
+                    }
+                }
+            }
+            DurationDist::LogNormal { median, sigma } => {
+                let median = *median as f64;
+                let sigma = *sigma;
+                for slot in out.iter_mut() {
+                    let z = sample_standard_normal(rng);
+                    *slot = Nanos(round_ns(median * (sigma * z).exp()));
+                }
+            }
+            DurationDist::BoundedPareto { lo, hi, alpha } => {
+                // One memo lookup for the whole batch; the refill loop then
+                // only does the per-draw inverse-CDF arithmetic.
+                let (la, ha, neg_inv_alpha) = pareto_constants(*lo, *hi, *alpha);
+                let (lo_f, hi_f) = (*lo as f64, *hi as f64);
+                let mut raw = [0u64; DRAW_BATCH];
+                for chunk in out.chunks_mut(DRAW_BATCH) {
+                    let raw = &mut raw[..chunk.len()];
+                    rng.fill_u64(raw);
+                    for (slot, &bits) in chunk.iter_mut().zip(raw.iter()) {
+                        let u = u64_to_unit_f64(bits);
+                        let x = ((1.0 - u) * la + u * ha).powf(neg_inv_alpha);
+                        *slot = Nanos(round_ns(x.clamp(lo_f, hi_f)));
+                    }
+                }
+            }
+            // A mixture re-picks its branch per draw, so there is no
+            // batch-invariant constant to hoist beyond the total weight.
+            DurationDist::Mix(_) => {
+                for slot in out.iter_mut() {
+                    *slot = self.sample(rng);
+                }
+            }
+            DurationDist::Shifted { base, rest } => {
+                rest.sample_into(rng, out);
+                let base = Nanos(*base);
+                for slot in out.iter_mut() {
+                    *slot = base + *slot;
+                }
+            }
+        }
+    }
+
+    /// Compile this distribution for hot-loop sampling; see [`PreparedDist`].
+    pub fn prepare(&self) -> PreparedDist {
+        let kind = match self {
+            DurationDist::Constant(ns) => PreparedKind::Constant(*ns),
+            DurationDist::Uniform { lo, hi } => PreparedKind::Uniform { lo: *lo, hi: *hi },
+            DurationDist::Exponential { mean } => {
+                PreparedKind::Exponential { mean: *mean as f64 }
+            }
+            DurationDist::BoundedPareto { lo, hi, alpha } => PreparedKind::Pareto {
+                base: 0,
+                pre: ParetoPre::new(*lo, *hi, *alpha),
+            },
+            DurationDist::LogNormal { median, sigma } => {
+                PreparedKind::LogNormal { median: *median as f64, sigma: *sigma }
+            }
+            DurationDist::Shifted { base, rest } => match rest.as_ref() {
+                // The shape of every kernel path cost: fixed floor plus a
+                // bounded heavy tail. One fused arm, zero dispatch depth.
+                DurationDist::BoundedPareto { lo, hi, alpha } => PreparedKind::Pareto {
+                    base: *base,
+                    pre: ParetoPre::new(*lo, *hi, *alpha),
+                },
+                _ => PreparedKind::Shifted { base: *base, rest: Box::new(rest.prepare()) },
+            },
+            DurationDist::Mix(branches) => {
+                // The scalar sampler re-sums the weights per draw; summing in
+                // the same left-to-right order here yields the exact same f64,
+                // so branch selection against it is bit-identical.
+                let total: f64 = branches.iter().map(|(w, _)| w).sum();
+                PreparedKind::Mix {
+                    total,
+                    branches: branches.iter().map(|(w, d)| (*w, d.prepare())).collect(),
+                }
+            }
+        };
+        PreparedDist { kind }
+    }
+
     /// The smallest value the distribution can produce (used by tests and by
     /// budget sanity checks in scenario builders).
     pub fn lower_bound(&self) -> Nanos {
@@ -244,6 +356,140 @@ impl DurationDist {
                 Some(max)
             }
             DurationDist::Shifted { base, rest } => Some(Nanos(*base) + rest.upper_bound()?),
+        }
+    }
+}
+
+/// Chunk size for batched refills: small enough to live on the stack, large
+/// enough to amortize moving the RNG state in and out of registers.
+const DRAW_BATCH: usize = 32;
+
+/// Map one raw draw to uniform `[0, 1)` — the exact arithmetic of
+/// [`SimRng::f64`], applied to a buffered draw.
+#[inline]
+fn u64_to_unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Build-time bounded-Pareto constants — the same values the thread-local
+/// memo computes, resolved once when the distribution is prepared.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ParetoPre {
+    lo: f64,
+    hi: f64,
+    la: f64,
+    ha: f64,
+    neg_inv_alpha: f64,
+}
+
+impl ParetoPre {
+    fn new(lo: u64, hi: u64, alpha: f64) -> Self {
+        ParetoPre {
+            lo: lo as f64,
+            hi: hi as f64,
+            la: (lo as f64).powf(-alpha),
+            ha: (hi as f64).powf(-alpha),
+            neg_inv_alpha: -1.0 / alpha,
+        }
+    }
+
+    #[inline]
+    fn sample_ns(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.f64();
+        let x = ((1.0 - u) * self.la + u * self.ha).powf(self.neg_inv_alpha);
+        round_ns(x.clamp(self.lo, self.hi))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum PreparedKind {
+    Constant(u64),
+    Uniform { lo: u64, hi: u64 },
+    Exponential { mean: f64 },
+    /// `base + bounded-Pareto tail` — covers both a bare bounded Pareto
+    /// (`base == 0`) and the `Shifted + BoundedPareto` shape of every kernel
+    /// path cost.
+    Pareto { base: u64, pre: ParetoPre },
+    LogNormal { median: f64, sigma: f64 },
+    /// Weighted mixture over prepared branches, with the per-draw weight
+    /// re-summation hoisted to prepare time.
+    Mix { total: f64, branches: Vec<(f64, PreparedDist)> },
+    /// Constant offset over a prepared rest (non-Pareto shapes only; the
+    /// Pareto shape fuses into the arm above).
+    Shifted { base: u64, rest: Box<PreparedDist> },
+}
+
+/// A [`DurationDist`] compiled for hot-loop sampling.
+///
+/// Parameter-derived constants (`lo^-α`, `hi^-α`, `-1/α`, mean conversions)
+/// are computed once at [`DurationDist::prepare`] time instead of per draw
+/// through the thread-local memo, and the common `Shifted + BoundedPareto`
+/// path-cost shape collapses to a single match arm. Sampling is
+/// bit-identical to [`DurationDist::sample`] — same draw count, same
+/// arithmetic, same rounding — so swapping a prepared distribution into a
+/// hot loop can never change a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedDist {
+    kind: PreparedKind,
+}
+
+impl PreparedDist {
+    /// Draw one span; bit-identical to the source distribution's `sample`.
+    #[inline]
+    pub fn sample(&self, rng: &mut SimRng) -> Nanos {
+        match &self.kind {
+            PreparedKind::Pareto { base, pre } => Nanos(base + pre.sample_ns(rng)),
+            PreparedKind::Constant(ns) => Nanos(*ns),
+            PreparedKind::Uniform { lo, hi } => Nanos(rng.range_inclusive(*lo, *hi)),
+            PreparedKind::Exponential { mean } => {
+                let u = rng.f64_open0();
+                Nanos(round_ns(-(u.ln()) * mean))
+            }
+            PreparedKind::LogNormal { median, sigma } => {
+                let z = sample_standard_normal(rng);
+                Nanos(round_ns(median * (sigma * z).exp()))
+            }
+            PreparedKind::Mix { total, branches } => {
+                let mut pick = rng.f64() * total;
+                for (w, d) in branches {
+                    if pick < *w {
+                        return d.sample(rng);
+                    }
+                    pick -= w;
+                }
+                branches.last().expect("mix is non-empty").1.sample(rng)
+            }
+            PreparedKind::Shifted { base, rest } => Nanos(*base) + rest.sample(rng),
+        }
+    }
+
+    /// Draw `out.len()` spans, bit-identical to the scalar loop.
+    pub fn sample_into(&self, rng: &mut SimRng, out: &mut [Nanos]) {
+        match &self.kind {
+            PreparedKind::Pareto { base, pre } => {
+                let mut raw = [0u64; DRAW_BATCH];
+                for chunk in out.chunks_mut(DRAW_BATCH) {
+                    let raw = &mut raw[..chunk.len()];
+                    rng.fill_u64(raw);
+                    for (slot, &bits) in chunk.iter_mut().zip(raw.iter()) {
+                        let u = u64_to_unit_f64(bits);
+                        let x = ((1.0 - u) * pre.la + u * pre.ha).powf(pre.neg_inv_alpha);
+                        *slot = Nanos(base + round_ns(x.clamp(pre.lo, pre.hi)));
+                    }
+                }
+            }
+            PreparedKind::Shifted { base, rest } => {
+                rest.sample_into(rng, out);
+                let base = Nanos(*base);
+                for slot in out.iter_mut() {
+                    *slot = base + *slot;
+                }
+            }
+            _ => {
+                for slot in out.iter_mut() {
+                    *slot = self.sample(rng);
+                }
+            }
         }
     }
 }

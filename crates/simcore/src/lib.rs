@@ -19,7 +19,7 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
-pub use dist::DurationDist;
+pub use dist::{DurationDist, PreparedDist};
 pub use flight::{ActivityClass, FlightEvent, FlightEventKind, FlightRing};
 pub use queue::{EventKey, EventQueue, WheelQueue};
 pub use rng::SimRng;

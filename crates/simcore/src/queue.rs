@@ -167,6 +167,24 @@ impl<E> EventQueue<E> {
         Some((at, event))
     }
 
+    /// Remove and return the earliest live event if it fires at or before
+    /// `t`; otherwise leave the queue untouched and return `None`.
+    ///
+    /// Equivalent to `peek_time` + `pop` but touches the heap root once.
+    pub fn pop_before(&mut self, t: Instant) -> Option<(Instant, E)> {
+        let &HeapEntry { at, slot, .. } = self.heap.first()?;
+        if at > t {
+            return None;
+        }
+        self.remove_at(0);
+        let s = &mut self.slots[slot as usize];
+        let event = s.event.take().expect("queued slot holds an event");
+        s.generation = s.generation.wrapping_add(1);
+        s.heap_pos = FREE;
+        self.free.push(slot);
+        Some((at, event))
+    }
+
     /// The instant of the earliest live event, if any.
     pub fn peek_time(&self) -> Option<Instant> {
         self.heap.first().map(|e| e.at)
@@ -375,35 +393,43 @@ impl<E> WheelQueue<E> {
     pub fn push(&mut self, at: Instant, event: E) -> EventKey {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let slot = match self.free.pop() {
+        // Decide the destination up front so the slot's location word is
+        // written in the same touch that stores the event (one arena index
+        // per push instead of three).
+        let ns = at.as_ns();
+        let in_wheel = ns < self.base + Self::HORIZON;
+        let loc = if in_wheel {
+            // In (or before — clamped to the current bucket) the window.
+            let off = (ns.max(self.base) - self.base) >> WHEEL_SHIFT;
+            WHEEL_LOC | ((self.cursor + off as usize) % WHEEL_BUCKETS) as u32
+        } else {
+            // Beyond the horizon: overflow heap.
+            self.heap.len() as u32
+        };
+        let (slot, generation) = match self.free.pop() {
             Some(slot) => {
                 let s = &mut self.slots[slot as usize];
                 s.event = Some(event);
-                slot
+                s.heap_pos = loc;
+                (slot, s.generation)
             }
             None => {
                 let slot = self.slots.len() as u32;
-                self.slots.push(Slot { generation: 0, heap_pos: FREE, event: Some(event) });
-                slot
+                self.slots.push(Slot { generation: 0, heap_pos: loc, event: Some(event) });
+                (slot, 0)
             }
         };
-        let ns = at.as_ns();
-        if ns >= self.base + Self::HORIZON {
-            // Beyond the horizon: overflow heap.
-            let pos = self.heap.len();
-            self.slots[slot as usize].heap_pos = pos as u32;
-            self.heap.push(HeapEntry { at, seq, slot });
-            self.heap_sift_up(pos);
-        } else {
-            // In (or before — clamped to the current bucket) the window.
-            let off = (ns.max(self.base) - self.base) >> WHEEL_SHIFT;
-            let idx = (self.cursor + off as usize) % WHEEL_BUCKETS;
+        if in_wheel {
+            let idx = (loc & !WHEEL_LOC) as usize;
             self.buckets[idx].push(WheelEntry { at, seq, slot });
             self.occupied[idx / 64] |= 1 << (idx % 64);
             self.wheel_len += 1;
-            self.slots[slot as usize].heap_pos = WHEEL_LOC | idx as u32;
+        } else {
+            let pos = self.heap.len();
+            self.heap.push(HeapEntry { at, seq, slot });
+            self.heap_sift_up(pos);
         }
-        EventKey::new(slot, self.slots[slot as usize].generation)
+        EventKey::new(slot, generation)
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event was
@@ -438,16 +464,35 @@ impl<E> WheelQueue<E> {
 
     /// Remove and return the earliest live event.
     pub fn pop(&mut self) -> Option<(Instant, E)> {
+        self.pop_before(Instant(u64::MAX))
+    }
+
+    /// Remove and return the earliest live event if it fires at or before
+    /// `t`; otherwise leave the queue untouched and return `None`.
+    ///
+    /// This is the hot-loop entry point: one `settle` and one bucket
+    /// min-scan decide both "is there an event due?" and "which one?",
+    /// where a `peek_time` + `pop` pair would pay for each twice.
+    pub fn pop_before(&mut self, t: Instant) -> Option<(Instant, E)> {
         self.settle();
         if self.wheel_len == 0 {
             return None;
         }
         let bucket = &mut self.buckets[self.cursor];
+        // `(at, seq)` packed into one u128 so the min-scan is a single
+        // integer compare per entry (identical ordering: `at` in the high
+        // bits dominates, `seq` breaks ties).
         let mut best = 0;
+        let mut best_key = ((bucket[0].at.as_ns() as u128) << 64) | bucket[0].seq as u128;
         for (i, e) in bucket.iter().enumerate().skip(1) {
-            if (e.at, e.seq) < (bucket[best].at, bucket[best].seq) {
+            let key = ((e.at.as_ns() as u128) << 64) | e.seq as u128;
+            if key < best_key {
                 best = i;
+                best_key = key;
             }
+        }
+        if (best_key >> 64) as u64 > t.as_ns() {
+            return None;
         }
         let WheelEntry { at, slot, .. } = bucket.swap_remove(best);
         if bucket.is_empty() {

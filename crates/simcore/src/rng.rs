@@ -72,6 +72,33 @@ impl SimRng {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// Fill `out` with consecutive raw draws — the per-stream draw buffer
+    /// used by batched samplers.
+    ///
+    /// `fill_u64(&mut buf)` consumes exactly `buf.len()` draws in stream
+    /// order, so `fill_u64` followed by per-element transforms is
+    /// bit-identical to calling [`SimRng::next_u64`] once per element. The
+    /// point of the buffer is to keep the generator state in registers for
+    /// one tight refill loop instead of reloading it around every
+    /// transform, amortizing the per-draw overhead across the batch.
+    #[inline]
+    pub fn fill_u64(&mut self, out: &mut [u64]) {
+        // Local copy keeps the 4-word state in registers for the loop.
+        let mut s = self.s;
+        for slot in out.iter_mut() {
+            let result = rotl(s[0].wrapping_add(s[3]), 23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = rotl(s[3], 45);
+            *slot = result;
+        }
+        self.s = s;
+    }
+
     /// Uniform in `(0, 1]`; safe as a log() argument.
     #[inline]
     pub fn f64_open0(&mut self) -> f64 {
