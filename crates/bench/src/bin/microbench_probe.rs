@@ -15,6 +15,8 @@ fn main() {
     let sim_event_soa_ns = microbench::sim_event_soa_ns();
     let queue_wheel_push_pop_ns = microbench::queue_wheel_push_pop_ns();
     let queue_wheel_cancel_ns = microbench::queue_wheel_cancel_ns();
+    let checkpoint_fork_ns = microbench::checkpoint_fork_ns();
+    let checkpoint_fork_cow_ns = microbench::checkpoint_fork_cow_ns();
     let fleet_dispatch_ns = microbench::fleet_dispatch_ns();
     println!("{{");
     println!("  \"sim_event_baseline_ns\": {sim_event_baseline_ns:.1},");
@@ -23,6 +25,8 @@ fn main() {
     println!("  \"sim_event_soa_ns\": {sim_event_soa_ns:.1},");
     println!("  \"queue_wheel_push_pop_ns\": {queue_wheel_push_pop_ns:.1},");
     println!("  \"queue_wheel_cancel_ns\": {queue_wheel_cancel_ns:.1},");
+    println!("  \"checkpoint_fork_ns\": {checkpoint_fork_ns:.1},");
+    println!("  \"checkpoint_fork_cow_ns\": {checkpoint_fork_cow_ns:.1},");
     println!("  \"fleet_dispatch_ns\": {fleet_dispatch_ns:.1}");
     println!("}}");
 }

@@ -16,6 +16,11 @@
 //!                    request-serving day) and write `AUTOPILOT_trace.json`,
 //!                    the worker-count-invariant decision-trace artifact
 //!   --sla <us>       p99.9 SLA bound for the autopilot study, default 100
+//!   --sweep <n>      also stream an ~n-cell realfeel sweep (the canonical
+//!                    variant × shield × seed grid, per-cell samples scaled
+//!                    by <scale>) through the warm-checkpoint cache and
+//!                    write `SWEEP_study.json`, the worker-count-invariant
+//!                    sweep artifact; see docs/SWEEPS.md
 //!   --strict         exit non-zero unless all seven verdicts are "in band",
 //!                    the suite clears the events/sec regression floor,
 //!                    each latency figure's worst-case trace artifact was
@@ -61,8 +66,11 @@ struct FigureBench {
     events_per_sec: Option<f64>,
 }
 
-/// `sp-fleet` global counter deltas across the suite run: how the
-/// work-stealing pool actually moved the jobs.
+/// `sp-fleet` counters charged to the suite run via
+/// [`sp_fleet::counter_scope`]: how the work-stealing pool actually moved
+/// the jobs. Scoped, not a process-global snapshot diff, so concurrent pool
+/// users (another bench in the same process, the sweep below) can't
+/// contaminate the numbers.
 #[derive(serde::Serialize)]
 struct FleetTelemetry {
     batches: u64,
@@ -82,9 +90,17 @@ struct Microbench {
     /// Pre-optimisation baseline: binary heap + tombstone set.
     tombstone_baseline_push_pop_ns: f64,
     tombstone_baseline_cancel_ns: f64,
-    /// ns to checkpoint + restore a warm fig-6-style simulator (the cost a
-    /// forked experiment cell pays instead of re-running the warm-up).
+    /// ns to deep-checkpoint + restore a warm fig-6-style simulator (the
+    /// warm sim is dirtied before every checkpoint, so each round trip
+    /// rebuilds the full snapshot image — the pre-COW fork cost).
     checkpoint_fork_ns: f64,
+    /// ns for the copy-on-write fork path a sweep cell pays: checkpoint an
+    /// unmodified warm sim (an `Arc` bump) + restore into existing
+    /// allocations. `--strict` gates this under `FORK_NS_CEILING`.
+    checkpoint_fork_cow_ns: f64,
+    /// ns per sweep-engine cell end to end (cache lookup, shell build, COW
+    /// restore, reseed, small sample budget) on a tiny canonical grid.
+    sweep_cell_ns: f64,
     histogram_record_ns: f64,
     /// Simulator hot loop with no injection subsystem present and the
     /// flight recorder disarmed (its default) — this is also the recorder's
@@ -163,6 +179,29 @@ impl AutopilotBench {
     }
 }
 
+/// Wall-clock telemetry of a `--sweep` run for `BENCH_simulator.json`. The
+/// deterministic sweep results live in `SWEEP_study.json`; everything here
+/// legitimately varies run to run and stays out of that artifact.
+#[derive(serde::Serialize)]
+struct SweepBench {
+    cells: u64,
+    groups: usize,
+    samples_per_cell: u64,
+    warm_samples: u64,
+    wall_ms: f64,
+    cells_per_sec: f64,
+    workers: u32,
+    warm_unique: u64,
+    warm_logical_hit_rate: f64,
+    warm_physical_hits: u64,
+    warm_physical_misses: u64,
+    /// Process peak RSS (`VmHWM`, kB) after the sweep — the bounded-memory
+    /// evidence for the streaming path.
+    peak_rss_kb: Option<u64>,
+    fleet_jobs: u64,
+    fleet_steals: u64,
+}
+
 #[derive(serde::Serialize)]
 struct BenchReport {
     scale: f64,
@@ -181,6 +220,8 @@ struct BenchReport {
     microbench: Microbench,
     /// Present when the run included `--autopilot`.
     autopilot: Option<AutopilotBench>,
+    /// Present when the run included `--sweep`.
+    sweep: Option<SweepBench>,
 }
 
 fn main() {
@@ -198,15 +239,19 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(100);
+    let sweep_cells = args
+        .iter()
+        .position(|a| a == "--sweep")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok());
 
     eprintln!(
         "running all 7 figures at scale {scale}, {shards} shard(s), {workers} worker(s), \
          top-{top_k} trace capture (parallel)..."
     );
-    let fleet_before = sp_fleet::stats_snapshot();
     let t0 = std::time::Instant::now();
-    let (suite, timings, flight) = run_all_figures_flight(scale, shards, top_k);
-    let fleet_after = sp_fleet::stats_snapshot();
+    let ((suite, timings, flight), suite_fleet) =
+        sp_fleet::counter_scope(|| run_all_figures_flight(scale, shards, top_k));
     eprintln!("suite finished in {:.1}s", t0.elapsed().as_secs_f64());
 
     print!("{}", render_determinism("fig1", &suite.fig1));
@@ -291,6 +336,61 @@ fn main() {
         autopilot_bench = Some(AutopilotBench::from_study(&study, wall_ms));
     }
 
+    // Streaming sweep: the canonical variant × shield × seed grid, every
+    // cell forked off a cached warm checkpoint, results folded online. The
+    // report is a pure function of the config — byte-identical across
+    // worker counts — which is what CI `cmp`s between runs.
+    let mut sweep_bench = None;
+    let mut sweep_failures: Vec<String> = Vec::new();
+    if let Some(cells) = sweep_cells {
+        let base = sp_experiments::SweepConfig::canonical(cells);
+        let cfg = sp_experiments::SweepConfig {
+            samples_per_cell: ((base.samples_per_cell as f64 * scale) as u64).max(32),
+            ..base
+        }
+        .with_workers(workers);
+        eprintln!(
+            "running sweep: {} cells ({} groups x {} seeds, {} samples/cell), {} worker(s)...",
+            cfg.cell_count(),
+            cfg.groups.len(),
+            cfg.seeds_per_group,
+            cfg.samples_per_cell,
+            cfg.workers,
+        );
+        let (sweep, telemetry) = sp_experiments::run_sweep(&cfg);
+        print_sweep(&sweep, &telemetry);
+        if sweep.cells != cfg.cell_count() {
+            sweep_failures
+                .push(format!("ran {} of {} cells", sweep.cells, cfg.cell_count()));
+        }
+        match serde_json::to_string_pretty(&sweep) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write("SWEEP_study.json", json) {
+                    sweep_failures.push(format!("sweep artifact write failed: {e}"));
+                } else {
+                    eprintln!("sweep report written to SWEEP_study.json");
+                }
+            }
+            Err(e) => sweep_failures.push(format!("sweep report does not serialize: {e}")),
+        }
+        sweep_bench = Some(SweepBench {
+            cells: sweep.cells,
+            groups: cfg.groups.len(),
+            samples_per_cell: cfg.samples_per_cell,
+            warm_samples: cfg.warm_samples,
+            wall_ms: telemetry.wall_ms,
+            cells_per_sec: telemetry.cells_per_sec,
+            workers: telemetry.workers,
+            warm_unique: sweep.warm_unique,
+            warm_logical_hit_rate: sweep.warm_logical_hit_rate,
+            warm_physical_hits: telemetry.warm_physical_hits,
+            warm_physical_misses: telemetry.warm_physical_misses,
+            peak_rss_kb: telemetry.peak_rss_kb,
+            fleet_jobs: telemetry.fleet_jobs,
+            fleet_steals: telemetry.fleet_steals,
+        });
+    }
+
     // Paper-vs-measured table.
     let measured = [
         determinism_measured(&suite.fig1),
@@ -337,12 +437,13 @@ fn main() {
     }
 
     let fleet = FleetTelemetry {
-        batches: fleet_after.batches - fleet_before.batches,
-        jobs: fleet_after.jobs - fleet_before.jobs,
-        steals: fleet_after.steals - fleet_before.steals,
-        stolen_jobs: fleet_after.stolen_jobs - fleet_before.stolen_jobs,
+        batches: suite_fleet.batches,
+        jobs: suite_fleet.jobs,
+        steals: suite_fleet.steals,
+        stolen_jobs: suite_fleet.stolen_jobs,
     };
-    let report = build_bench_report(&suite, &timings, scale, shards, fleet, autopilot_bench);
+    let report =
+        build_bench_report(&suite, &timings, scale, shards, fleet, autopilot_bench, sweep_bench);
     if let Err(e) = write_bench_report(&report) {
         eprintln!("note: could not write BENCH_simulator.json: {e}");
     } else {
@@ -401,12 +502,33 @@ fn main() {
             );
             std::process::exit(1);
         }
+        if report.microbench.checkpoint_fork_cow_ns > FORK_NS_CEILING {
+            eprintln!(
+                "STRICT: COW fork {:.0} ns over the {FORK_NS_CEILING} ceiling \
+                 (deep fork measured {:.0} ns)",
+                report.microbench.checkpoint_fork_cow_ns, report.microbench.checkpoint_fork_ns
+            );
+            std::process::exit(1);
+        }
         if !autopilot_failures.is_empty() {
             eprintln!("STRICT: autopilot study failed:");
             for f in &autopilot_failures {
                 eprintln!("  {f}");
             }
             std::process::exit(1);
+        }
+        if !sweep_failures.is_empty() {
+            eprintln!("STRICT: sweep failed:");
+            for f in &sweep_failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        if let Some(sb) = &report.sweep {
+            eprintln!(
+                "STRICT: sweep streamed {} cells at {:.0} cells/sec with {} warm checkpoint(s)",
+                sb.cells, sb.cells_per_sec, sb.warm_unique
+            );
         }
         if let Some(ab) = &report.autopilot {
             eprintln!(
@@ -448,6 +570,14 @@ const SIM_EVENT_NS_CEILING: f64 = 600.0;
 /// or busy-wait regression in the runner.
 const FLEET_DISPATCH_NS_BUDGET: f64 = 20_000.0;
 const FLEET_STEAL_NS_BUDGET: f64 = 60_000.0;
+
+/// COW fork-cost ceiling enforced by `--strict`: checkpointing an
+/// unmodified warm simulator plus restoring into existing allocations must
+/// stay at least ~3x under the committed deep-copy fork median (~35.7 us in
+/// the pre-COW `BENCH_simulator.json`). Trips if the checkpoint cache stops
+/// hitting (e.g. a spurious `dirty()` on a read path) or restore starts
+/// allocating again.
+const FORK_NS_CEILING: f64 = 12_000.0;
 
 /// Assemble the `BENCH_simulator.json` payload: per-figure wall-clock and
 /// event throughput, plus microbenchmarks of the hot-path data structures.
@@ -513,6 +643,34 @@ fn print_autopilot(study: &AutopilotStudy) {
     }
 }
 
+/// Render the sweep as a terminal section: per-group aggregates, the worst
+/// cells, and the cache/throughput telemetry line.
+fn print_sweep(sweep: &sp_experiments::SweepReport, t: &sp_experiments::SweepTelemetry) {
+    println!(
+        "\nsweep: {} cells, {} warm checkpoint(s), logical hit rate {:.4}",
+        sweep.cells, sweep.warm_unique, sweep.warm_logical_hit_rate
+    );
+    println!("  | group | cells | samples | p50 | p99.9 | max | overruns |");
+    println!("  |---|---|---|---|---|---|---|");
+    for g in &sweep.groups {
+        println!(
+            "  | {} | {} | {} | {} | {} | {} | {} |",
+            g.label, g.cells, g.samples, g.summary.p50, g.summary.p999, g.summary.max, g.overruns
+        );
+    }
+    for w in sweep.worst.iter().take(3) {
+        println!("  worst: {} seed={:#x} max {:.3} ms", w.label, w.seed, w.max_ns as f64 / 1e6);
+    }
+    let rss = t
+        .peak_rss_kb
+        .map(|kb| format!("{:.1} MiB peak RSS", kb as f64 / 1024.0))
+        .unwrap_or_else(|| "peak RSS unavailable".into());
+    println!(
+        "  {:.0} cells/sec on {} worker(s), {} physical warm hits / {} misses, {rss}",
+        t.cells_per_sec, t.workers, t.warm_physical_hits, t.warm_physical_misses
+    );
+}
+
 fn build_bench_report(
     suite: &sp_experiments::FigureSuite,
     timings: &sp_experiments::runner::SuiteTimings,
@@ -520,6 +678,7 @@ fn build_bench_report(
     shards: u32,
     fleet: FleetTelemetry,
     autopilot: Option<AutopilotBench>,
+    sweep: Option<SweepBench>,
 ) -> BenchReport {
     let events = |id: &str| -> Option<u64> {
         match id {
@@ -583,6 +742,8 @@ fn build_bench_report(
             tombstone_baseline_push_pop_ns: microbench::tombstone_push_pop_ns(),
             tombstone_baseline_cancel_ns: microbench::tombstone_cancel_ns(),
             checkpoint_fork_ns: microbench::checkpoint_fork_ns(),
+            checkpoint_fork_cow_ns: microbench::checkpoint_fork_cow_ns(),
+            sweep_cell_ns: microbench::sweep_cell_ns(),
             histogram_record_ns: microbench::histogram_record_ns(),
             sim_event_baseline_ns: microbench::sim_event_baseline_ns(),
             sim_event_disarmed_injector_ns: microbench::sim_event_disarmed_injector_ns(),
@@ -592,6 +753,7 @@ fn build_bench_report(
             fleet_steal_overhead_ns: microbench::fleet_steal_overhead_ns(),
         },
         autopilot,
+        sweep,
     }
 }
 

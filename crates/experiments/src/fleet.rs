@@ -239,6 +239,53 @@ impl Fleet {
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         }
     }
+
+    /// Streaming counterpart of [`Fleet::submit`]: specs come from a lazy
+    /// iterator and each [`FleetVerdict`] is handed to `sink` as soon as it
+    /// is ready **in spec-index order**, so neither the spec list nor the
+    /// verdict list is ever materialized — a grid of a million cells runs in
+    /// memory bounded by the pool's reorder window. `sink` observes exactly
+    /// the verdict sequence `submit` would have returned, so any online
+    /// reduction over it (histogram merges, maxima, counters) is
+    /// bit-identical across worker counts and to the batch path.
+    pub fn submit_stream(
+        &self,
+        specs: impl IntoIterator<Item = FleetSpec, IntoIter: Send>,
+        mut sink: impl FnMut(FleetVerdict) + Send,
+    ) -> FleetStreamSummary {
+        let top_k = self.top_k;
+        let t0 = std::time::Instant::now();
+        let (n, stats) = sp_fleet::run_stream(
+            PoolConfig::auto(self.workers),
+            specs,
+            |spec: FleetSpec, i| {
+                let (outcome, traces) = run_job(&spec.job, top_k);
+                FleetVerdict { index: i, name: spec.name, outcome, traces }
+            },
+            |_, verdict| sink(verdict),
+        );
+        FleetStreamSummary {
+            specs: n,
+            workers: stats.workers,
+            stats,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+}
+
+/// What a [`Fleet::submit_stream`] run did. Pure telemetry: the verdicts
+/// themselves went to the sink, and everything here legitimately varies run
+/// to run (except `specs`).
+#[derive(Debug)]
+pub struct FleetStreamSummary {
+    /// Specs executed (the stream's length).
+    pub specs: usize,
+    /// Worker threads the stream ran on.
+    pub workers: u32,
+    /// Pool telemetry for the stream.
+    pub stats: FleetStats,
+    /// Stream wall-clock in milliseconds.
+    pub wall_ms: f64,
 }
 
 fn run_job(
@@ -293,24 +340,31 @@ impl FleetGrid {
     /// full study — closed loop plus static baselines — so a multi-seed
     /// fan-out is the robustness sweep for the adaptive-shielding claim.
     pub fn autopilot_specs(&self) -> Vec<FleetSpec> {
-        self.seeds
-            .iter()
-            .map(|&seed| {
-                FleetSpec::autopilot(AutopilotConfig {
-                    seed,
-                    cycles: 1,
-                    ..AutopilotConfig::canonical()
-                })
-            })
-            .collect()
+        self.autopilot_specs_iter().collect()
+    }
+
+    /// Generator form of [`FleetGrid::autopilot_specs`], for
+    /// [`Fleet::submit_stream`]: same specs in the same order, produced
+    /// lazily.
+    pub fn autopilot_specs_iter(&self) -> impl Iterator<Item = FleetSpec> + Send + '_ {
+        self.seeds.iter().map(|&seed| {
+            FleetSpec::autopilot(AutopilotConfig { seed, cycles: 1, ..AutopilotConfig::canonical() })
+        })
     }
 
     /// Expand the grid into realfeel specs, variant-major.
     pub fn realfeel_specs(&self) -> Vec<FleetSpec> {
-        let mut specs = Vec::new();
-        for &variant in &self.variants {
-            for &shield in &self.shields {
-                for &seed in &self.seeds {
+        self.realfeel_specs_iter().collect()
+    }
+
+    /// Generator form of [`FleetGrid::realfeel_specs`], for
+    /// [`Fleet::submit_stream`]: the cross-product is enumerated lazily in
+    /// the same variant-major order, so a huge grid never exists in memory
+    /// as a spec list.
+    pub fn realfeel_specs_iter(&self) -> impl Iterator<Item = FleetSpec> + Send + '_ {
+        self.variants.iter().flat_map(move |&variant| {
+            self.shields.iter().flat_map(move |&shield| {
+                self.seeds.iter().map(move |&seed| {
                     let cfg = RealfeelConfig {
                         variant,
                         shield,
@@ -320,11 +374,10 @@ impl FleetGrid {
                         shards: self.shards.max(1),
                     };
                     let name = format!("{} seed={seed:#x}", cfg.label());
-                    specs.push(FleetSpec { name, job: FleetJob::Realfeel(cfg) });
-                }
-            }
-        }
-        specs
+                    FleetSpec { name, job: FleetJob::Realfeel(cfg) }
+                })
+            })
+        })
     }
 }
 
@@ -397,6 +450,48 @@ mod tests {
         assert_eq!(
             serde_json::to_string(&p.histogram).unwrap(),
             serde_json::to_string(&r.histogram).unwrap()
+        );
+    }
+
+    #[test]
+    fn submit_stream_yields_the_batch_verdicts_in_order_for_every_worker_count() {
+        let reference = Fleet::new().with_workers(1).submit(small_batch());
+        let art = reference.artifact_json();
+        for workers in [1, 2, 8] {
+            let mut streamed = Vec::new();
+            let summary = Fleet::new()
+                .with_workers(workers)
+                .submit_stream(small_batch(), |v| streamed.push(v));
+            assert_eq!(summary.specs, 4, "workers={workers}");
+            // Reassemble a report from the sink's verdicts: the artifact must
+            // be byte-identical to the batch path's.
+            let report = FleetReport {
+                verdicts: streamed,
+                workers: summary.workers,
+                stats: summary.stats,
+                wall_ms: summary.wall_ms,
+            };
+            assert_eq!(report.artifact_json(), art, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn grid_iterators_match_their_vec_forms() {
+        let grid = FleetGrid {
+            variants: vec![KernelVariant::Vanilla24, KernelVariant::RedHawk],
+            shields: vec![None, Some(1)],
+            seeds: vec![0xA, 0xB, 0xC],
+            samples: 500,
+            shards: 2,
+        };
+        let vec_names: Vec<String> =
+            grid.realfeel_specs().into_iter().map(|s| s.name).collect();
+        let iter_names: Vec<String> =
+            grid.realfeel_specs_iter().map(|s| s.name).collect();
+        assert_eq!(vec_names, iter_names);
+        assert_eq!(
+            grid.autopilot_specs().len(),
+            grid.autopilot_specs_iter().count()
         );
     }
 

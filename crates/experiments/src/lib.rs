@@ -27,13 +27,17 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod shard;
+pub mod sweep;
 
 pub use autopilot::{
     run_autopilot, run_autopilot_forked, run_autopilot_study, run_static_level, AutopilotConfig,
     AutopilotRun, AutopilotStudy, AutopilotVerdict,
 };
 pub use determinism::{run_determinism, DeterminismConfig, DeterminismResult};
-pub use fleet::{Fleet, FleetGrid, FleetJob, FleetOutcome, FleetReport, FleetSpec, FleetVerdict};
+pub use fleet::{
+    Fleet, FleetGrid, FleetJob, FleetOutcome, FleetReport, FleetSpec, FleetStreamSummary,
+    FleetVerdict,
+};
 pub use flight::{merge_top, trace_meta};
 pub use rcim::{run_rcim, run_rcim_with_flight, RcimConfig, RcimResult};
 pub use realfeel::{run_realfeel, run_realfeel_with_flight, RealfeelConfig, RealfeelResult};
@@ -51,4 +55,8 @@ pub use runner::{
 pub use scenario::{
     run_scenario, run_scenario_sharded, MeasuredResult, RecoveryReport, ScenarioError,
     ScenarioReport, ScenarioSpec,
+};
+pub use sweep::{
+    run_sweep, SweepCell, SweepConfig, SweepGroup, SweepGroupReport, SweepReport, SweepTelemetry,
+    SweepWorstCell, WarmCache,
 };

@@ -106,13 +106,13 @@ pub struct RealfeelResult {
     pub events: u64,
 }
 
-struct ShardOutput {
-    histogram: LatencyHistogram,
-    overruns: u64,
-    events: u64,
+pub(crate) struct ShardOutput {
+    pub(crate) histogram: LatencyHistogram,
+    pub(crate) overruns: u64,
+    pub(crate) events: u64,
     /// Worst-case windows captured by this shard's flight recorder (empty
     /// when the run is not capturing).
-    traces: Vec<WorstCaseTrace>,
+    pub(crate) traces: Vec<WorstCaseTrace>,
 }
 
 /// Build a ready-to-sample realfeel simulation: devices, stress kernel, the
@@ -189,6 +189,66 @@ fn run_realfeel_shard(cfg: &RealfeelConfig, seed: u64, samples: u64, flight_top_
     ShardOutput { histogram, overruns, events: sim.events_dispatched(), traces }
 }
 
+/// A warmed realfeel simulation distilled to what a fork needs: the
+/// copy-on-write [`Checkpoint`](sp_kernel::Checkpoint), the measured task's
+/// pid, and the events the warm-up cost. Cloning is an `Arc` bump, which is
+/// what lets the sweep engine's warm cache hand one entry to thousands of
+/// cells.
+#[derive(Clone)]
+pub(crate) struct WarmRealfeel {
+    pub(crate) ck: sp_kernel::Checkpoint,
+    pub(crate) pid: sp_kernel::Pid,
+    pub(crate) events: u64,
+}
+
+/// Build a realfeel simulation from `cfg` (seeded with `cfg.seed`), run it
+/// to `warm_target` samples of steady state, and checkpoint it. Pure
+/// function of `(cfg, warm_target)`, so two calls produce interchangeable
+/// checkpoints — the property the sweep's warm cache relies on for
+/// cache-hit/cache-miss equivalence.
+pub(crate) fn warm_realfeel(cfg: &RealfeelConfig, warm_target: u64) -> WarmRealfeel {
+    let period = Nanos(1_000_000_000 / cfg.rtc_hz as u64);
+    let (mut warm, pid) = build_realfeel_sim(cfg, cfg.seed);
+    collect_samples(&mut warm, pid, period, warm_target.max(1));
+    WarmRealfeel { ck: warm.checkpoint(), pid, events: warm.events_dispatched() }
+}
+
+/// Fork one independent run off a warm checkpoint: rebuild the simulator
+/// shell, restore the warm state, reseed every RNG stream with `seed`, drop
+/// the warm-up's shared-randomness samples, and collect `samples` fresh
+/// ones. Used by both the sharded figure path and the sweep engine's cells.
+pub(crate) fn run_fork_from_warm(
+    cfg: &RealfeelConfig,
+    warm: &WarmRealfeel,
+    seed: u64,
+    samples: u64,
+    flight_top_k: usize,
+) -> ShardOutput {
+    let period = Nanos(1_000_000_000 / cfg.rtc_hz as u64);
+    let (mut sim, pid) = build_realfeel_sim(cfg, cfg.seed);
+    debug_assert_eq!(pid, warm.pid, "warm and fork builds must agree on the measured task");
+    sim.restore(&warm.ck);
+    sim.reseed(seed);
+    sim.obs.reset_samples();
+    // Arm only after the restore so each fork's captured windows cover
+    // exactly the samples it reports, none of the shared warm-up.
+    if flight_top_k > 0 {
+        sim.arm_flight(flight_top_k);
+    }
+    let forked_at = sim.now();
+    let fork_events = sim.events_dispatched();
+    collect_samples(&mut sim, pid, period, samples);
+
+    let mut histogram = LatencyHistogram::new();
+    for &l in sim.obs.latencies(pid) {
+        histogram.record(l);
+    }
+    let expected = sim.now().since(forked_at).as_ns() / period.as_ns();
+    let overruns = expected.saturating_sub(histogram.count());
+    let traces = sim.flight.top().to_vec();
+    ShardOutput { histogram, overruns, events: sim.events_dispatched() - fork_events, traces }
+}
+
 /// Warm once, fork per shard. One simulation is built and run to a warm
 /// steady state; its [`Checkpoint`](sp_kernel::Checkpoint) then seeds every
 /// shard, which reseeds its RNG streams with its own shard seed and samples
@@ -196,41 +256,17 @@ fn run_realfeel_shard(cfg: &RealfeelConfig, seed: u64, samples: u64, flight_top_
 /// them instead of once each. The warm-up samples were drawn on shared
 /// randomness, so each fork drops them and reports only its own draws.
 fn run_realfeel_forked(cfg: &RealfeelConfig, shards: u32, flight_top_k: usize) -> Vec<ShardOutput> {
-    let period = Nanos(1_000_000_000 / cfg.rtc_hz as u64);
     let seeds = crate::shard::shard_seeds(cfg.seed, shards);
     let budgets = crate::shard::split_samples(cfg.samples, shards);
 
-    let (mut warm, pid) = build_realfeel_sim(cfg, cfg.seed);
     let warm_target = (cfg.samples / shards as u64 / 8).clamp(256, 4_096);
-    collect_samples(&mut warm, pid, period, warm_target);
-    let ck = warm.checkpoint();
-    let warm_events = warm.events_dispatched();
+    let warm = warm_realfeel(cfg, warm_target);
 
     let mut outputs = crate::shard::run_indexed(shards as usize, |i| {
-        let (mut sim, pid) = build_realfeel_sim(cfg, cfg.seed);
-        sim.restore(&ck);
-        sim.reseed(seeds[i]);
-        sim.obs.reset_samples();
-        // Arm only after the restore so each fork's captured windows cover
-        // exactly the samples it reports, none of the shared warm-up.
-        if flight_top_k > 0 {
-            sim.arm_flight(flight_top_k);
-        }
-        let forked_at = sim.now();
-        let fork_events = sim.events_dispatched();
-        collect_samples(&mut sim, pid, period, budgets[i]);
-
-        let mut histogram = LatencyHistogram::new();
-        for &l in sim.obs.latencies(pid) {
-            histogram.record(l);
-        }
-        let expected = sim.now().since(forked_at).as_ns() / period.as_ns();
-        let overruns = expected.saturating_sub(histogram.count());
-        let traces = sim.flight.top().to_vec();
-        ShardOutput { histogram, overruns, events: sim.events_dispatched() - fork_events, traces }
+        run_fork_from_warm(cfg, &warm, seeds[i], budgets[i], flight_top_k)
     });
     // The shared warm-up's event work is real; account it once.
-    outputs[0].events += warm_events;
+    outputs[0].events += warm.events;
     outputs
 }
 

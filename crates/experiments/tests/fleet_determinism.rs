@@ -11,8 +11,8 @@ use simcore::Nanos;
 use sp_autopilot::{Autopilot, ControllerConfig, DecisionCause, PlantBindings, ShieldLevel};
 use sp_experiments::{
     run_autopilot, run_autopilot_forked, run_fault_matrix_with_flight, run_realfeel,
-    run_realfeel_with_flight, AutopilotConfig, DeterminismConfig, FaultMatrixConfig, Fleet,
-    FleetOutcome, FleetSpec, RcimConfig, RealfeelConfig,
+    run_realfeel_with_flight, run_sweep, AutopilotConfig, DeterminismConfig, FaultMatrixConfig,
+    Fleet, FleetOutcome, FleetSpec, RcimConfig, RealfeelConfig, SweepConfig,
 };
 use sp_hw::{CpuId, CpuMask, MachineConfig};
 use sp_kernel::devices::{TrafficPhase, TrafficProfile};
@@ -239,6 +239,57 @@ proptest! {
         prop_assert_eq!(&straight, &repeat, "straight rerun drifted");
         let forked = mini_run(seed, &ctl, total, Some(Nanos::from_ms(750)));
         prop_assert_eq!(&straight, &forked, "checkpoint fork drifted");
+    }
+}
+
+/// Satellite: the streamed sweep artifact (`SWEEP_study.json` content) is
+/// byte-identical across worker counts {1, 2, 8} — the online reducer folds
+/// in strict cell-index order whatever the pool's thread count, and warm
+/// cache behaviour (who warms, who hits) never leaks into the report.
+#[test]
+fn sweep_artifact_is_identical_across_worker_counts() {
+    let cfg = |workers: u32| {
+        SweepConfig { samples_per_cell: 250, warm_samples: 96, ..SweepConfig::canonical(6) }
+            .with_workers(workers)
+    };
+    let reference = serde_json::to_string_pretty(&run_sweep(&cfg(1)).0).unwrap();
+    for workers in [2u32, 8] {
+        let bytes = serde_json::to_string_pretty(&run_sweep(&cfg(workers)).0).unwrap();
+        assert_eq!(bytes, reference, "sweep artifact drift at workers={workers}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Satellite: warm-cache hits are invisible for random grid shapes —
+    /// a sweep whose groups share warm checkpoints produces the same report
+    /// as one whose cache is defeated by running each group's cells in a
+    /// fresh process-like cache (here: two fresh `run_sweep` calls, which
+    /// rebuild the cache from scratch each time, must agree with each other
+    /// and with a reordered-workers run). Random seeds, budgets and grid
+    /// sizes keep the equality from being a fixture accident.
+    #[test]
+    fn sweep_report_is_a_pure_function_of_its_config(
+        base_seed in 0u64..10_000,
+        cells in 3u64..8,
+        samples in 150u64..400,
+        warm in 48u64..160,
+    ) {
+        let cfg = |workers: u32| {
+            SweepConfig {
+                base_seed,
+                samples_per_cell: samples,
+                warm_samples: warm,
+                ..SweepConfig::canonical(cells)
+            }
+            .with_workers(workers)
+        };
+        let a = serde_json::to_string(&run_sweep(&cfg(1)).0).unwrap();
+        let b = serde_json::to_string(&run_sweep(&cfg(1)).0).unwrap();
+        prop_assert_eq!(&a, &b, "rerun drifted (cache rebuild changed the bytes)");
+        let c = serde_json::to_string(&run_sweep(&cfg(4)).0).unwrap();
+        prop_assert_eq!(&a, &c, "worker count leaked into the artifact");
     }
 }
 

@@ -18,6 +18,14 @@
 //!   regardless of which worker ran what and in what order it finished.
 //!   For a fixed job set the output is bit-for-bit identical across worker
 //!   counts {1, 2, …} and across repeated runs.
+//! * **a streaming path** — [`run_stream`] pulls jobs from a lazy iterator
+//!   and folds outputs through an online reducer in strict index order, so
+//!   million-cell sweeps run in memory bounded by the reorder window
+//!   instead of materializing spec and result vectors.
+//! * **scoped telemetry** — [`counter_scope`] charges batches, jobs and
+//!   steals to the caller that issued them (nested fan-outs included), so
+//!   concurrent fleet consumers in one process don't contaminate each
+//!   other's numbers the way a [`stats_snapshot`] diff does.
 //!
 //! The scenario-fleet API (`sp_experiments::fleet`) builds the
 //! submit/inspect batch surface on top of this runner.
@@ -37,6 +45,6 @@
 pub mod pool;
 
 pub use pool::{
-    default_workers, run_indexed, run_with, stats_snapshot, with_workers, FleetStats,
-    GlobalStats, Placement, PoolConfig,
+    counter_scope, default_workers, run_indexed, run_stream, run_with, stats_snapshot,
+    with_workers, FleetStats, GlobalStats, Placement, PoolConfig,
 };

@@ -79,6 +79,12 @@ pub struct Observations {
     /// Softirq work dropped because the pending queue overflowed (a starving
     /// configuration; nonzero values mean the load exceeds the model's cap).
     pub softirq_dropped: u64,
+    /// Bumped by every `&mut self` collector method. `Simulator::checkpoint`
+    /// snapshots this so a cached copy-on-write checkpoint image can be
+    /// invalidated when the collectors are mutated *through the pub field*
+    /// (`sim.obs.reset_samples()` in the fork pattern) — mutations the
+    /// simulator itself cannot observe.
+    version: u64,
 }
 
 impl Observations {
@@ -90,11 +96,20 @@ impl Observations {
             watched_laps: HashMap::new(),
             cpu: vec![CpuAccounting::default(); cpus],
             softirq_dropped: 0,
+            version: 0,
         }
+    }
+
+    /// Mutation counter for checkpoint-cache invalidation — see the
+    /// `version` field. Monotone per instance; not comparable across
+    /// instances (clones copy it verbatim).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Start recording wake-to-user latencies for `pid`'s `WaitIrq` ops.
     pub fn watch_latency(&mut self, pid: Pid) {
+        self.version += 1;
         self.watched_latency.entry(pid).or_default();
     }
 
@@ -102,16 +117,19 @@ impl Observations {
     /// (index-aligned with [`Observations::latencies`]); used to locate
     /// samples relative to mid-run reconfiguration actions.
     pub fn watch_latency_times(&mut self, pid: Pid) {
+        self.version += 1;
         self.watched_latency_times.entry(pid).or_default();
     }
 
     /// Start recording `MarkLap` timestamps for `pid`.
     pub fn watch_laps(&mut self, pid: Pid) {
+        self.version += 1;
         self.watched_laps.entry(pid).or_default();
     }
 
     /// Start recording per-sample latency breakdowns for `pid`.
     pub fn watch_breakdown(&mut self, pid: Pid) {
+        self.version += 1;
         self.watched_breakdown.entry(pid).or_default();
     }
 
@@ -121,6 +139,7 @@ impl Observations {
     /// the fork discards the warm-up samples so only its own (reseeded)
     /// draws are reported.
     pub fn reset_samples(&mut self) {
+        self.version += 1;
         for v in self.watched_latency.values_mut() {
             v.clear();
         }
@@ -135,6 +154,28 @@ impl Observations {
         }
     }
 
+    /// Allocation-reusing copy for warm-checkpoint restores. Equivalent to
+    /// `*self = source.clone()` except the per-pid sample vectors already in
+    /// `self` keep their buffers (restore targets are built by the same
+    /// registration sequence as the checkpoint source, so the watch keys
+    /// match and every map entry is reused in place; any key mismatch falls
+    /// back to inserting/removing entries, preserving equivalence).
+    pub(crate) fn clone_from_reusing(&mut self, source: &Self) {
+        fn copy_map<T: Clone>(dst: &mut HashMap<Pid, Vec<T>>, src: &HashMap<Pid, Vec<T>>) {
+            dst.retain(|pid, _| src.contains_key(pid));
+            for (pid, v) in src {
+                dst.entry(*pid).or_default().clone_from(v);
+            }
+        }
+        copy_map(&mut self.watched_latency, &source.watched_latency);
+        copy_map(&mut self.watched_latency_times, &source.watched_latency_times);
+        copy_map(&mut self.watched_breakdown, &source.watched_breakdown);
+        copy_map(&mut self.watched_laps, &source.watched_laps);
+        self.cpu.clone_from(&source.cpu);
+        self.softirq_dropped = source.softirq_dropped;
+        self.version = source.version;
+    }
+
     pub(crate) fn wants_breakdown(&self, pid: Pid) -> bool {
         self.watched_breakdown.contains_key(&pid)
     }
@@ -146,6 +187,7 @@ impl Observations {
     }
 
     pub(crate) fn record_breakdown(&mut self, pid: Pid, b: WakeBreakdown) {
+        self.version += 1;
         if let Some(v) = self.watched_breakdown.get_mut(&pid) {
             v.push(b);
         }
@@ -157,6 +199,7 @@ impl Observations {
     }
 
     pub(crate) fn record_latency(&mut self, pid: Pid, lat: Nanos, at: Instant) {
+        self.version += 1;
         if let Some(v) = self.watched_latency.get_mut(&pid) {
             v.push(lat);
         }
@@ -166,6 +209,7 @@ impl Observations {
     }
 
     pub(crate) fn record_lap(&mut self, pid: Pid, at: Instant) {
+        self.version += 1;
         if let Some(v) = self.watched_laps.get_mut(&pid) {
             v.push(at);
         }

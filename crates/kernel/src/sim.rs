@@ -29,6 +29,7 @@ use crate::params::{PreparedCosts, PreparedSections};
 use simcore::{EventKey, Instant, Nanos, SimRng, TraceKind, Tracer, WheelQueue};
 use sp_hw::{exec_context_mask, CpuId, CpuMask, IrqRouting, MachineConfig};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Total pending softirq work a CPU may accumulate before drops (a starving
 /// configuration; drops are counted, not silent).
@@ -67,7 +68,7 @@ struct PendingIrq {
     asserted: Instant,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct CpuSim {
     current: Option<Activity>,
     /// Interrupted activities (task at the bottom, then softirq, then...).
@@ -80,6 +81,34 @@ struct CpuSim {
     /// CPU is inside interrupt context (ISR/tick/softirq processing), even
     /// between activities while the handler's outcome is being applied.
     in_irq: bool,
+}
+
+// Manual so checkpoint restores reuse the per-CPU pending queues and the
+// suspended-activity stack via `clone_from`.
+impl Clone for CpuSim {
+    fn clone(&self) -> Self {
+        CpuSim {
+            current: self.current.clone(),
+            suspended: self.suspended.clone(),
+            pending_irqs: self.pending_irqs.clone(),
+            pending_softirq: self.pending_softirq.clone(),
+            pending_softirq_total: self.pending_softirq_total,
+            need_resched: self.need_resched,
+            local_timer_on: self.local_timer_on,
+            in_irq: self.in_irq,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.current.clone_from(&source.current);
+        self.suspended.clone_from(&source.suspended);
+        self.pending_irqs.clone_from(&source.pending_irqs);
+        self.pending_softirq.clone_from(&source.pending_softirq);
+        self.pending_softirq_total = source.pending_softirq_total;
+        self.need_resched = source.need_resched;
+        self.local_timer_on = source.local_timer_on;
+        self.in_irq = source.in_irq;
+    }
 }
 
 impl CpuSim {
@@ -167,6 +196,16 @@ pub struct Simulator {
     /// syscall/wake cycle doesn't malloc+free a `Vec` per plan. Capacity
     /// only — contents are cleared on recycle. Excluded from checkpoints.
     plan_pool: Vec<Vec<PlannedStep>>,
+    /// Clean-state checkpoint cache: `Some(image)` when no checkpointed
+    /// state has mutated since `image` was captured (or restored), making
+    /// [`Simulator::checkpoint`] a reference-count bump. Every mutating
+    /// entry point clears it (see [`Simulator::dirty`]); mutations applied
+    /// through the pub `obs` field are caught by comparing
+    /// [`Observations::version`] against `ck_obs_version`. Not itself state:
+    /// excluded from checkpoints.
+    ck_cache: Option<Arc<CheckpointImage>>,
+    /// `self.obs.version()` at the instant `ck_cache` was captured.
+    ck_obs_version: u64,
 }
 
 /// A syscall profile compiled for the plan builder (see
@@ -229,7 +268,17 @@ impl Simulator {
             scratch_spinners: Vec::with_capacity(n),
             scratch_cmds: Vec::new(),
             plan_pool: Vec::new(),
+            ck_cache: None,
+            ck_obs_version: 0,
         }
+    }
+
+    /// Drop the cached clean-state checkpoint image. Called by every entry
+    /// point that can change checkpointed state; one `Option` write, always
+    /// safe to over-call.
+    #[inline]
+    fn dirty(&mut self) {
+        self.ck_cache = None;
     }
 
     // ------------------------------------------------------------------
@@ -243,6 +292,7 @@ impl Simulator {
     /// devices go through [`AnyDevice::custom`].
     pub fn add_device(&mut self, dev: impl Into<AnyDevice>) -> DeviceId {
         assert!(!self.started, "devices must be registered before start()");
+        self.dirty();
         let dev = dev.into();
         let id = DeviceId(self.devices.len() as u32);
         let line = dev.line();
@@ -269,6 +319,7 @@ impl Simulator {
     /// Register a syscall profile for use in task programs.
     pub fn register_syscall(&mut self, svc: SyscallService) -> SyscallId {
         svc.validate().expect("invalid syscall profile");
+        self.dirty();
         let id = SyscallId(self.syscalls.len() as u32);
         self.prepared_syscalls.push(PreparedSyscall {
             segments: svc
@@ -293,6 +344,7 @@ impl Simulator {
     /// afterwards they are woken immediately.
     pub fn spawn(&mut self, spec: TaskSpec) -> Pid {
         validate_program(&spec);
+        self.dirty();
         let pid = Pid(self.tasks.len() as u32);
         let online = self.machine.online_mask();
         let mut task = Task::from_spec(pid, spec, online);
@@ -376,6 +428,7 @@ impl Simulator {
     /// `sched_setaffinity`: change a task's requested mask. The effective
     /// mask is recomputed under the current shield.
     pub fn set_task_affinity(&mut self, pid: Pid, mask: CpuMask) -> Result<(), String> {
+        self.dirty();
         let online = self.machine.online_mask();
         if (mask & online).is_empty() {
             return Err(format!("{pid}: affinity excludes all online CPUs"));
@@ -387,6 +440,7 @@ impl Simulator {
 
     /// `sched_setscheduler`: change a task's policy/priority at runtime.
     pub fn set_task_policy(&mut self, pid: Pid, policy: crate::task::SchedPolicy) {
+        self.dirty();
         let old = self.tasks[pid.index()].policy;
         if old == policy {
             return;
@@ -412,6 +466,7 @@ impl Simulator {
 
     /// `/proc/irq/<n>/smp_affinity`: change a device IRQ's requested mask.
     pub fn set_irq_affinity(&mut self, dev: DeviceId, mask: CpuMask) -> Result<(), String> {
+        self.dirty();
         let online = self.machine.online_mask();
         if (mask & online).is_empty() {
             return Err(format!("{dev}: affinity excludes all online CPUs"));
@@ -425,6 +480,7 @@ impl Simulator {
     /// migrating whatever no longer belongs (the dynamic enable of §3).
     /// Requires a kernel with shield support.
     pub fn set_shield(&mut self, ctl: ShieldCtl) -> Result<(), String> {
+        self.dirty();
         if !self.cfg.shield_support && !ctl.is_none() {
             return Err(format!("{} has no shield support", self.cfg.variant));
         }
@@ -462,6 +518,7 @@ impl Simulator {
 
     /// Enable or disable the local timer interrupt on one CPU.
     pub fn set_local_timer(&mut self, cpu: CpuId, on: bool) {
+        self.dirty();
         let i = cpu.index();
         if self.cpus[i].local_timer_on == on {
             return;
@@ -487,6 +544,7 @@ impl Simulator {
     /// the event dispatch loop never calls it, so an injector that is
     /// registered but never armed costs the hot loop nothing.
     pub fn device_control(&mut self, dev: DeviceId, cmd: u64) {
+        self.dirty();
         self.with_device(dev, |d, ctx, rng| d.control(cmd, ctx, rng));
     }
 
@@ -569,6 +627,7 @@ impl Simulator {
     /// Start the simulation: arm device and timer events, place initial tasks.
     pub fn start(&mut self) {
         assert!(!self.started, "start() called twice");
+        self.dirty();
         self.started = true;
         // Local timer ticks, staggered so CPUs don't tick in lockstep.
         let jiffy = self.cfg.jiffy();
@@ -594,6 +653,8 @@ impl Simulator {
     /// Advance virtual time to `t`, processing all events on the way.
     pub fn run_until(&mut self, t: Instant) {
         assert!(self.started, "call start() first");
+        // Conservative: even a run that dispatches nothing advances `now`.
+        self.dirty();
         while let Some((at, ev)) = self.queue.pop_before(t) {
             debug_assert!(at >= self.now, "event from the past");
             self.now = at;
@@ -1827,6 +1888,7 @@ impl Simulator {
     /// instead of replaying identical randomness. Deterministic — the same
     /// label always produces the same streams.
     pub fn reseed(&mut self, label: u64) {
+        self.dirty();
         self.rng = SimRng::new(label);
         for (i, slot) in self.devices.iter_mut().enumerate() {
             slot.rng = self.rng.fork(0x1000 + i as u64);
@@ -1846,12 +1908,21 @@ impl Simulator {
     /// lists, tracer): [`Simulator::restore`] therefore requires a simulator
     /// built by the same registration sequence.
     ///
-    /// Checkpoints are `Clone + Send`: warm up one simulator per
+    /// Checkpoints are `Clone + Send + Sync` and copy-on-write: the state
+    /// lives in one immutable [`Arc`]'d image, so cloning a checkpoint (or
+    /// handing it to another thread) is a reference-count bump, and taking a
+    /// second checkpoint of an unmutated simulator returns the same shared
+    /// image without re-snapshotting anything. Warm up one simulator per
     /// configuration, snapshot it, and fork every experiment cell from the
     /// shared checkpoint across threads. Restoring and running is
     /// bit-identical to having run the original simulator straight through.
-    pub fn checkpoint(&self) -> Checkpoint {
-        Checkpoint {
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        if let Some(image) = &self.ck_cache {
+            if self.obs.version() == self.ck_obs_version {
+                return Checkpoint { image: Arc::clone(image) };
+            }
+        }
+        let image = Arc::new(CheckpointImage {
             now: self.now,
             queue: self.queue.clone(),
             rng: self.rng.clone(),
@@ -1878,7 +1949,10 @@ impl Simulator {
             token_counter: self.token_counter,
             started: self.started,
             events_dispatched: self.events_dispatched,
-        }
+        });
+        self.ck_cache = Some(Arc::clone(&image));
+        self.ck_obs_version = self.obs.version();
+        Checkpoint { image }
     }
 
     /// Reset this simulator to a state previously frozen with
@@ -1894,11 +1968,17 @@ impl Simulator {
     /// [`FlightRecorder::reset`] after restoring so captured windows cover
     /// only their own samples).
     pub fn restore(&mut self, ck: &Checkpoint) {
+        let image = Arc::clone(&ck.image);
+        let ck = &*image;
         assert_eq!(self.devices.len(), ck.devices.len(), "checkpoint device set mismatch");
         assert_eq!(self.tasks.len(), ck.tasks.len(), "checkpoint task set mismatch");
         assert_eq!(self.cpus.len(), ck.cpus.len(), "checkpoint cpu count mismatch");
         self.now = ck.now;
-        self.queue = ck.queue.clone();
+        // `clone_from` throughout: a fork loop restores into the same
+        // simulator over and over, and every buffer below (the wheel's 1024
+        // buckets, the scheduler's per-priority queues, the observation
+        // sample vectors, …) keeps its allocation across iterations.
+        self.queue.clone_from(&ck.queue);
         self.rng = ck.rng.clone();
         self.tasks.clone_from(&ck.tasks);
         self.cpus.clone_from(&ck.cpus);
@@ -1908,8 +1988,8 @@ impl Simulator {
         self.seg_end.clone_from(&ck.seg_end);
         self.tick_keys.clone_from(&ck.tick_keys);
         self.tick_next_ns.clone_from(&ck.tick_next_ns);
-        self.sched = ck.sched.clone();
-        self.locks = ck.locks.clone();
+        self.sched.clone_from(&ck.sched);
+        self.locks.clone_from(&ck.locks);
         for (slot, (state, rng)) in self.devices.iter_mut().zip(&ck.devices) {
             slot.dev.as_mut().expect("device reentrancy").restore(state);
             slot.rng = rng.clone();
@@ -1917,19 +1997,33 @@ impl Simulator {
         self.irq_routes.clone_from(&ck.irq_routes);
         self.irq_requested.clone_from(&ck.irq_requested);
         self.irq_counts.clone_from(&ck.irq_counts);
-        self.obs = ck.obs.clone();
+        self.obs.clone_from_reusing(&ck.obs);
         self.shield = ck.shield;
         self.token_counter = ck.token_counter;
         self.started = ck.started;
         self.events_dispatched = ck.events_dispatched;
+        // The simulator now *is* this image: cache it so an immediate
+        // re-checkpoint (fork-of-fork chains, cache-warming layers) is a
+        // reference bump instead of a fresh deep snapshot.
+        self.ck_obs_version = self.obs.version();
+        self.ck_cache = Some(image);
     }
 }
 
 /// A frozen copy of a [`Simulator`]'s mutable state — see
-/// [`Simulator::checkpoint`]. `Clone + Send`, so one warm checkpoint can
-/// seed many forked runs in parallel.
+/// [`Simulator::checkpoint`]. A cheap handle to one shared immutable image:
+/// `clone()` bumps a reference count, so one warm checkpoint can seed
+/// millions of forked runs (and cross thread boundaries) without copying
+/// simulator state.
 #[derive(Clone)]
 pub struct Checkpoint {
+    image: Arc<CheckpointImage>,
+}
+
+/// The actual frozen state behind a [`Checkpoint`] — one allocation shared
+/// copy-on-write by every handle; forks copy out of it only in
+/// [`Simulator::restore`].
+struct CheckpointImage {
     now: Instant,
     queue: WheelQueue<Ev>,
     rng: SimRng,

@@ -14,7 +14,8 @@ use sp_kernel::devices::storm::{StormDevice, CTRL_ARM, CTRL_DISARM};
 use sp_kernel::devices::{DiskDevice, NicDevice, OnOffPoisson, RtcDevice};
 use sp_kernel::observe::CpuAccounting;
 use sp_kernel::{
-    DeviceId, KernelConfig, Op, Pid, Program, SchedPolicy, Simulator, TaskSpec, WaitApi,
+    DeviceId, KernelConfig, Op, Pid, Program, SchedPolicy, ShieldCtl, Simulator, TaskSpec,
+    WaitApi,
 };
 
 /// A loaded two-CPU simulation: RTC waiter (watched), NIC softirq traffic,
@@ -119,6 +120,78 @@ proptest! {
         let fp = fingerprint(&fork, fork_pid, fork_storm);
         prop_assert!(fp.4.iter().sum::<u64>() > 0, "storm never fired");
         prop_assert_eq!(fp, fingerprint(&straight, pid, storm));
+    }
+
+    /// The copy-on-write checkpoint cache must never serve a stale image:
+    /// interleave random mutations (reseeds, `/proc/shield` writes, device
+    /// control, short runs, observation resets through the public `obs`
+    /// field) with cache-priming checkpoints, then fork from the *final*
+    /// checkpoint. If any mutating entry point forgot to invalidate the
+    /// cache — or the `Observations` version counter missed a collector —
+    /// the fork replays pre-mutation state and diverges from the straight
+    /// run that applied the same mutations without checkpointing at all.
+    #[test]
+    fn cached_checkpoints_never_serve_stale_state(
+        seed in 1u64..1_000,
+        warm_ms in 5u64..25,
+        ops in proptest::collection::vec(0u8..6, 1..6),
+        run_ms in 5u64..30,
+    ) {
+        let apply = |sim: &mut Simulator, storm: DeviceId, op: u8, k: u64| match op {
+            0 => sim.reseed(0x100 + k),
+            1 => sim.device_control(storm, CTRL_ARM),
+            2 => sim.device_control(storm, CTRL_DISARM),
+            3 => sim.run_for(Nanos::from_ms(2)),
+            4 => sim
+                .set_shield(if k.is_multiple_of(2) {
+                    ShieldCtl::full(CpuMask::single(CpuId(1)))
+                } else {
+                    ShieldCtl::NONE
+                })
+                .expect("shield write"),
+            _ => sim.obs.reset_samples(),
+        };
+
+        let (mut straight, pid, storm) = build(seed);
+        straight.run_for(Nanos::from_ms(warm_ms));
+        for (k, &op) in ops.iter().enumerate() {
+            apply(&mut straight, storm, op, k as u64);
+        }
+        straight.run_for(Nanos::from_ms(run_ms));
+
+        let (mut warm, _, warm_storm) = build(seed);
+        warm.run_for(Nanos::from_ms(warm_ms));
+        for (k, &op) in ops.iter().enumerate() {
+            // Prime the cache, then mutate: the mutation must invalidate it.
+            let _primed = warm.checkpoint();
+            apply(&mut warm, warm_storm, op, k as u64);
+        }
+        let ck = warm.checkpoint();
+
+        let (mut fork, fork_pid, fork_storm) = build(seed);
+        fork.restore(&ck);
+        fork.run_for(Nanos::from_ms(run_ms));
+
+        prop_assert_eq!(
+            fingerprint(&fork, fork_pid, fork_storm),
+            fingerprint(&straight, pid, storm)
+        );
+
+        // Fork-then-checkpoint chains ride the repopulated cache: a second
+        // fork taken *from the first fork* must continue identically to the
+        // first fork itself.
+        let ck2 = {
+            let (mut mid, _, _) = build(seed);
+            mid.restore(&ck);
+            mid.checkpoint()
+        };
+        let (mut refork, refork_pid, refork_storm) = build(seed);
+        refork.restore(&ck2);
+        refork.run_for(Nanos::from_ms(run_ms));
+        prop_assert_eq!(
+            fingerprint(&refork, refork_pid, refork_storm),
+            fingerprint(&straight, pid, storm)
+        );
     }
 
     /// Mid-continuation reconfiguration agrees too: both copies arm and later

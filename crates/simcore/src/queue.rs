@@ -368,6 +368,23 @@ impl<E: Clone> Clone for WheelQueue<E> {
             heap: self.heap.clone(),
         }
     }
+
+    /// Allocation-reusing copy: `Vec::clone_from` keeps the slot arena, the
+    /// free list, all `WHEEL_BUCKETS` bucket vectors and the overflow heap's
+    /// capacity in place, so restoring a simulator from a checkpoint in a
+    /// fork loop copies bytes instead of churning the allocator (a fresh
+    /// `clone()` allocates 1024 bucket vectors every time).
+    fn clone_from(&mut self, source: &Self) {
+        self.slots.clone_from(&source.slots);
+        self.free.clone_from(&source.free);
+        self.next_seq = source.next_seq;
+        self.buckets.clone_from(&source.buckets);
+        self.occupied = source.occupied;
+        self.base = source.base;
+        self.cursor = source.cursor;
+        self.wheel_len = source.wheel_len;
+        self.heap.clone_from(&source.heap);
+    }
 }
 
 impl<E> WheelQueue<E> {
