@@ -2,7 +2,7 @@
 //!
 //! realfeel worst-case latency across the four kernel builds: stock 2.4.18 →
 //! +preempt → +low-latency → RedHawk 1.4 (unshielded, then shielded). The
-//! preempt+lowlat row corresponds to reference [5]'s 1.2 ms result; RedHawk's
+//! preempt+lowlat row corresponds to reference \[5\]'s 1.2 ms result; RedHawk's
 //! unshielded row shows what the RedHawk-specific fixes buy on top; the
 //! shielded row is Figure 6.
 

@@ -3,10 +3,10 @@
 //! shielded and unshielded, plus the mid-run reshield transient.
 //!
 //! Arguments (all optional):
-//!   <scale>          per-cell sample scale factor, default 1.0 (or `SP_SCALE`)
-//!   --shards <n>     shards per matrix cell, default 1 (or `SP_SHARDS`);
+//!   `<scale>`          per-cell sample scale factor, default 1.0 (or `SP_SCALE`)
+//!   --shards `<n>`     shards per matrix cell, default 1 (or `SP_SHARDS`);
 //!                    the reshield transient is always single-simulation
-//!   --topk <k>       worst windows captured per cell, default 1
+//!   --topk `<k>`       worst windows captured per cell, default 1
 //!                    (or `SP_TRACE_TOPK`); 0 disables capture
 //!   --strict         exit non-zero on any band violation
 //!

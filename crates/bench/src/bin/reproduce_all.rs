@@ -2,25 +2,31 @@
 //! paper-vs-measured table.
 //!
 //! Arguments (all optional):
-//!   <scale>          sample-count scale factor, default 1.0 (or `SP_SCALE`)
-//!   --shards <n>     shard count for figs 5–7, default = hardware threads
+//!   `<scale>`          sample-count scale factor, default 1.0 (or `SP_SCALE`)
+//!   --shards `<n>`     shard count for figs 5–7, default = hardware threads
 //!                    (or `SP_SHARDS`); results are reproducible per (seed, n)
-//!   --workers <n>    OS worker threads for the fleet pool, default =
+//!   --workers `<n>`    OS worker threads for the fleet pool, default =
 //!                    hardware threads (or `SP_WORKERS`); never changes
 //!                    results, only wall-clock
-//!   --topk <k>       worst-case windows captured per latency figure,
+//!   --topk `<k>`       worst-case windows captured per latency figure,
 //!                    default 3 (or `SP_TRACE_TOPK`); 0 disables capture
-//!   --json <path>    dump the raw suite as JSON
+//!   --json `<path>`    dump the raw suite as JSON
 //!   --autopilot      also run the closed-loop adaptive-shielding study
 //!                    (autopilot + static baselines over the diurnal
 //!                    request-serving day) and write `AUTOPILOT_trace.json`,
 //!                    the worker-count-invariant decision-trace artifact
-//!   --sla <us>       p99.9 SLA bound for the autopilot study, default 100
-//!   --sweep <n>      also stream an ~n-cell realfeel sweep (the canonical
+//!   --sla `<us>`       p99.9 SLA bound for the autopilot study, default 100
+//!   --sweep `<n>`      also stream an ~n-cell realfeel sweep (the canonical
 //!                    variant × shield × seed grid, per-cell samples scaled
-//!                    by <scale>) through the warm-checkpoint cache and
+//!                    by the scale factor) through the warm-checkpoint cache and
 //!                    write `SWEEP_study.json`, the worker-count-invariant
 //!                    sweep artifact; see docs/SWEEPS.md
+//!   --modern         also run the modern-isolation matrix (5 kernel
+//!                    generations × 2 measured paths × 6 fault cells, every
+//!                    cell shielded; see docs/KERNELS.md) and write
+//!                    `worst_case_trace_modern.json`, the causal window
+//!                    behind the modern-all RCIM worst case — byte-identical
+//!                    across worker counts
 //!   --strict         exit non-zero unless all seven verdicts are "in band",
 //!                    the suite clears the events/sec regression floor,
 //!                    each latency figure's worst-case trace artifact was
@@ -28,7 +34,9 @@
 //!                    `--autopilot` ran — the study passed all three gates
 //!                    (zero steady-state SLA violations, throughput ≥ 1.5×
 //!                    the best static shield, every reconfig transient
-//!                    recovered in budget)
+//!                    recovered in budget) and — when `--modern` ran — every
+//!                    generation held its band, including the 500 ns
+//!                    modern-all RCIM ceiling
 //!
 //! Every run also writes `BENCH_simulator.json` (per-figure wall-clock,
 //! events/sec, shard count, data-structure microbenchmarks, and — with
@@ -179,6 +187,23 @@ impl AutopilotBench {
     }
 }
 
+/// Modern-isolation matrix telemetry for `BENCH_simulator.json`. Everything
+/// but `wall_ms` is deterministic per `(config, seed)`.
+#[derive(serde::Serialize)]
+struct ModernBench {
+    cells: usize,
+    samples_per_cell: u64,
+    seed: u64,
+    /// Worst case across every modern-all RCIM cell (baseline + faults), ns.
+    modern_rcim_worst_ns: u64,
+    /// Worst case across every classic-2.4 RCIM cell, ns — the yardstick the
+    /// modern stack is judged against.
+    classic_rcim_worst_ns: u64,
+    violations: usize,
+    pass: bool,
+    wall_ms: f64,
+}
+
 /// Wall-clock telemetry of a `--sweep` run for `BENCH_simulator.json`. The
 /// deterministic sweep results live in `SWEEP_study.json`; everything here
 /// legitimately varies run to run and stays out of that artifact.
@@ -222,6 +247,8 @@ struct BenchReport {
     autopilot: Option<AutopilotBench>,
     /// Present when the run included `--sweep`.
     sweep: Option<SweepBench>,
+    /// Present when the run included `--modern`.
+    modern: Option<ModernBench>,
 }
 
 fn main() {
@@ -244,6 +271,7 @@ fn main() {
         .position(|a| a == "--sweep")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<u64>().ok());
+    let modern_on = args.iter().any(|a| a == "--modern");
 
     eprintln!(
         "running all 7 figures at scale {scale}, {shards} shard(s), {workers} worker(s), \
@@ -391,6 +419,66 @@ fn main() {
         });
     }
 
+    // Modern-isolation matrix: kernel generations from the paper's 2.4
+    // shield to threaded IRQs + nohz_full + kthread isolation on modern
+    // calibration, every cell shielded. The report is a pure function of
+    // (config, seed); the worst-case trace artifact is what CI `cmp`s
+    // between worker counts.
+    let mut modern_bench = None;
+    let mut modern_failures: Vec<String> = Vec::new();
+    if modern_on {
+        let cfg = sp_experiments::ModernConfig::scaled(scale);
+        eprintln!(
+            "running modern-isolation matrix: {} samples/cell, seed {:#x}...",
+            cfg.samples_per_cell, cfg.seed
+        );
+        let t = std::time::Instant::now();
+        let (modern, modern_flights) =
+            sp_experiments::run_modern_matrix_with_flight(&cfg, top_k);
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        println!("\nmodern isolation matrix ({} cells):\n{}", modern.cells.len(), modern.markdown());
+        for v in &modern.violations {
+            modern_failures.push(format!("band violation: {v}"));
+        }
+        let modern_worst = modern
+            .worst(sp_experiments::ModernVariant::ModernAll, sp_experiments::faultmatrix::MatrixPath::Rcim);
+        let classic_worst = modern
+            .worst(sp_experiments::ModernVariant::Classic24, sp_experiments::faultmatrix::MatrixPath::Rcim);
+        if top_k > 0 {
+            // The headline artifact: the causal window behind the worst
+            // modern-all RCIM sample, merged across its six cells.
+            let per_cell: Vec<Vec<WorstCaseTrace>> = modern_flights
+                .iter()
+                .filter(|f| f.variant == "modern-all" && f.path == "rcim")
+                .map(|f| f.traces.clone())
+                .collect();
+            let merged = sp_experiments::merge_top(per_cell, top_k);
+            match flightout::emit_worst_case("modern", "modern-all/rcim", &merged) {
+                Ok(Some(chain)) => println!("{chain}"),
+                Ok(None) => modern_failures.push("no modern worst-case window captured".into()),
+                Err(e) => modern_failures.push(format!("modern artifact write failed: {e}")),
+            }
+            if let Some(worst) = merged.first() {
+                if worst.latency.as_ns() != modern_worst.as_ns() {
+                    modern_failures.push(format!(
+                        "modern worst trace {} does not explain the matrix worst {modern_worst}",
+                        worst.latency
+                    ));
+                }
+            }
+        }
+        modern_bench = Some(ModernBench {
+            cells: modern.cells.len(),
+            samples_per_cell: cfg.samples_per_cell,
+            seed: cfg.seed,
+            modern_rcim_worst_ns: modern_worst.as_ns(),
+            classic_rcim_worst_ns: classic_worst.as_ns(),
+            violations: modern.violations.len(),
+            pass: modern.violations.is_empty(),
+            wall_ms,
+        });
+    }
+
     // Paper-vs-measured table.
     let measured = [
         determinism_measured(&suite.fig1),
@@ -442,8 +530,16 @@ fn main() {
         steals: suite_fleet.steals,
         stolen_jobs: suite_fleet.stolen_jobs,
     };
-    let report =
-        build_bench_report(&suite, &timings, scale, shards, fleet, autopilot_bench, sweep_bench);
+    let report = build_bench_report(
+        &suite,
+        &timings,
+        scale,
+        shards,
+        fleet,
+        autopilot_bench,
+        sweep_bench,
+        modern_bench,
+    );
     if let Err(e) = write_bench_report(&report) {
         eprintln!("note: could not write BENCH_simulator.json: {e}");
     } else {
@@ -524,6 +620,28 @@ fn main() {
             }
             std::process::exit(1);
         }
+        if !modern_failures.is_empty() {
+            eprintln!("STRICT: modern-isolation matrix failed:");
+            for f in &modern_failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        if let Some(mb) = &report.modern {
+            if mb.modern_rcim_worst_ns >= MODERN_RCIM_NS_CEILING {
+                eprintln!(
+                    "STRICT: modern-all RCIM worst {} ns over the {MODERN_RCIM_NS_CEILING} ns \
+                     ceiling",
+                    mb.modern_rcim_worst_ns
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "STRICT: modern-all RCIM worst {} ns under the {MODERN_RCIM_NS_CEILING} ns \
+                 ceiling (classic 2.4 worst: {} ns)",
+                mb.modern_rcim_worst_ns, mb.classic_rcim_worst_ns
+            );
+        }
         if let Some(sb) = &report.sweep {
             eprintln!(
                 "STRICT: sweep streamed {} cells at {:.0} cells/sec with {} warm checkpoint(s)",
@@ -578,6 +696,13 @@ const FLEET_STEAL_NS_BUDGET: f64 = 60_000.0;
 /// hitting (e.g. a spurious `dirty()` on a read path) or restore starts
 /// allocating again.
 const FORK_NS_CEILING: f64 = 12_000.0;
+
+/// Worst-case ceiling for the modern-all RCIM column of the `--modern`
+/// matrix, enforced by `--strict`: the fully modern isolation stack
+/// (threaded IRQs + nohz_full + kthread fencing on modern calibration with
+/// a PCIe RCIM) must answer in under half a microsecond across the baseline
+/// and every fault cell. Simulated time — hardware speed cannot flake it.
+const MODERN_RCIM_NS_CEILING: u64 = 500;
 
 /// Assemble the `BENCH_simulator.json` payload: per-figure wall-clock and
 /// event throughput, plus microbenchmarks of the hot-path data structures.
@@ -671,6 +796,7 @@ fn print_sweep(sweep: &sp_experiments::SweepReport, t: &sp_experiments::SweepTel
     );
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_bench_report(
     suite: &sp_experiments::FigureSuite,
     timings: &sp_experiments::runner::SuiteTimings,
@@ -679,6 +805,7 @@ fn build_bench_report(
     fleet: FleetTelemetry,
     autopilot: Option<AutopilotBench>,
     sweep: Option<SweepBench>,
+    modern: Option<ModernBench>,
 ) -> BenchReport {
     let events = |id: &str| -> Option<u64> {
         match id {
@@ -754,6 +881,7 @@ fn build_bench_report(
         },
         autopilot,
         sweep,
+        modern,
     }
 }
 

@@ -29,6 +29,7 @@ pub struct ShieldPlan {
     shield_procs: bool,
     shield_irqs: bool,
     shield_ltmrs: bool,
+    shield_kthreads: bool,
     bind_tasks: Vec<Pid>,
     bind_irqs: Vec<DeviceId>,
 }
@@ -61,6 +62,7 @@ impl ShieldPlan {
             shield_procs: true,
             shield_irqs: true,
             shield_ltmrs: true,
+            shield_kthreads: false,
             bind_tasks: Vec::new(),
             bind_irqs: Vec::new(),
         }
@@ -81,6 +83,13 @@ impl ShieldPlan {
     /// Keep the local timer running on the shielded CPUs (ablation A2).
     pub fn keep_local_timer(mut self) -> Self {
         self.shield_ltmrs = false;
+        self
+    }
+
+    /// Additionally fence housekeeping-kthread (softirq) work off the
+    /// shielded CPUs. A no-op on kernels without the `kthread_iso` knob.
+    pub fn fence_kthreads(mut self) -> Self {
+        self.shield_kthreads = true;
         self
     }
 
@@ -111,6 +120,7 @@ impl ShieldPlan {
             procs: if self.shield_procs { self.shielded } else { CpuMask::EMPTY },
             irqs: if self.shield_irqs { self.shielded } else { CpuMask::EMPTY },
             ltmrs: if self.shield_ltmrs { self.shielded } else { CpuMask::EMPTY },
+            kthreads: if self.shield_kthreads { self.shielded } else { CpuMask::EMPTY },
         };
         sim.set_shield(ctl).map_err(PlanError::Rejected)?;
         for &pid in &self.bind_tasks {

@@ -3,10 +3,16 @@
 //! RedHawk added a directory of three files, each holding a hex CPU bitmask:
 //!
 //! ```text
-//! /proc/shield/procs   # CPUs shielded from processes
-//! /proc/shield/irqs    # CPUs shielded from maskable interrupts
-//! /proc/shield/ltmrs   # CPUs whose local timer interrupt is disabled
+//! /proc/shield/procs     # CPUs shielded from processes
+//! /proc/shield/irqs      # CPUs shielded from maskable interrupts
+//! /proc/shield/ltmrs     # CPUs whose local timer interrupt is disabled
+//! /proc/shield/kthreads  # CPUs fenced from housekeeping-kthread work
 //! ```
+//!
+//! The fourth file is a post-paper extension backing the `kthread_iso`
+//! kernel knob (softirq work raised on a fenced CPU is punted to a
+//! housekeeping CPU); it accepts writes on any kernel but only changes
+//! behaviour when the knob is on.
 //!
 //! Writing a mask dynamically (re)shields: affinity masks of every process
 //! and interrupt are re-examined, current residents are migrated off, and
@@ -23,16 +29,19 @@ pub enum ShieldFile {
     Procs,
     Irqs,
     Ltmrs,
+    Kthreads,
 }
 
 impl ShieldFile {
-    pub const ALL: [ShieldFile; 3] = [ShieldFile::Procs, ShieldFile::Irqs, ShieldFile::Ltmrs];
+    pub const ALL: [ShieldFile; 4] =
+        [ShieldFile::Procs, ShieldFile::Irqs, ShieldFile::Ltmrs, ShieldFile::Kthreads];
 
     pub fn name(self) -> &'static str {
         match self {
             ShieldFile::Procs => "procs",
             ShieldFile::Irqs => "irqs",
             ShieldFile::Ltmrs => "ltmrs",
+            ShieldFile::Kthreads => "kthreads",
         }
     }
 
@@ -43,6 +52,7 @@ impl ShieldFile {
             "procs" => Some(ShieldFile::Procs),
             "irqs" => Some(ShieldFile::Irqs),
             "ltmrs" => Some(ShieldFile::Ltmrs),
+            "kthreads" => Some(ShieldFile::Kthreads),
             _ => None,
         }
     }
@@ -84,6 +94,7 @@ impl ProcShield {
             ShieldFile::Procs => ctl.procs,
             ShieldFile::Irqs => ctl.irqs,
             ShieldFile::Ltmrs => ctl.ltmrs,
+            ShieldFile::Kthreads => ctl.kthreads,
         };
         format!("{mask}\n")
     }
@@ -109,11 +120,13 @@ impl ProcShield {
             ShieldFile::Procs => ctl.procs = mask,
             ShieldFile::Irqs => ctl.irqs = mask,
             ShieldFile::Ltmrs => ctl.ltmrs = mask,
+            ShieldFile::Kthreads => ctl.kthreads = mask,
         }
         sim.set_shield(ctl).map_err(ProcWriteError::Rejected)
     }
 
-    /// Write all three files at once (`shield -a <mask>` in RedHawk's tool).
+    /// Write every shield file at once (`shield -a <mask>` in RedHawk's
+    /// tool, extended to cover the kthreads fence).
     pub fn write_all(sim: &mut Simulator, mask: CpuMask) -> Result<(), ProcWriteError> {
         let rendered = mask.to_string();
         for file in ShieldFile::ALL {

@@ -104,7 +104,7 @@ mod tests {
     #[test]
     fn shield_subtracts_from_effective_not_requested() {
         let mut s = sim_with_rtc();
-        s.set_shield(ShieldCtl { procs: CpuMask::EMPTY, irqs: CpuMask::single(CpuId(1)), ltmrs: CpuMask::EMPTY })
+        s.set_shield(ShieldCtl { procs: CpuMask::EMPTY, irqs: CpuMask::single(CpuId(1)), ltmrs: CpuMask::EMPTY, ..ShieldCtl::NONE })
             .unwrap();
         // Requested stays 3; effective loses the shielded CPU.
         assert_eq!(ProcIrq::read(&s, IrqLine::RTC), Some("3\n".into()));

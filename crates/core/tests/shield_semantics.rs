@@ -27,9 +27,12 @@ fn files_read_back_what_was_written() {
     assert_eq!(ProcShield::read(&s, ShieldFile::Procs), "2\n");
     assert_eq!(ProcShield::read(&s, ShieldFile::Irqs), "0\n");
     assert_eq!(ProcShield::read(&s, ShieldFile::Ltmrs), "2\n");
+    ProcShield::write(&mut s, ShieldFile::Kthreads, "0x2").unwrap();
+    assert_eq!(ProcShield::read(&s, ShieldFile::Kthreads), "2\n");
     let status = ProcShield::status(&s);
     assert!(status.contains("/proc/shield/procs:2"), "{status}");
     assert!(status.contains("/proc/shield/irqs:0"), "{status}");
+    assert!(status.contains("/proc/shield/kthreads:2"), "{status}");
 }
 
 #[test]

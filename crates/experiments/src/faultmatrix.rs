@@ -32,8 +32,9 @@ use sp_kernel::{
 use sp_metrics::{LatencyHistogram, LatencySummary};
 use sp_workloads::{stress_kernel, ttcp_ethernet_profile, x11perf_driver, StressDevices};
 
-/// The CPU every cell binds its measured task and interrupt to.
-const MEASURED_CPU: CpuId = CpuId(1);
+/// The CPU every cell binds its measured task and interrupt to (shared with
+/// the modern-isolation matrix in [`crate::modernmax`]).
+pub(crate) const MEASURED_CPU: CpuId = CpuId(1);
 
 /// Acceptance bands (see ISSUE/EXPERIMENTS.md).
 const DEGRADATION_FACTOR: u64 = 5;
@@ -268,7 +269,12 @@ fn build_cell_sim(
 /// works for both cold starts and mid-run forks; it is generous because
 /// faulted unshielded cells legitimately lose long stretches to the
 /// injector.
-fn collect_cell_samples(sim: &mut Simulator, pid: sp_kernel::Pid, path: MatrixPath, samples: u64) {
+pub(crate) fn collect_cell_samples(
+    sim: &mut Simulator,
+    pid: sp_kernel::Pid,
+    path: MatrixPath,
+    samples: u64,
+) {
     let period = path.period();
     let deadline = sim.now() + period.scale(64.0 * samples as f64);
     loop {
@@ -290,7 +296,7 @@ fn collect_cell_samples(sim: &mut Simulator, pid: sp_kernel::Pid, path: MatrixPa
 /// unshielded cell (without a shield nothing keeps a rogue off your CPU) and
 /// float in the shielded cell (the shield strips them). Device faults are
 /// identical in both cells — affinity-stripping does all the work.
-fn cell_fault(spec: &FaultSpec, shielded: bool) -> FaultSpec {
+pub(crate) fn cell_fault(spec: &FaultSpec, shielded: bool) -> FaultSpec {
     let mut out = spec.clone();
     if !shielded {
         let measured = CpuMask::single(MEASURED_CPU).to_string();
@@ -306,13 +312,13 @@ fn cell_fault(spec: &FaultSpec, shielded: bool) -> FaultSpec {
 
 /// Deterministic per-group root seed (groups are independent experiments;
 /// each then applies the PR-1 shard-seed contract internally).
-fn cell_seed(base: u64, index: u64) -> u64 {
+pub(crate) fn cell_seed(base: u64, index: u64) -> u64 {
     base ^ (index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 /// The deterministic plan for one `(path, shielded)` group: per-shard seeds
 /// and budgets, all pure functions of `(cfg, group_index)` — the shared
-/// vocabulary of the serial [`run_path_group`] test path and the flattened
+/// vocabulary of the serial `run_path_group` test path and the flattened
 /// all-groups-at-once matrix batch, which must produce identical cells.
 struct GroupPlan {
     path: MatrixPath,
@@ -476,7 +482,7 @@ fn run_path_group(
 /// Run the full matrix: `(1 baseline + 5 faults) × 2 paths × 2 shield
 /// states` = 24 cells, plus the reshield-transient scenario, then check
 /// every band. Each `(path, shielded)` group warms once per shard and forks
-/// its six cells from the shared checkpoint (see [`run_path_group`]).
+/// its six cells from the shared checkpoint (see `run_path_group`).
 pub fn run_fault_matrix(cfg: &FaultMatrixConfig) -> FaultMatrixReport {
     run_fault_matrix_with_flight(cfg, 0).0
 }
@@ -502,7 +508,7 @@ enum MatrixJobOut {
 /// scenario as one batch, and phase C merges per group in index order — so
 /// the pool sees `4 × 6 × shards + 1` jobs at once instead of four serial
 /// six-job bursts, while every cell stays bit-identical to the serial
-/// [`run_path_group`] path (asserted in tests).
+/// `run_path_group` path (asserted in tests).
 pub fn run_fault_matrix_with_flight(
     cfg: &FaultMatrixConfig,
     top_k: usize,

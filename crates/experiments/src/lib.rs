@@ -20,6 +20,7 @@ pub mod determinism;
 pub mod faultmatrix;
 pub mod fleet;
 pub mod flight;
+pub mod modernmax;
 pub mod rcim;
 pub mod realfeel;
 pub mod replication;
@@ -47,6 +48,10 @@ pub use replication::{
 pub use faultmatrix::{
     run_fault_matrix, run_fault_matrix_with_flight, CellFlight, FaultMatrixConfig,
     FaultMatrixReport, MatrixCell,
+};
+pub use modernmax::{
+    run_modern_matrix, run_modern_matrix_with_flight, ModernCell, ModernCellFlight, ModernConfig,
+    ModernReport, ModernVariant, MODERN_RCIM_BOUND,
 };
 pub use runner::{
     run_all_figures, run_all_figures_flight, run_all_figures_with, FigureSuite, FigureTiming,

@@ -275,7 +275,7 @@ fn run_realfeel_forked(cfg: &RealfeelConfig, shards: u32, flight_top_k: usize) -
 /// With `cfg.shards == 1` this is the classic single-simulation path seeded
 /// with `cfg.seed`. With `shards = K > 1` one simulation is warmed up on
 /// `cfg.seed`, checkpointed, and forked K times (see
-/// [`run_realfeel_forked`]); each fork reseeds from a deterministically
+/// `run_realfeel_forked`); each fork reseeds from a deterministically
 /// forked shard seed (see [`crate::shard::shard_seeds`]), the forks run on
 /// threads, and their histograms are merged in shard-index order, so the
 /// output is bit-for-bit reproducible for a given `(seed, K)`.

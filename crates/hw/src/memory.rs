@@ -50,6 +50,16 @@ impl Default for ContentionModel {
 }
 
 impl ContentionModel {
+    /// Contention on a current-generation part: large private caches and a
+    /// mesh interconnect leave per-core interference well under a percent,
+    /// and the modern experiments run with SMT off (the sibling factor is
+    /// kept at 1.0 and never sampled on no-HT topologies).
+    pub fn modern() -> Self {
+        ContentionModel { smp_max_per_core: 0.005, ht_busy_lo: 1.0, ht_busy_hi: 1.0 }
+    }
+}
+
+impl ContentionModel {
     /// Sample the slowdown factor (≥ 1.0) for a compute segment.
     pub fn sample_slowdown(&self, ctx: ExecContext, rng: &mut SimRng) -> f64 {
         let mut factor = 1.0 + self.smp_max_per_core * ctx.busy_other_cores as f64 * rng.f64();

@@ -51,6 +51,25 @@ impl RcimDevice {
         }
     }
 
+    /// An RCIM driven by a current-generation PCIe host: MMIO acks and the
+    /// mapped count-register read are tens of nanoseconds instead of the
+    /// paper's microsecond-scale PCI transactions. Used by the modern
+    /// isolation experiments, where the whole wake-to-read path must close
+    /// under half a microsecond.
+    pub fn modern(period: Nanos) -> Self {
+        let mut d = Self::new(period);
+        d.isr = DurationDist::shifted(
+            Nanos::from_ns(40),
+            DurationDist::bounded_pareto(Nanos(5), Nanos::from_ns(40), 1.2),
+        )
+        .prepare();
+        d.exit_work = DurationDist::shifted(
+            Nanos::from_ns(25),
+            DurationDist::bounded_pareto(Nanos(3), Nanos::from_ns(30), 1.3),
+        );
+        d
+    }
+
     pub fn period(&self) -> Nanos {
         self.period
     }
@@ -261,6 +280,19 @@ mod tests {
         for _ in 0..1000 {
             let w = d.sample(&mut rng);
             assert!(w >= Nanos(550) && w <= Nanos(1_400), "{w}");
+        }
+    }
+
+    #[test]
+    fn modern_rcim_costs_are_tens_of_nanoseconds() {
+        let mut dev = RcimDevice::modern(Nanos::from_ms(1));
+        let exit = dev.reader_exit_work().unwrap();
+        let mut rng = SimRng::new(11);
+        for _ in 0..1000 {
+            let w = exit.sample(&mut rng);
+            assert!(w >= Nanos(28) && w <= Nanos(55), "exit {w}");
+            let i = dev.isr_cost(&mut rng);
+            assert!(i >= Nanos(45) && i <= Nanos(80), "isr {i}");
         }
     }
 

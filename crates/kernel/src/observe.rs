@@ -45,6 +45,9 @@ pub struct CpuAccounting {
     pub tick: Nanos,
     /// Scheduler picks + context switches.
     pub switching: Nanos,
+    /// Threaded-IRQ handler bodies (`threaded_irqs`); always zero with the
+    /// knob off.
+    pub irq_thread: Nanos,
     /// Interrupts handled.
     pub irqs: u64,
     /// Context switches performed.
@@ -59,12 +62,19 @@ pub struct CpuAccounting {
 impl CpuAccounting {
     /// Total accounted busy time.
     pub fn busy(&self) -> Nanos {
-        self.user + self.kernel + self.spin + self.isr + self.softirq + self.tick + self.switching
+        self.user
+            + self.kernel
+            + self.spin
+            + self.isr
+            + self.softirq
+            + self.tick
+            + self.switching
+            + self.irq_thread
     }
 
     /// Time stolen from tasks by interrupt-context work.
     pub fn stolen(&self) -> Nanos {
-        self.isr + self.softirq + self.tick
+        self.isr + self.softirq + self.tick + self.irq_thread
     }
 }
 
@@ -330,12 +340,13 @@ mod tests {
             softirq: Nanos(20),
             tick: Nanos(2),
             switching: Nanos(3),
+            irq_thread: Nanos(4),
             irqs: 1,
             switches: 1,
             ticks: 1,
             ticks_elided: 0,
         };
-        assert_eq!(acc.busy(), Nanos(190));
-        assert_eq!(acc.stolen(), Nanos(32));
+        assert_eq!(acc.busy(), Nanos(194));
+        assert_eq!(acc.stolen(), Nanos(36));
     }
 }

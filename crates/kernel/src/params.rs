@@ -31,6 +31,10 @@ fn path_cost(base_ns: u64, tail_lo_ns: u64, tail_hi_ns: u64, alpha: f64) -> Dura
 pub struct KernelCosts {
     /// Interrupt acknowledge + vector + kernel entry.
     pub irq_entry: DurationDist,
+    /// Minimal hard-IRQ handler under `threaded_irqs`: mask the line at the
+    /// controller and wake the irq thread. Unused by the classic in-ISR
+    /// model.
+    pub irq_ack: DurationDist,
     /// EOI + return from interrupt.
     pub irq_exit: DurationDist,
     /// try_to_wake_up: runqueue manipulation + CPU selection.
@@ -61,6 +65,7 @@ impl Default for KernelCosts {
     fn default() -> Self {
         KernelCosts {
             irq_entry: path_cost(900, 50, 1_600, 1.3),
+            irq_ack: path_cost(200, 20, 300, 1.3),
             irq_exit: path_cost(300, 30, 600, 1.4),
             wake: path_cost(600, 50, 1_000, 1.4),
             sched_pick_o1: path_cost(400, 40, 800, 1.5),
@@ -78,6 +83,33 @@ impl Default for KernelCosts {
 }
 
 impl KernelCosts {
+    /// Path costs for a current-generation (~3 GHz, large-cache) core — the
+    /// calibration behind the `modernmax` sub-0.5 µs reproduction, anchored
+    /// to the cyclictest-class numbers of the interrupt-isolation literature
+    /// (arXiv 2509.03855, 2412.18104): interrupt entry ~20 ns, context
+    /// switch ~50 ns, wakeup ~15 ns. The sum of maxima along the threaded
+    /// shielded wake path (ack split + irq-thread body + wake + pick + idle
+    /// exit + switch + syscall exit) stays under the 500 ns gate by
+    /// construction; `modern_rcim_path_max_is_sub_500ns` pins it.
+    pub fn modern() -> Self {
+        KernelCosts {
+            irq_entry: path_cost(20, 3, 25, 1.3),
+            irq_ack: path_cost(10, 2, 8, 1.3),
+            irq_exit: path_cost(8, 1, 10, 1.4),
+            wake: path_cost(15, 2, 18, 1.4),
+            sched_pick_o1: path_cost(10, 1, 12, 1.5),
+            sched_pick_24_base: path_cost(50, 5, 100, 1.4),
+            sched_pick_24_per_task: Nanos(12),
+            context_switch: path_cost(45, 5, 55, 1.3),
+            syscall_entry: path_cost(15, 2, 20, 1.4),
+            syscall_exit: path_cost(10, 2, 12, 1.4),
+            tick: path_cost(200, 50, 800, 1.2),
+            ipi: path_cost(30, 5, 50, 1.4),
+            idle_exit: path_cost(12, 2, 15, 1.4),
+            page_fault: path_cost(300, 50, 2_000, 1.1),
+        }
+    }
+
     pub fn validate(&self) -> Result<(), String> {
         if self.sched_pick_24_per_task > Nanos::from_us(10) {
             return Err("per-task goodness scan cost is implausible".into());
@@ -91,6 +123,7 @@ impl KernelCosts {
     pub fn prepare(&self) -> PreparedCosts {
         PreparedCosts {
             irq_entry: self.irq_entry.prepare(),
+            irq_ack: self.irq_ack.prepare(),
             irq_exit: self.irq_exit.prepare(),
             wake: self.wake.prepare(),
             sched_pick_o1: self.sched_pick_o1.prepare(),
@@ -115,6 +148,7 @@ impl KernelCosts {
 #[derive(Debug, Clone, PartialEq)]
 pub struct PreparedCosts {
     pub irq_entry: PreparedDist,
+    pub irq_ack: PreparedDist,
     pub irq_exit: PreparedDist,
     pub wake: PreparedDist,
     pub sched_pick_o1: PreparedDist,
@@ -144,7 +178,7 @@ pub struct SectionProfile {
     pub long_section_prob: f64,
     /// Length of that section. Upper bounds per variant:
     /// vanilla ~90 ms (Figure 5's 92.3 ms worst case), preempt-only ~30 ms,
-    /// +low-latency ~1.3 ms (reference [5] measured 1.2 ms), RedHawk ~450 µs.
+    /// +low-latency ~1.3 ms (reference \[5\] measured 1.2 ms), RedHawk ~450 µs.
     pub long_section: DurationDist,
     /// Probability that the `/dev/rtc` read() *exit path* takes the global
     /// file-layer lock (the §6.2 mechanism behind Figure 6's 0.565 ms tail).
@@ -316,6 +350,33 @@ mod tests {
         assert!(
             (4_000..7_000).contains(&floor),
             "kernel part of the RCIM path floor should be 4-7us, got {floor}ns"
+        );
+    }
+
+    #[test]
+    fn modern_rcim_path_max_is_sub_500ns() {
+        // Sum of maxima along the threaded shielded wake path (hard-IRQ ack
+        // split, wake, pick, idle exit, switch, syscall exit). The device
+        // body and exit work (owned by the devices crate) add ~135 ns of
+        // headroom on top, so the kernel part must stay well under 500 ns
+        // for the MODERN_RCIM_NS_CEILING gate to hold by construction.
+        let c = KernelCosts::modern();
+        let worst: u64 = [
+            &c.irq_entry,
+            &c.irq_ack,
+            &c.irq_exit,
+            &c.wake,
+            &c.sched_pick_o1,
+            &c.idle_exit,
+            &c.context_switch,
+            &c.syscall_exit,
+        ]
+        .iter()
+        .map(|d| d.upper_bound().expect("bounded path cost").as_ns())
+        .sum();
+        assert!(
+            (150..350).contains(&worst),
+            "kernel part of the modern RCIM path max should be 150-350ns, got {worst}ns"
         );
     }
 

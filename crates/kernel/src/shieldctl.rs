@@ -29,16 +29,34 @@ pub struct ShieldCtl {
     pub irqs: CpuMask,
     /// CPUs whose local timer interrupt is disabled (`/proc/shield/ltmrs`).
     pub ltmrs: CpuMask,
+    /// CPUs fenced from housekeeping-kthread work (`/proc/shield/kthreads`,
+    /// a post-paper extension): softirq work raised here is punted to the
+    /// first online CPU outside the mask. Only consulted when the kernel's
+    /// `kthread_iso` knob is on; an empty mask is always a no-op.
+    #[serde(default)]
+    pub kthreads: CpuMask,
 }
 
 impl ShieldCtl {
-    pub const NONE: ShieldCtl =
-        ShieldCtl { procs: CpuMask::EMPTY, irqs: CpuMask::EMPTY, ltmrs: CpuMask::EMPTY };
+    pub const NONE: ShieldCtl = ShieldCtl {
+        procs: CpuMask::EMPTY,
+        irqs: CpuMask::EMPTY,
+        ltmrs: CpuMask::EMPTY,
+        kthreads: CpuMask::EMPTY,
+    };
 
     /// Shield `mask` from processes, interrupts and the local timer at once
     /// (the common full-shield configuration of the paper's experiments).
+    /// The kthread mask stays empty — it is a post-paper extension enabled
+    /// separately via [`ShieldCtl::with_kthreads`].
     pub fn full(mask: CpuMask) -> Self {
-        ShieldCtl { procs: mask, irqs: mask, ltmrs: mask }
+        ShieldCtl { procs: mask, irqs: mask, ltmrs: mask, kthreads: CpuMask::EMPTY }
+    }
+
+    /// Additionally fence housekeeping kthreads off `mask` (effective only
+    /// on kernels with the `kthread_iso` knob).
+    pub fn with_kthreads(self, mask: CpuMask) -> Self {
+        ShieldCtl { kthreads: mask, ..self }
     }
 
     pub fn is_none(&self) -> bool {

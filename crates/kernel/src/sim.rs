@@ -52,6 +52,9 @@ enum ActKind {
     Softirq,
     Tick,
     Switch { to: Pid },
+    /// The schedulable half of a `threaded_irqs` split: the device body
+    /// running as an irq thread, interruptible but never task-preempted.
+    IrqThread { dev: DeviceId, asserted: Instant },
 }
 
 #[derive(Debug, Clone)]
@@ -68,12 +71,23 @@ struct PendingIrq {
     asserted: Instant,
 }
 
+/// A device body waiting for its irq thread to be scheduled
+/// (`threaded_irqs`): the work was drawn when the hard ack finished, so a
+/// deferred run costs no extra RNG draws.
+#[derive(Debug, Clone, Copy)]
+struct PendingIrqThread {
+    dev: DeviceId,
+    asserted: Instant,
+    work: Nanos,
+}
+
 #[derive(Debug)]
 struct CpuSim {
     current: Option<Activity>,
     /// Interrupted activities (task at the bottom, then softirq, then...).
     suspended: Vec<Activity>,
     pending_irqs: VecDeque<PendingIrq>,
+    pending_irq_threads: VecDeque<PendingIrqThread>,
     pending_softirq: VecDeque<(SoftirqClass, Nanos)>,
     pending_softirq_total: Nanos,
     need_resched: bool,
@@ -91,6 +105,7 @@ impl Clone for CpuSim {
             current: self.current.clone(),
             suspended: self.suspended.clone(),
             pending_irqs: self.pending_irqs.clone(),
+            pending_irq_threads: self.pending_irq_threads.clone(),
             pending_softirq: self.pending_softirq.clone(),
             pending_softirq_total: self.pending_softirq_total,
             need_resched: self.need_resched,
@@ -103,6 +118,7 @@ impl Clone for CpuSim {
         self.current.clone_from(&source.current);
         self.suspended.clone_from(&source.suspended);
         self.pending_irqs.clone_from(&source.pending_irqs);
+        self.pending_irq_threads.clone_from(&source.pending_irq_threads);
         self.pending_softirq.clone_from(&source.pending_softirq);
         self.pending_softirq_total = source.pending_softirq_total;
         self.need_resched = source.need_resched;
@@ -117,6 +133,7 @@ impl CpuSim {
             current: None,
             suspended: Vec::new(),
             pending_irqs: VecDeque::new(),
+            pending_irq_threads: VecDeque::new(),
             pending_softirq: VecDeque::new(),
             pending_softirq_total: Nanos::ZERO,
             need_resched: false,
@@ -490,7 +507,10 @@ impl Simulator {
         }
         self.shield = ctl;
         self.trace(TraceKind::Shield, None, || {
-            format!("shield procs={} irqs={} ltmrs={}", ctl.procs, ctl.irqs, ctl.ltmrs)
+            format!(
+                "shield procs={} irqs={} ltmrs={} kthreads={}",
+                ctl.procs, ctl.irqs, ctl.ltmrs, ctl.kthreads
+            )
         });
         if self.flight.is_armed() {
             self.flight.record(FlightEvent::instant(
@@ -712,6 +732,7 @@ impl Simulator {
             && c.suspended.is_empty()
             && self.cpu_task[cpu].is_none()
             && !c.in_irq
+            && c.pending_irq_threads.is_empty()
     }
 
     /// Install a fresh activity as current on an empty CPU.
@@ -813,6 +834,7 @@ impl Simulator {
             ActKind::Softirq => acc.softirq += wall,
             ActKind::Tick => acc.tick += wall,
             ActKind::Switch { .. } => acc.switching += wall,
+            ActKind::IrqThread { .. } => acc.irq_thread += wall,
         }
         if let Some(pid) = self.cpu_task[cpu] {
             if matches!(kind, ActKind::User | ActKind::Kernel { .. }) {
@@ -828,6 +850,7 @@ impl Simulator {
                 ActKind::Softirq => (ActivityClass::Softirq, 0),
                 ActKind::Tick => (ActivityClass::Tick, 0),
                 ActKind::Switch { to } => (ActivityClass::Switch, to.0 as u64),
+                ActKind::IrqThread { dev, .. } => (ActivityClass::IrqThread, dev.0 as u64),
             };
             // Spans are accounted when they end or are checkpointed, so the
             // start is `now - wall`.
@@ -889,7 +912,12 @@ impl Simulator {
     fn begin_isr(&mut self, cpu: usize, pend: PendingIrq) {
         let entry = self.costs.irq_entry.sample(&mut self.rng);
         let exit = self.costs.irq_exit.sample(&mut self.rng);
-        let body = {
+        // Threaded mode: the hard handler is only mask-line + wake-thread;
+        // the device body is drawn (from the device's own stream) when the
+        // ack finishes and runs as an `IrqThread` activity instead.
+        let body = if self.cfg.threaded_irqs {
+            self.costs.irq_ack.sample(&mut self.rng)
+        } else {
             let slot = &mut self.devices[pend.dev.index()];
             let dev = slot.dev.as_mut().expect("device reentrancy");
             dev.isr_cost(&mut slot.rng)
@@ -948,6 +976,32 @@ impl Simulator {
             self.tick_keys[cpu] = None;
             return;
         }
+        if self.cfg.nohz_full
+            && self.shield.procs.contains(CpuId(cpu as u32))
+            && self.nohz_full_quiescent(cpu)
+        {
+            // Full tick elimination on a process-shielded CPU running at
+            // most one task: the tick does no work (no cost draw, no
+            // activity) and re-arms one second ahead *on the original
+            // grid* — the residual 1 Hz housekeeping tick, offloaded as in
+            // Linux ≥ 4.17 so it costs this CPU nothing. All grid points
+            // covered by the hop are counted as elided.
+            let stride = self.cfg.local_timer_hz as u64;
+            let at = self.now + Nanos(stride * self.cfg.jiffy().as_ns());
+            let key = self.queue.push(at, Ev::Tick { cpu: cpu as u32 });
+            self.tick_keys[cpu] = Some(key);
+            self.tick_next_ns[cpu] = at.as_ns();
+            self.obs.cpu[cpu].ticks_elided += stride;
+            if self.flight.is_armed() {
+                self.flight.record(FlightEvent::instant(
+                    self.now,
+                    Some(cpu as u32),
+                    FlightEventKind::TicksElided,
+                    stride,
+                ));
+            }
+            return;
+        }
         let at = self.now + self.cfg.jiffy();
         let key = self.queue.push(at, Ev::Tick { cpu: cpu as u32 });
         self.tick_keys[cpu] = Some(key);
@@ -962,6 +1016,16 @@ impl Simulator {
         self.cpus[cpu].in_irq = true;
         self.obs.cpu[cpu].ticks += 1;
         self.install(cpu, ActKind::Tick, cost);
+    }
+
+    /// `nohz_full`: can this shielded CPU's tick be stopped? True while no
+    /// Ready task could be placed here — with at most the one installed
+    /// task there is nothing to timeslice between, and every other tick
+    /// duty (sleep timers, softirq drains) rides its own queue events.
+    fn nohz_full_quiescent(&self, cpu: usize) -> bool {
+        !self.tasks.iter().any(|t| {
+            t.state == TaskState::Ready && t.effective_affinity.contains(CpuId(cpu as u32))
+        })
     }
 
     /// `nohz_idle`: cancel the local-timer event of a CPU that just became
@@ -1048,6 +1112,9 @@ impl Simulator {
             ActKind::Isr { dev, asserted } => {
                 self.finish_isr(cpu, dev, asserted);
             }
+            ActKind::IrqThread { dev, asserted } => {
+                self.finish_irq_thread(cpu, dev, asserted);
+            }
             ActKind::Softirq => {
                 self.after_irq(cpu);
             }
@@ -1071,7 +1138,93 @@ impl Simulator {
     }
 
     fn finish_isr(&mut self, cpu: usize, dev: DeviceId, asserted: Instant) {
-        // ISR body: ask the device what this interrupt meant.
+        if self.cfg.threaded_irqs {
+            // The hard ack is done; draw the device body now and queue it
+            // for the line's irq thread. Thread affinity obeys *process*
+            // shielding — a line deliberately bound inside the shield keeps
+            // its thread local (the inside-shield rule), everything else is
+            // fenced to an unshielded CPU.
+            let work = {
+                let slot = &mut self.devices[dev.index()];
+                let d = slot.dev.as_mut().expect("device reentrancy");
+                d.isr_cost(&mut slot.rng)
+            };
+            let target = self.irq_thread_target(cpu, dev);
+            self.cpus[target].pending_irq_threads.push_back(PendingIrqThread {
+                dev,
+                asserted,
+                work,
+            });
+            if self.flight.is_armed() {
+                self.flight.record(FlightEvent::instant(
+                    self.now,
+                    Some(target as u32),
+                    FlightEventKind::IrqThreadWake,
+                    dev.0 as u64,
+                ));
+            }
+            if target != cpu && self.is_fully_idle_except_threads(target) {
+                // Idle remote target: start the thread now, charging the
+                // idle-exit cost (begin_switch drains the queue for us).
+                self.begin_switch(target, true);
+            }
+            self.after_irq(cpu);
+            return;
+        }
+        self.deliver_isr_outcome(cpu, dev, asserted);
+        self.after_irq(cpu);
+    }
+
+    /// CPU on which `dev`'s irq thread runs: the hard-ack CPU when the
+    /// line's requested affinity (minus the process shield) allows it,
+    /// otherwise the first allowed CPU.
+    fn irq_thread_target(&self, cpu: usize, dev: DeviceId) -> usize {
+        let online = self.machine.online_mask();
+        let eff = effective_mask(self.irq_requested[dev.index()], self.shield.procs, online);
+        if eff.contains(CpuId(cpu as u32)) {
+            cpu
+        } else {
+            eff.first().expect("effective mask non-empty").index()
+        }
+    }
+
+    /// Like [`Simulator::is_fully_idle`] but ignoring the pending-thread
+    /// queue itself (used to decide whether a freshly queued thread can
+    /// start on an otherwise idle remote CPU).
+    fn is_fully_idle_except_threads(&self, cpu: usize) -> bool {
+        let c = &self.cpus[cpu];
+        c.current.is_none()
+            && c.suspended.is_empty()
+            && self.cpu_task[cpu].is_none()
+            && !c.in_irq
+    }
+
+    /// Start one queued irq-thread body on `cpu` (whose current is empty).
+    /// `extra` carries the idle-exit (or IPI) cost of getting the thread on
+    /// CPU. Like softirq bursts, the body runs with interrupts enabled.
+    fn begin_irq_thread(&mut self, cpu: usize, p: PendingIrqThread, extra: Nanos) {
+        debug_assert!(self.cpus[cpu].current.is_none());
+        self.trace(TraceKind::Irq, Some(cpu as u32), || {
+            format!("irq thread runs {} asserted {}", p.dev, p.asserted)
+        });
+        self.install(cpu, ActKind::IrqThread { dev: p.dev, asserted: p.asserted }, extra + p.work);
+        self.cpus[cpu].in_irq = false;
+    }
+
+    /// An irq-thread body finished: deliver the device outcome (wakes,
+    /// softirqs) exactly as a classic in-ISR body would have.
+    fn finish_irq_thread(&mut self, cpu: usize, dev: DeviceId, asserted: Instant) {
+        // Completion runs in irq-disabled handler context: a wake targeting
+        // this CPU must go through `need_resched`/`after_irq`, not reenter
+        // a switch while we are still finishing.
+        self.cpus[cpu].in_irq = true;
+        self.deliver_isr_outcome(cpu, dev, asserted);
+        self.after_irq(cpu);
+    }
+
+    /// Shared tail of the classic ISR and the threaded-IRQ body: ask the
+    /// device what the interrupt meant, raise softirqs, wake subscribers.
+    fn deliver_isr_outcome(&mut self, cpu: usize, dev: DeviceId, asserted: Instant) {
         let mut ctx = DeviceCtx::with_buffer(self.now, std::mem::take(&mut self.scratch_cmds));
         let outcome = {
             let slot = &mut self.devices[dev.index()];
@@ -1082,13 +1235,7 @@ impl Simulator {
         self.scratch_cmds = ctx.recycle();
 
         if let Some((class, work)) = outcome.softirq {
-            let c = &mut self.cpus[cpu];
-            if c.pending_softirq_total + work <= SOFTIRQ_PENDING_CAP {
-                c.pending_softirq.push_back((class, work));
-                c.pending_softirq_total += work;
-            } else {
-                self.obs.softirq_dropped += 1;
-            }
+            self.raise_softirq(cpu, class, work);
         }
         let mut wake = outcome.wake;
         for &pid in &wake {
@@ -1101,7 +1248,35 @@ impl Simulator {
             let slot = &mut self.devices[dev.index()];
             slot.dev.as_mut().expect("device reentrancy").reclaim_wake_buf(wake);
         }
-        self.after_irq(cpu);
+    }
+
+    /// Queue softirq work. Under `kthread_iso`, work raised on a CPU in the
+    /// kthread shield mask is punted to the housekeeping CPU (the first
+    /// online CPU outside the mask) — the per-CPU ksoftirqd is fenced off
+    /// shielded CPUs. An idle housekeeping CPU starts draining immediately.
+    fn raise_softirq(&mut self, cpu: usize, class: SoftirqClass, work: Nanos) {
+        let target = if self.cfg.kthread_iso
+            && self.shield.kthreads.contains(CpuId(cpu as u32))
+        {
+            let online = self.machine.online_mask();
+            let housekeeping = online - self.shield.kthreads;
+            housekeeping.first().map(|c| c.index()).unwrap_or(cpu)
+        } else {
+            cpu
+        };
+        let c = &mut self.cpus[target];
+        if c.pending_softirq_total + work <= SOFTIRQ_PENDING_CAP {
+            c.pending_softirq.push_back((class, work));
+            c.pending_softirq_total += work;
+        } else {
+            self.obs.softirq_dropped += 1;
+        }
+        if target != cpu
+            && self.is_fully_idle(target)
+            && !self.cpus[target].pending_softirq.is_empty()
+        {
+            self.begin_softirq_burst(target, None);
+        }
     }
 
     /// Post-interrupt processing on a CPU whose current is empty: more IRQs,
@@ -1111,6 +1286,19 @@ impl Simulator {
         // 1. Back-to-back pending interrupts.
         if let Some(pend) = self.cpus[cpu].pending_irqs.pop_front() {
             self.begin_isr(cpu, pend);
+            return;
+        }
+        // 1b. Queued irq-thread bodies outrank ksoftirqd: they run at high
+        // RT priority in Linux, so they drain before any softirq burst —
+        // unless one is already on the stack beneath a nested interrupt.
+        if !self.cpus[cpu].pending_irq_threads.is_empty()
+            && !self.cpus[cpu]
+                .suspended
+                .iter()
+                .any(|a| matches!(a.kind, ActKind::IrqThread { .. }))
+        {
+            let p = self.cpus[cpu].pending_irq_threads.pop_front().expect("checked");
+            self.begin_irq_thread(cpu, p, Nanos::ZERO);
             return;
         }
         // 2. Bottom halves — unless the variant defers them behind a wakeup,
@@ -1374,6 +1562,13 @@ impl Simulator {
     fn begin_switch_with_extra(&mut self, cpu: usize, extra: Nanos) {
         debug_assert!(self.cpus[cpu].current.is_none());
         debug_assert!(self.cpu_task[cpu].is_none());
+        // Queued irq-thread bodies run before any ordinary task is picked —
+        // they hold the highest RT priority on a threaded-IRQ kernel. The
+        // switch's entry cost (idle exit) is charged to the thread.
+        if let Some(p) = self.cpus[cpu].pending_irq_threads.pop_front() {
+            self.begin_irq_thread(cpu, p, extra);
+            return;
+        }
         let pick_cost = self.sched.pick_cost(&self.costs, &mut self.rng);
         match self.sched.pick(CpuId(cpu as u32), &mut self.tasks) {
             Some(pid) => {

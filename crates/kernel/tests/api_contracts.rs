@@ -104,7 +104,7 @@ fn shield_error_paths() {
     assert!(sim.set_shield(ShieldCtl::full(CpuMask(0b11))).is_err());
     // Local-timer-only full shielding is allowed (no placement problem).
     assert!(sim
-        .set_shield(ShieldCtl { procs: CpuMask::EMPTY, irqs: CpuMask::EMPTY, ltmrs: CpuMask(0b11) })
+        .set_shield(ShieldCtl { procs: CpuMask::EMPTY, irqs: CpuMask::EMPTY, ltmrs: CpuMask(0b11), ..ShieldCtl::NONE })
         .is_ok());
 }
 

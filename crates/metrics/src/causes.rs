@@ -113,6 +113,12 @@ pub fn render_cause_chain(meta: &WorstCaseMeta, events: &[FlightEvent]) -> Strin
             FlightEventKind::ShieldSet => {
                 format!("shield reconfigured: {} shielded CPU(s)", ev.detail)
             }
+            FlightEventKind::IrqThreadWake => {
+                format!("dev{} handed to its irq thread", ev.detail)
+            }
+            FlightEventKind::TicksElided => {
+                format!("{} tick(s) elided (nohz re-arm)", ev.detail)
+            }
         };
         let _ = writeln!(out, "  {:>10}  {}  {}", offset(ev.at, meta.asserted), cpu, what);
     }

@@ -96,6 +96,8 @@ fn detail_key(kind: FlightEventKind) -> &'static str {
         FlightEventKind::Wake => "pid",
         FlightEventKind::SampleDone => "latency_ns",
         FlightEventKind::ShieldSet => "shielded_cpus",
+        FlightEventKind::IrqThreadWake => "device",
+        FlightEventKind::TicksElided => "ticks",
     }
 }
 

@@ -42,11 +42,13 @@ pub enum ActivityClass {
     Tick,
     /// Scheduler pick plus context switch.
     Switch,
+    /// Threaded-IRQ handler body (the schedulable half of a split ISR).
+    IrqThread,
 }
 
 impl ActivityClass {
     /// Every class, in accounting order.
-    pub const ALL: [ActivityClass; 7] = [
+    pub const ALL: [ActivityClass; 8] = [
         ActivityClass::User,
         ActivityClass::Kernel,
         ActivityClass::Spin,
@@ -54,6 +56,7 @@ impl ActivityClass {
         ActivityClass::Softirq,
         ActivityClass::Tick,
         ActivityClass::Switch,
+        ActivityClass::IrqThread,
     ];
 
     /// Stable lower-case name, used as the Perfetto event name.
@@ -66,6 +69,7 @@ impl ActivityClass {
             ActivityClass::Softirq => "softirq",
             ActivityClass::Tick => "tick",
             ActivityClass::Switch => "switch",
+            ActivityClass::IrqThread => "irqthread",
         }
     }
 
@@ -80,6 +84,7 @@ impl ActivityClass {
             ActivityClass::Softirq => TraceKind::Softirq,
             ActivityClass::Tick => TraceKind::Timer,
             ActivityClass::Switch => TraceKind::Sched,
+            ActivityClass::IrqThread => TraceKind::Irq,
         }
     }
 }
@@ -108,6 +113,12 @@ pub enum FlightEventKind {
     /// The shield configuration changed (instant; `detail` = number of
     /// process-shielded CPUs — the Perfetto counter-track value).
     ShieldSet,
+    /// A hard-IRQ ack handed its device body to an irq thread (instant;
+    /// `detail` = device id, `cpu` = the CPU the thread was queued on).
+    IrqThreadWake,
+    /// A nohz re-arm skipped ticks on the original grid (instant;
+    /// `detail` = number of ticks elided by this re-arm).
+    TicksElided,
 }
 
 impl FlightEventKind {
@@ -119,6 +130,8 @@ impl FlightEventKind {
             FlightEventKind::Wake => "wake",
             FlightEventKind::SampleDone => "sample_done",
             FlightEventKind::ShieldSet => "shielded_cpus",
+            FlightEventKind::IrqThreadWake => "irq_thread_wake",
+            FlightEventKind::TicksElided => "ticks_elided",
         }
     }
 
@@ -130,6 +143,8 @@ impl FlightEventKind {
             FlightEventKind::Wake => TraceKind::Sched,
             FlightEventKind::SampleDone => TraceKind::Workload,
             FlightEventKind::ShieldSet => TraceKind::Shield,
+            FlightEventKind::IrqThreadWake => TraceKind::Irq,
+            FlightEventKind::TicksElided => TraceKind::Timer,
         }
     }
 }

@@ -61,13 +61,13 @@ fn main() {
     run("none", ShieldCtl::NONE, false, &mut t);
     run(
         "procs only",
-        ShieldCtl { procs: cpu1, irqs: CpuMask::EMPTY, ltmrs: CpuMask::EMPTY },
+        ShieldCtl { procs: cpu1, irqs: CpuMask::EMPTY, ltmrs: CpuMask::EMPTY, ..ShieldCtl::NONE },
         false,
         &mut t,
     );
     run(
         "procs + irqs",
-        ShieldCtl { procs: cpu1, irqs: cpu1, ltmrs: CpuMask::EMPTY },
+        ShieldCtl { procs: cpu1, irqs: cpu1, ltmrs: CpuMask::EMPTY, ..ShieldCtl::NONE },
         true,
         &mut t,
     );

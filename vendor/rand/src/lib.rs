@@ -1,7 +1,7 @@
 //! Offline stand-in for the `rand` crate.
 //!
 //! The workspace only uses `rand::RngCore` as an interoperability trait for
-//! [`simcore::SimRng`]; the build environment has no network access to the
+//! `simcore::SimRng`; the build environment has no network access to the
 //! crates.io registry, so this vendored crate provides exactly that surface.
 
 /// A random number generator core, matching `rand_core::RngCore` 0.9.
